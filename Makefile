@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test race cover bench experiments examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every table/figure of the paper's evaluation (reduced grid).
+experiments:
+	$(GO) run ./cmd/experiments -exp all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/nba
+	$(GO) run ./examples/tripadvisor
+	$(GO) run ./examples/hotels
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,348 @@
+// Benchmarks regenerating the paper's tables and figures as testing.B
+// targets, one benchmark family per figure. Sizes are reduced relative to
+// the paper's testbed so the suite finishes in minutes; the parameter
+// *shapes* (who wins, growth trends, crossovers) are what these benchmarks
+// are meant to reproduce — see EXPERIMENTS.md for the side-by-side. The
+// full-scale sweeps live in cmd/experiments.
+package ordu
+
+import (
+	"fmt"
+	"testing"
+
+	"ordu/internal/core"
+	"ordu/internal/data"
+	"ordu/internal/expr"
+	"ordu/internal/fixedregion"
+	"ordu/internal/geom"
+	"ordu/internal/hull"
+	"ordu/internal/osskyline"
+	"ordu/internal/rtree"
+	"ordu/internal/skyband"
+	"ordu/internal/topk"
+)
+
+// Bench-scale defaults: the paper's (400K, d=4, k=5, m=50) shrunk to keep
+// a full -bench=. run in minutes.
+const (
+	benchN = 50_000
+	benchD = 4
+	benchK = 5
+	benchM = 30
+)
+
+var benchCache = expr.NewCache()
+
+func benchSeeds(d int) []geom.Vector { return expr.Seeds(d, 16) }
+
+// runOp cycles through seed vectors, one query per iteration.
+func runOp(b *testing.B, d int, fn func(w geom.Vector)) {
+	b.Helper()
+	seeds := benchSeeds(d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn(seeds[i%len(seeds)])
+	}
+}
+
+// --- Table 2 defaults / Section 6.4 headline ---
+
+func BenchmarkDefaultsORD(b *testing.B) {
+	tree := benchCache.Synthetic(data.IND, benchN, benchD)
+	runOp(b, benchD, func(w geom.Vector) { core.ORD(tree, w, benchK, benchM) })
+}
+
+func BenchmarkDefaultsORU(b *testing.B) {
+	tree := benchCache.Synthetic(data.IND, benchN, benchD)
+	runOp(b, benchD, func(w geom.Vector) { core.ORU(tree, w, benchK, benchM) })
+}
+
+// --- Figure 6: case study operators on the NBA 2018-19 slice ---
+
+func BenchmarkFig6CaseStudy(b *testing.B) {
+	players := data.NBA2019(2019)
+	pts := make([]geom.Vector, len(players))
+	for i, p := range players {
+		pts[i] = geom.Vector{p.Stats[0], p.Stats[1]}
+	}
+	tree := rtree.BulkLoad(pts)
+	w := geom.Vector{0.43, 0.57}
+	ops := []struct {
+		name string
+		fn   func()
+	}{
+		{"ORD", func() { core.ORD(tree, w, 2, 6) }},
+		{"ORU", func() { core.ORU(tree, w, 2, 6) }},
+		{"TopM", func() { topk.TopK(tree, w, 6) }},
+		{"OSSSkyline", func() { osskyline.TopM(tree, 6) }},
+	}
+	for _, op := range ops {
+		b.Run(op.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				op.fn()
+			}
+		})
+	}
+}
+
+// --- Figure 7: fixed-region output-size spread ---
+
+func BenchmarkFig7FixedRegionTopK(b *testing.B) {
+	tree := benchCache.Synthetic(data.IND, benchN, benchD)
+	seeds := benchSeeds(benchD)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := seeds[i%len(seeds)]
+		fixedregion.TopKUnion(tree, w, fixedregion.NewBox(w, 0.2), benchK)
+	}
+}
+
+// --- Figure 8: ORD and competitors across the parameter sweeps ---
+
+func BenchmarkFig8Cardinality(b *testing.B) {
+	for _, n := range []int{10_000, 50_000, 200_000} {
+		tree := benchCache.Synthetic(data.IND, n, benchD)
+		b.Run(fmt.Sprintf("ORD/n=%d", n), func(b *testing.B) {
+			runOp(b, benchD, func(w geom.Vector) { core.ORD(tree, w, benchK, benchM) })
+		})
+	}
+}
+
+func BenchmarkFig8Dimensionality(b *testing.B) {
+	for _, d := range []int{2, 3, 4, 5} {
+		tree := benchCache.Synthetic(data.IND, benchN, d)
+		b.Run(fmt.Sprintf("ORD/d=%d", d), func(b *testing.B) {
+			runOp(b, d, func(w geom.Vector) { core.ORD(tree, w, benchK, benchM) })
+		})
+	}
+}
+
+func BenchmarkFig8K(b *testing.B) {
+	tree := benchCache.Synthetic(data.IND, benchN, benchD)
+	for _, k := range []int{1, 5, 10} {
+		b.Run(fmt.Sprintf("ORD/k=%d", k), func(b *testing.B) {
+			runOp(b, benchD, func(w geom.Vector) { core.ORD(tree, w, k, benchM) })
+		})
+	}
+}
+
+func BenchmarkFig8M(b *testing.B) {
+	tree := benchCache.Synthetic(data.IND, benchN, benchD)
+	for _, m := range []int{10, 30, 50} {
+		b.Run(fmt.Sprintf("ORD/m=%d", m), func(b *testing.B) {
+			runOp(b, benchD, func(w geom.Vector) { core.ORD(tree, w, benchK, m) })
+		})
+	}
+}
+
+func BenchmarkFig8Competitors(b *testing.B) {
+	tree := benchCache.Synthetic(data.IND, benchN, benchD)
+	b.Run("ORD", func(b *testing.B) {
+		runOp(b, benchD, func(w geom.Vector) { core.ORD(tree, w, benchK, benchM) })
+	})
+	b.Run("ORD-BSL", func(b *testing.B) {
+		runOp(b, benchD, func(w geom.Vector) { core.ORDBSL(tree, w, benchK, benchM) })
+	})
+	b.Run("RSB-5", func(b *testing.B) {
+		runOp(b, benchD, func(w geom.Vector) { fixedregion.RSB(tree, w, benchK, benchM, 0.05) })
+	})
+	b.Run("RSB-10", func(b *testing.B) {
+		runOp(b, benchD, func(w geom.Vector) { fixedregion.RSB(tree, w, benchK, benchM, 0.10) })
+	})
+}
+
+// --- Figure 9: ORD across distributions and real datasets ---
+
+func BenchmarkFig9Distributions(b *testing.B) {
+	for _, dist := range []data.Distribution{data.ANTI, data.COR, data.IND} {
+		tree := benchCache.Synthetic(dist, benchN, benchD)
+		b.Run(string(dist), func(b *testing.B) {
+			runOp(b, benchD, func(w geom.Vector) { core.ORD(tree, w, benchK, benchM) })
+		})
+	}
+}
+
+func BenchmarkFig9RealDatasets(b *testing.B) {
+	for _, name := range []string{"HOTEL", "HOUSE", "NBA"} {
+		tree := benchCache.Named(name, 20_000)
+		b.Run(name, func(b *testing.B) {
+			runOp(b, tree.Dim(), func(w geom.Vector) { core.ORD(tree, w, benchK, benchM) })
+		})
+	}
+}
+
+// --- Figure 10: ORU and competitors ---
+
+func BenchmarkFig10Cardinality(b *testing.B) {
+	for _, n := range []int{10_000, 50_000} {
+		tree := benchCache.Synthetic(data.IND, n, benchD)
+		b.Run(fmt.Sprintf("ORU/n=%d", n), func(b *testing.B) {
+			runOp(b, benchD, func(w geom.Vector) { core.ORU(tree, w, benchK, benchM) })
+		})
+	}
+}
+
+func BenchmarkFig10Dimensionality(b *testing.B) {
+	for _, d := range []int{2, 3, 4} {
+		tree := benchCache.Synthetic(data.IND, benchN, d)
+		b.Run(fmt.Sprintf("ORU/d=%d", d), func(b *testing.B) {
+			runOp(b, d, func(w geom.Vector) { core.ORU(tree, w, benchK, benchM) })
+		})
+	}
+}
+
+func BenchmarkFig10K(b *testing.B) {
+	tree := benchCache.Synthetic(data.IND, benchN, benchD)
+	for _, k := range []int{1, 5} {
+		b.Run(fmt.Sprintf("ORU/k=%d", k), func(b *testing.B) {
+			runOp(b, benchD, func(w geom.Vector) { core.ORU(tree, w, k, benchM) })
+		})
+	}
+}
+
+func BenchmarkFig10M(b *testing.B) {
+	tree := benchCache.Synthetic(data.IND, benchN, benchD)
+	for _, m := range []int{10, 30} {
+		b.Run(fmt.Sprintf("ORU/m=%d", m), func(b *testing.B) {
+			runOp(b, benchD, func(w geom.Vector) { core.ORU(tree, w, benchK, m) })
+		})
+	}
+}
+
+func BenchmarkFig10Competitors(b *testing.B) {
+	// Smaller setting so the slow baselines stay tractable under -bench.
+	tree := benchCache.Synthetic(data.IND, 10_000, benchD)
+	const m = 20
+	b.Run("ORU", func(b *testing.B) {
+		runOp(b, benchD, func(w geom.Vector) { core.ORU(tree, w, benchK, m) })
+	})
+	b.Run("ORU-BSL", func(b *testing.B) {
+		runOp(b, benchD, func(w geom.Vector) { core.ORUBSL(tree, w, benchK, m, 0) })
+	})
+	b.Run("JAA-10", func(b *testing.B) {
+		runOp(b, benchD, func(w geom.Vector) { fixedregion.JAA(tree, w, benchK, m, 0.10) })
+	})
+}
+
+// --- Figure 11: ORU across distributions and real datasets ---
+
+func BenchmarkFig11Distributions(b *testing.B) {
+	for _, dist := range []data.Distribution{data.ANTI, data.COR, data.IND} {
+		tree := benchCache.Synthetic(dist, benchN, benchD)
+		b.Run(string(dist), func(b *testing.B) {
+			runOp(b, benchD, func(w geom.Vector) { core.ORU(tree, w, benchK, benchM) })
+		})
+	}
+}
+
+func BenchmarkFig11RealDatasets(b *testing.B) {
+	for _, name := range []string{"HOTEL", "HOUSE", "NBA"} {
+		tree := benchCache.Named(name, 20_000)
+		b.Run(name, func(b *testing.B) {
+			runOp(b, tree.Dim(), func(w geom.Vector) { core.ORU(tree, w, 2, 10) })
+		})
+	}
+}
+
+// --- Ablations: the design choices DESIGN.md calls out ---
+
+// AblationORDSwitch isolates the Section 4.2 enhancements (score-ordered
+// fetch with the adaptive rho-bar switch) against the Section 4.1
+// preliminary algorithm.
+func BenchmarkAblationORDSwitch(b *testing.B) {
+	tree := benchCache.Synthetic(data.IND, benchN, benchD)
+	b.Run("enhanced", func(b *testing.B) {
+		runOp(b, benchD, func(w geom.Vector) { core.ORD(tree, w, benchK, benchM) })
+	})
+	b.Run("full-skyband", func(b *testing.B) {
+		runOp(b, benchD, func(w geom.Vector) { core.ORDBSL(tree, w, benchK, benchM) })
+	})
+}
+
+// AblationORUPartitionBypass isolates the small-union shortcut in
+// Theorem-1 partitioning.
+func BenchmarkAblationORUPartitionBypass(b *testing.B) {
+	tree := benchCache.Synthetic(data.IND, benchN, benchD)
+	b.Run("bypass", func(b *testing.B) {
+		runOp(b, benchD, func(w geom.Vector) {
+			core.ORUWith(tree, w, benchK, benchM, core.ORUOptions{})
+		})
+	})
+	b.Run("always-hull", func(b *testing.B) {
+		runOp(b, benchD, func(w geom.Vector) {
+			core.ORUWith(tree, w, benchK, benchM, core.ORUOptions{NoPartitionBypass: true})
+		})
+	})
+}
+
+// AblationORUGradual isolates the gradual radius/layer expansion of
+// Section 5.3.1 against the eager baseline (all layers, all L1 regions).
+func BenchmarkAblationORUGradual(b *testing.B) {
+	tree := benchCache.Synthetic(data.IND, 10_000, benchD)
+	const m = 20
+	b.Run("gradual", func(b *testing.B) {
+		runOp(b, benchD, func(w geom.Vector) { core.ORU(tree, w, benchK, m) })
+	})
+	b.Run("eager", func(b *testing.B) {
+		runOp(b, benchD, func(w geom.Vector) { core.ORUBSL(tree, w, benchK, m, 0) })
+	})
+}
+
+// --- Substrate micro-benchmarks ---
+
+func BenchmarkSubstrateMindist(b *testing.B) {
+	seeds := benchSeeds(benchD)
+	pts := data.Synthetic(data.IND, 1000, benchD, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := seeds[i%len(seeds)]
+		skyband.Mindist(w, pts[i%1000], pts[(i*7+1)%1000])
+	}
+}
+
+func BenchmarkSubstrateKSkyband(b *testing.B) {
+	tree := benchCache.Synthetic(data.IND, benchN, benchD)
+	for i := 0; i < b.N; i++ {
+		skyband.KSkyband(tree, benchK)
+	}
+}
+
+func BenchmarkSubstrateTopK(b *testing.B) {
+	tree := benchCache.Synthetic(data.IND, benchN, benchD)
+	runOp(b, benchD, func(w geom.Vector) { topk.TopK(tree, w, benchK) })
+}
+
+func BenchmarkSubstrateRTreeBuild(b *testing.B) {
+	pts := data.Synthetic(data.IND, benchN, benchD, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rtree.BulkLoad(pts)
+	}
+}
+
+func BenchmarkSubstrateUpperHull(b *testing.B) {
+	pts := data.Synthetic(data.ANTI, 300, benchD, 3)
+	ids := make([]int, len(pts))
+	for i := range ids {
+		ids[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hull.ComputeUpper(ids, pts)
+	}
+}
+
+// AblationORUParallel measures the Section 6.4 parallelisation extension.
+func BenchmarkAblationORUParallel(b *testing.B) {
+	tree := benchCache.Synthetic(data.IND, benchN, benchD)
+	b.Run("sequential", func(b *testing.B) {
+		runOp(b, benchD, func(w geom.Vector) {
+			core.ORUWith(tree, w, benchK, benchM, core.ORUOptions{})
+		})
+	})
+	b.Run("workers-4", func(b *testing.B) {
+		runOp(b, benchD, func(w geom.Vector) {
+			core.ORUWith(tree, w, benchK, benchM, core.ORUOptions{Workers: 4})
+		})
+	})
+}

@@ -1,0 +1,57 @@
+// Command datagen writes the library's benchmark datasets to CSV, for use
+// with cmd/ordu -data or external tools.
+//
+//	datagen -dist IND -n 400000 -d 4 > ind.csv
+//	datagen -dataset NBA > nba.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"ordu/internal/data"
+	"ordu/internal/geom"
+)
+
+func main() {
+	var (
+		dist    = flag.String("dist", "", "synthetic distribution: IND, COR, ANTI")
+		dataset = flag.String("dataset", "", "simulated real dataset: HOTEL, HOUSE, NBA, TA")
+		n       = flag.Int("n", 100000, "cardinality (synthetic; 0 = canonical for real)")
+		d       = flag.Int("d", 4, "dimensionality (synthetic only)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	var pts []geom.Vector
+	switch {
+	case *dist != "":
+		pts = data.Synthetic(data.Distribution(*dist), *n, *d, *seed)
+	case *dataset == "HOTEL":
+		pts = data.Hotel(*n, *seed)
+	case *dataset == "HOUSE":
+		pts = data.House(*n, *seed)
+	case *dataset == "NBA":
+		pts = data.NBA(*n, *seed)
+	case *dataset == "TA":
+		pts = data.TripAdvisor(*n, *seed)
+	default:
+		fmt.Fprintln(os.Stderr, "datagen: specify -dist or -dataset")
+		os.Exit(1)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for _, p := range pts {
+		for j, x := range p {
+			if j > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(strconv.FormatFloat(x, 'f', 6, 64))
+		}
+		w.WriteByte('\n')
+	}
+}

@@ -1,0 +1,116 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Section 6) on this library's implementation:
+//
+//	params     Table 2    parameter grid in use
+//	fig6       Figure 6   NBA case study (ORD/ORU vs top-m vs OSS skyline)
+//	jaccard    Section 6.1 Jaccard similarities on IND defaults
+//	fig7       Figure 7   output-size spread of fixed-region techniques
+//	fig7c      Section 6.1 prose: R-skyband counterpart of Figure 7
+//	fig8       Figure 8   ORD vs RSB-5%/RSB-10%/ORD-BSL (IND sweeps)
+//	fig9       Figure 9   ORD across distributions and real datasets
+//	fig10      Figure 10  ORU vs JAA-5%/JAA-10%/ORU-BSL (IND sweeps)
+//	fig11      Figure 11  ORU across distributions and real datasets
+//	discussion Section 6.4 headline wall-clock numbers
+//	all        everything above
+//
+// By default a laptop-scale reduction of the paper's grid is used (see
+// EXPERIMENTS.md); -paper selects the full Table 2 grid.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"ordu/internal/expr"
+	"ordu/internal/geom"
+)
+
+type env struct {
+	scale expr.Scale
+	cache *expr.Cache
+	out   io.Writer
+	// cellBudget caps the wall-clock spent measuring one table cell; slow
+	// baselines report the mean of however many seeds completed.
+	cellBudget time.Duration
+	// bslBudget caps ORU-BSL partitionings before declaring DNF.
+	bslBudget int
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (params|fig6|jaccard|fig7|fig8|fig9|fig10|fig11|discussion|all)")
+	seeds := flag.Int("seeds", 0, "preference vectors per measurement (0 = scale default)")
+	paper := flag.Bool("paper", false, "use the paper's full Table 2 grid (slow)")
+	quick := flag.Bool("quick", false, "use the minimal smoke-test grid")
+	cellSec := flag.Int("cell-budget", 120, "max seconds to spend per table cell")
+	flag.Parse()
+
+	scale := expr.ReducedScale()
+	if *paper {
+		scale = expr.PaperScale()
+	}
+	if *quick {
+		scale = expr.QuickScale()
+	}
+	if *seeds > 0 {
+		scale.Seeds = *seeds
+	}
+	e := &env{
+		scale:      scale,
+		cache:      expr.NewCache(),
+		out:        os.Stdout,
+		cellBudget: time.Duration(*cellSec) * time.Second,
+		bslBudget:  200_000,
+	}
+
+	run := func(name string, fn func(*env)) {
+		if *exp == name || *exp == "all" {
+			fmt.Fprintf(os.Stderr, "[experiments] running %s...\n", name)
+			t0 := time.Now()
+			fn(e)
+			fmt.Fprintf(os.Stderr, "[experiments] %s done in %v\n", name, time.Since(t0).Round(time.Millisecond))
+		}
+	}
+	run("params", runParams)
+	run("fig6", runFig6)
+	run("jaccard", runJaccard)
+	run("fig7", runFig7)
+	run("fig7c", runFig7c)
+	run("fig8", runFig8)
+	run("fig9", runFig9)
+	run("fig10", runFig10)
+	run("fig11", runFig11)
+	run("discussion", runDiscussion)
+}
+
+// measureCell averages fn over the seed vectors, stopping early when the
+// cell budget is exhausted. It reports the mean and how many seeds ran.
+func (e *env) measureCell(seeds []geom.Vector, fn func(w geom.Vector)) (time.Duration, int) {
+	var total time.Duration
+	done := 0
+	for _, w := range seeds {
+		t0 := time.Now()
+		fn(w)
+		total += time.Since(t0)
+		done++
+		if total > e.cellBudget {
+			break
+		}
+	}
+	if done == 0 {
+		return 0, 0
+	}
+	return total / time.Duration(done), done
+}
+
+func runParams(e *env) {
+	s := e.scale
+	fmt.Fprintf(e.out, "\n== Table 2: parameters, tested values, defaults ==\n")
+	fmt.Fprintf(e.out, "%-24s %v (default %d)\n", "Dataset cardinality |D|", s.Cardinalities, s.DefaultN)
+	fmt.Fprintf(e.out, "%-24s %v (default %d)\n", "Dimensionality d", s.Dims, s.DefaultD)
+	fmt.Fprintf(e.out, "%-24s %v (default %d)\n", "Parameter k", s.Ks, s.DefaultK)
+	fmt.Fprintf(e.out, "%-24s %v (default %d)\n", "Output size m", s.Ms, s.DefaultM)
+	fmt.Fprintf(e.out, "%-24s %d\n", "Seeds per measurement", s.Seeds)
+}

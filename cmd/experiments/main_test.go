@@ -1,0 +1,74 @@
+package main
+
+import (
+	"math"
+	"testing"
+
+	"ordu/internal/core"
+)
+
+func TestBallVolume(t *testing.T) {
+	// 2-ball (disk) of radius 1: pi. 3-ball: 4/3 pi.
+	if v := ballVolume(1, 2); math.Abs(v-math.Pi) > 1e-12 {
+		t.Errorf("disk volume = %g", v)
+	}
+	if v := ballVolume(1, 3); math.Abs(v-4*math.Pi/3) > 1e-12 {
+		t.Errorf("3-ball volume = %g", v)
+	}
+	// Scaling: volume ~ r^n.
+	if v := ballVolume(2, 3); math.Abs(v-8*ballVolume(1, 3)) > 1e-9 {
+		t.Errorf("3-ball scaling broken: %g", v)
+	}
+}
+
+func TestSideForBall(t *testing.T) {
+	// The cube with the ball's volume has side V^(1/n).
+	for _, n := range []int{2, 3, 6} {
+		r := 0.3
+		side := sideForBall(r, n)
+		if math.Abs(math.Pow(side, float64(n))-ballVolume(r, n)) > 1e-12 {
+			t.Errorf("n=%d: side %g does not match volume", n, side)
+		}
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("mean = %g", m)
+	}
+	if !math.IsNaN(mean(nil)) {
+		t.Error("mean of empty should be NaN")
+	}
+}
+
+func TestFmtCard(t *testing.T) {
+	cases := map[int]string{
+		500:        "500",
+		25_000:     "25K",
+		400_000:    "400K",
+		1_600_000:  "1.6M",
+		25_600_000: "25.6M",
+	}
+	for n, want := range cases {
+		if got := fmtCard(n); got != want {
+			t.Errorf("fmtCard(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestNameList(t *testing.T) {
+	recs := []core.Record{{ID: 2}, {ID: 0}}
+	names := nameList(recs, func(id int) string {
+		return []string{"alice", "bob", "carol"}[id]
+	})
+	if names[0] != "alice" || names[1] != "carol" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestRepeatInt(t *testing.T) {
+	r := repeatInt(7, 3)
+	if len(r) != 3 || r[0] != 7 || r[2] != 7 {
+		t.Errorf("repeatInt = %v", r)
+	}
+}

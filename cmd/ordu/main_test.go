@@ -1,0 +1,78 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseWeights(t *testing.T) {
+	w, err := parseWeights("2, 2, 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[0] != 0.25 || w[2] != 0.5 {
+		t.Fatalf("w = %v", w)
+	}
+	if _, err := parseWeights("1,x"); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := parseWeights("0,0"); err == nil {
+		t.Error("zero weights accepted")
+	}
+}
+
+func TestLoadRecordsCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.csv")
+	if err := os.WriteFile(path, []byte("1,10\n2,20\n3,15\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := loadRecords(path, "", 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || len(recs[0]) != 2 {
+		t.Fatalf("shape %dx%d", len(recs), len(recs[0]))
+	}
+	// Min-max normalised: column 0 holds 1,2,3 -> 0, 0.5, 1.
+	if recs[0][0] != 0 || recs[1][0] != 0.5 || recs[2][0] != 1 {
+		t.Fatalf("normalisation wrong: %v", recs)
+	}
+	// Column 1 holds 10,20,15 -> 0, 1, 0.5.
+	if recs[0][1] != 0 || recs[1][1] != 1 || math.Abs(recs[2][1]-0.5) > 1e-12 {
+		t.Fatalf("normalisation wrong: %v", recs)
+	}
+	if _, err := loadRecords(filepath.Join(dir, "missing.csv"), "", 0, 0, 1); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.csv")
+	os.WriteFile(bad, []byte("1,abc\n"), 0o644)
+	if _, err := loadRecords(bad, "", 0, 0, 1); err == nil {
+		t.Error("non-numeric cell accepted")
+	}
+}
+
+func TestLoadRecordsSynthetic(t *testing.T) {
+	recs, err := loadRecords("", "COR", 50, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 50 || len(recs[0]) != 3 {
+		t.Fatalf("shape %dx%d", len(recs), len(recs[0]))
+	}
+	// Default distribution when neither flag is set.
+	recs, err = loadRecords("", "", 10, 2, 7)
+	if err != nil || len(recs) != 10 {
+		t.Fatalf("default gen failed: %v", err)
+	}
+}
+
+func TestShortFormat(t *testing.T) {
+	s := short([]float64{0.1234, 1})
+	if !strings.HasPrefix(s, "[0.123") || !strings.Contains(s, "1.000") {
+		t.Fatalf("short = %q", s)
+	}
+}

@@ -1,0 +1,3 @@
+module ordu
+
+go 1.22

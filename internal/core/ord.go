@@ -1,0 +1,170 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"ordu/internal/geom"
+	"ordu/internal/rtree"
+	"ordu/internal/skyband"
+)
+
+// cand is a candidate record with its inflection radius.
+type cand struct {
+	rec   Record
+	rho   float64
+	score float64
+}
+
+// candHeap is a max-heap by inflection radius: the root is the eviction
+// victim. Ties break towards evicting the lower-scoring record, then the
+// larger id, keeping ORD and ORD-BSL deterministic and mutually consistent.
+type candHeap []cand
+
+func (h candHeap) Len() int { return len(h) }
+func (h candHeap) Less(i, j int) bool {
+	if h[i].rho != h[j].rho {
+		return h[i].rho > h[j].rho
+	}
+	if h[i].score != h[j].score {
+		return h[i].score < h[j].score
+	}
+	return h[i].rec.ID > h[j].rec.ID
+}
+func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(cand)) }
+func (h *candHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// ORD computes the paper's first operator (Definition 1): the records
+// rho-dominated by fewer than k others for the minimum radius rho around w
+// that yields exactly m records.
+//
+// This is the fully-enhanced algorithm of Section 4.2: a progressive
+// k-skyband retrieval in decreasing score order for w, whose dominance test
+// switches to adaptive rho-bar-dominance once m+1 candidates have been
+// fetched; rho-bar (the largest inflection radius among the best m
+// candidates) shrinks as better candidates arrive, making the retrieval
+// increasingly selective until the heap dries up.
+func ORD(tree *rtree.Tree, w geom.Vector, k, m int) (*ORDResult, error) {
+	if err := validate(tree, w, k, m); err != nil {
+		return nil, err
+	}
+	sc := skyband.NewScanner(tree, w)
+	pruner := skyband.NewRhoPruner(w, k)
+	var cands candHeap
+
+	for {
+		id, p, ok := sc.Next(pruner)
+		if !ok {
+			break
+		}
+		// Exact inflection radius: all already-fetched records (and only
+		// they) score at least as high as p.
+		rho := inflectionAgainst(w, p, pruner, k)
+		pruner.Add(p)
+		if math.IsInf(rho, 1) || rho >= pruner.Rho {
+			// Cannot enter the current rho-bar-skyband (possible on the
+			// exact boundary); it still remains a registered dominator.
+			continue
+		}
+		heap.Push(&cands, cand{rec: Record{ID: id, Point: p}, rho: rho, score: p.Dot(w)})
+		if cands.Len() > m {
+			heap.Pop(&cands) // evict the largest inflection radius
+			pruner.Rho = cands[0].rho
+		}
+	}
+	if cands.Len() < m {
+		return nil, ErrInsufficientData
+	}
+	res := &ORDResult{Stats: Stats{HeapPops: sc.Visited(), Fetched: pruner.Size()}}
+	out := make([]cand, cands.Len())
+	copy(out, cands)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].rho != out[j].rho {
+			return out[i].rho < out[j].rho
+		}
+		if out[i].score != out[j].score {
+			return out[i].score > out[j].score
+		}
+		return out[i].rec.ID < out[j].rec.ID
+	})
+	for _, c := range out {
+		res.Records = append(res.Records, c.rec)
+		res.Radii = append(res.Radii, c.rho)
+	}
+	res.Rho = res.Radii[len(res.Radii)-1]
+	return res, nil
+}
+
+// inflectionAgainst computes the inflection radius of p against the records
+// registered in the pruner (exactly the higher-scoring fetched records).
+func inflectionAgainst(w geom.Vector, p geom.Vector, pruner *skyband.RhoPruner, k int) float64 {
+	recs := pruner.Records()
+	if len(recs) < k {
+		return 0
+	}
+	mds := make([]float64, len(recs))
+	for i, r := range recs {
+		mds[i] = skyband.Mindist(w, p, r)
+	}
+	return skyband.InflectionRadius(mds, k)
+}
+
+// ORDBSL is the preliminary approach of Section 4.1: compute the entire
+// k-skyband, derive every member's inflection radius, and keep the m
+// smallest. It serves as the paper's ORD-BSL baseline and as a reference
+// implementation for testing the enhanced algorithm.
+func ORDBSL(tree *rtree.Tree, w geom.Vector, k, m int) (*ORDResult, error) {
+	if err := validate(tree, w, k, m); err != nil {
+		return nil, err
+	}
+	members := skyband.KSkybandFor(tree, w, k)
+	if len(members) < m {
+		return nil, ErrInsufficientData
+	}
+	out := make([]cand, 0, len(members))
+	for i, mem := range members {
+		// Members arrive in decreasing score order: competitors are the
+		// earlier ones.
+		mds := make([]float64, 0, i)
+		for j := 0; j < i; j++ {
+			mds = append(mds, skyband.Mindist(w, mem.Point, members[j].Point))
+		}
+		rho := skyband.InflectionRadius(mds, k)
+		if math.IsInf(rho, 1) {
+			continue
+		}
+		out = append(out, cand{
+			rec:   Record{ID: mem.ID, Point: mem.Point},
+			rho:   rho,
+			score: mem.Point.Dot(w),
+		})
+	}
+	if len(out) < m {
+		return nil, ErrInsufficientData
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].rho != out[j].rho {
+			return out[i].rho < out[j].rho
+		}
+		if out[i].score != out[j].score {
+			return out[i].score > out[j].score
+		}
+		return out[i].rec.ID < out[j].rec.ID
+	})
+	out = out[:m]
+	res := &ORDResult{Stats: Stats{Fetched: len(members)}}
+	for _, c := range out {
+		res.Records = append(res.Records, c.rec)
+		res.Radii = append(res.Radii, c.rho)
+	}
+	res.Rho = res.Radii[len(res.Radii)-1]
+	return res, nil
+}

@@ -1,0 +1,503 @@
+package core
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+	"sort"
+
+	"ordu/internal/geom"
+	"ordu/internal/hull"
+	"ordu/internal/region"
+	"ordu/internal/rtree"
+	"ordu/internal/skyband"
+)
+
+// ErrBudgetExceeded is returned by budgeted baselines (ORU-BSL) when the
+// region budget is exhausted before the answer is complete, mirroring the
+// paper's "fails to terminate within reasonable time" entries.
+var ErrBudgetExceeded = errors.New("core: region budget exceeded")
+
+// regionNode is one node of the implicit tree of Section 5.3.1: a
+// preference region with its known (order-sensitive) top-i result.
+type regionNode struct {
+	reg     region.Region
+	top     []int
+	deepest int // deepest layer index among the top records
+	mindist float64
+	witness geom.Vector // the point of the region closest to the seed
+	seq     int         // FIFO tie-break for deterministic exploration
+}
+
+type nodeHeap []*regionNode
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].mindist != h[j].mindist {
+		return h[i].mindist < h[j].mindist
+	}
+	return h[i].seq < h[j].seq
+}
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*regionNode)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// explorer walks the implicit region tree best-first by mindist from the
+// seed, partitioning regions by Theorem 1 until their top-k is known. It is
+// shared by ORU (ball mode: expand until m distinct records) and by the
+// fixed-region JAA adaptation (clip mode: enumerate every region
+// intersecting a given polytope).
+type explorer struct {
+	w      geom.Vector
+	k      int
+	layers *hull.Layers
+	h      nodeHeap
+	pushed map[int]bool   // layer-0 members whose top-region was pushed
+	clip   *region.Region // nil: unrestricted (ball mode)
+	seq    int
+	stats  Stats
+
+	outSet   map[int]bool
+	records  []Record
+	regions  []TopKRegion
+	budget   int  // max partitionings; 0 = unlimited
+	noBypass bool // ablation: always build L_upd hulls, even for tiny unions
+}
+
+// newExplorer builds an explorer over the candidate records.
+func newExplorer(cands []skyband.Member, w geom.Vector, k int, clip *region.Region) *explorer {
+	ids := make([]int, len(cands))
+	pts := make([]geom.Vector, len(cands))
+	for i, c := range cands {
+		ids[i] = c.ID
+		pts[i] = c.Point
+	}
+	return &explorer{
+		w:      w,
+		k:      k,
+		layers: hull.NewLayers(ids, pts),
+		pushed: make(map[int]bool),
+		clip:   clip,
+		outSet: make(map[int]bool),
+	}
+}
+
+// seed pushes the layer-0 top-region containing the start point (the seed
+// vector for ORU; a point of the clip polytope for JAA).
+func (e *explorer) seed() bool {
+	l0 := e.layers.Layer(0)
+	if l0 == nil || len(l0.MemberIDs) == 0 {
+		return false
+	}
+	at := e.w
+	if e.clip != nil && !e.clip.Contains(at) {
+		p, ok := e.clip.FeasiblePoint()
+		if !ok {
+			return false
+		}
+		at = p
+	}
+	best, bestScore := -1, math.Inf(-1)
+	for _, id := range l0.MemberIDs {
+		if s := e.layers.Point(id).Dot(at); s > bestScore {
+			best, bestScore = id, s
+		}
+	}
+	e.pushL1(best)
+	return true
+}
+
+// pushL1 pushes the top-region of a layer-0 member, once.
+func (e *explorer) pushL1(id int) {
+	if e.pushed[id] {
+		return
+	}
+	e.pushed[id] = true
+	l0 := e.layers.Layer(0)
+	reg := region.Full(len(e.w))
+	for _, a := range l0.Adj[id] {
+		reg.Hs = append(reg.Hs, region.Beat(e.layers.Point(id), e.layers.Point(a)))
+	}
+	e.push(&regionNode{reg: reg, top: []int{id}, deepest: 0})
+}
+
+// push computes the node's mindist (within the clip, when set) and enqueues
+// it; empty regions are dropped.
+func (e *explorer) push(n *regionNode) {
+	reg := n.reg
+	if e.clip != nil {
+		reg = reg.With(e.clip.Hs...)
+	}
+	dist, closest, ok := reg.MinDist(e.w)
+	if !ok {
+		return
+	}
+	n.mindist = dist
+	n.witness = closest
+	n.seq = e.seq
+	e.seq++
+	heap.Push(&e.h, n)
+}
+
+// explore runs the best-first loop. With targetM > 0 it stops as soon as
+// that many distinct records are confirmed; with targetM == 0 it exhausts
+// the heap (clip mode / full enumeration). It reports whether the target
+// was reached (always true for targetM == 0 unless the budget tripped).
+func (e *explorer) explore(targetM int) (complete bool, err error) {
+	for e.h.Len() > 0 {
+		n := heap.Pop(&e.h).(*regionNode)
+		if len(n.top) == 1 {
+			// Lazily extend the root level along layer-0 adjacency whenever
+			// a top-1 region is popped — including under k = 1, where the
+			// region is also finalized immediately.
+			l0 := e.layers.Layer(0)
+			for _, a := range l0.Adj[n.top[0]] {
+				e.pushL1(a)
+			}
+		}
+		if len(n.top) >= e.k {
+			e.finalize(n)
+			if targetM > 0 && len(e.records) >= targetM {
+				return true, nil
+			}
+			continue
+		}
+		if e.budget > 0 && e.stats.RegionsPartitioned >= e.budget {
+			return false, ErrBudgetExceeded
+		}
+		e.stats.RegionsPartitioned++
+		children := e.partition(n)
+		if children == nil {
+			// Candidates exhausted inside this region: the top list cannot
+			// grow further; finalize it short (only possible when the
+			// candidate set is smaller than k).
+			e.finalize(n)
+			if targetM > 0 && len(e.records) >= targetM {
+				return true, nil
+			}
+			continue
+		}
+		for _, c := range children {
+			e.push(c)
+		}
+	}
+	return targetM == 0, nil
+}
+
+// partition applies Theorem 1 to a popped region: the next-ranked record
+// anywhere in it comes from Set (i) (records adjacent to a top member in
+// its own layer) or Set (ii) (next-layer records whose top-region overlaps
+// the region). It returns one child per possible next record, or nil when
+// no next record exists.
+func (e *explorer) partition(n *regionNode) []*regionNode {
+	inTop := make(map[int]bool, len(n.top))
+	for _, id := range n.top {
+		inTop[id] = true
+	}
+	cand := make(map[int]bool)
+	// Set (i): adjacent records of each top member within its layer.
+	for _, id := range n.top {
+		li, ok := e.layers.LayerOf(id)
+		if !ok {
+			continue
+		}
+		u := e.layers.Layer(li)
+		for _, a := range u.Adj[id] {
+			if !inTop[a] {
+				cand[a] = true
+			}
+		}
+	}
+	// Set (ii): next-layer records whose top-region overlaps n.reg. The
+	// top-regions of a layer tile the preference domain, so the members
+	// overlapping a convex region form a connected patch of the adjacency
+	// graph: start from the member that tops the region's witness point
+	// and flood outward, running the (QP) overlap test only along the
+	// frontier instead of for every member of the layer.
+	if lnext := e.layers.Layer(n.deepest + 1); lnext != nil && len(lnext.MemberIDs) > 0 {
+		start, bestScore := -1, math.Inf(-1)
+		for _, id := range lnext.MemberIDs {
+			if s := e.layers.Point(id).Dot(n.witness); s > bestScore {
+				start, bestScore = id, s
+			}
+		}
+		visited := map[int]bool{start: true}
+		queue := []int{start}
+		for len(queue) > 0 {
+			id := queue[0]
+			queue = queue[1:]
+			probe := n.reg.With(beatAll(e.layers, id, lnext.Adj[id])...)
+			if probe.Empty() {
+				continue
+			}
+			cand[id] = true
+			for _, a := range lnext.Adj[id] {
+				if !visited[a] {
+					visited[a] = true
+					queue = append(queue, a)
+				}
+			}
+		}
+	}
+	if len(cand) == 0 {
+		return nil
+	}
+	// L_upd: the upper hull of the candidate union; its top-regions
+	// partition n.reg by the identity of the next-ranked record (Lemma 2).
+	ids := make([]int, 0, len(cand))
+	for id := range cand {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var memberIDs []int
+	adjOf := func(id int) []int { return nil }
+	// Above d=4 the facet count of an upper hull grows so fast (Upper Bound
+	// Theorem) that the all-pairs formulation wins for any union size the
+	// search produces in practice.
+	bypass := 8
+	if len(e.w) >= 5 {
+		bypass = 1 << 30
+	}
+	if e.noBypass {
+		bypass = 0
+	}
+	if len(ids) <= bypass {
+		// Small unions: skip the hull and constrain each candidate against
+		// all the others. Non-extreme candidates simply yield empty child
+		// regions, which the push discards — same partition, fewer QPs than
+		// the hull's membership tests would cost.
+		memberIDs = ids
+		adjOf = func(id int) []int {
+			others := make([]int, 0, len(ids)-1)
+			for _, o := range ids {
+				if o != id {
+					others = append(others, o)
+				}
+			}
+			return others
+		}
+	} else {
+		pts := make([]geom.Vector, len(ids))
+		for i, id := range ids {
+			pts[i] = e.layers.Point(id)
+		}
+		upd := hull.ComputeUpper(ids, pts)
+		memberIDs = upd.MemberIDs
+		adjOf = func(id int) []int { return upd.Adj[id] }
+	}
+	var children []*regionNode
+	for _, id := range memberIDs {
+		childReg := n.reg.With(beatAll(e.layers, id, adjOf(id))...)
+		deepest := n.deepest
+		if li, ok := e.layers.LayerOf(id); ok && li > deepest {
+			deepest = li
+		}
+		top := append(append([]int(nil), n.top...), id)
+		children = append(children, &regionNode{reg: childReg, top: top, deepest: deepest})
+	}
+	return children
+}
+
+func beatAll(ls *hull.Layers, id int, others []int) []region.Halfspace {
+	hs := make([]region.Halfspace, 0, len(others))
+	p := ls.Point(id)
+	for _, o := range others {
+		hs = append(hs, region.Beat(p, ls.Point(o)))
+	}
+	return hs
+}
+
+// finalize records a completed region and its newly confirmed records.
+func (e *explorer) finalize(n *regionNode) {
+	e.stats.RegionsFinalized++
+	tk := make([]Record, len(n.top))
+	for i, id := range n.top {
+		tk[i] = Record{ID: id, Point: e.layers.Point(id)}
+		if !e.outSet[id] {
+			e.outSet[id] = true
+			e.records = append(e.records, Record{ID: id, Point: e.layers.Point(id)})
+		}
+	}
+	e.regions = append(e.regions, TopKRegion{Region: n.reg, TopK: tk, MinDist: n.mindist})
+}
+
+// estimateRhoBar produces the initial radius overestimate of Section 5.3:
+// the radius at which the incremental rho-skyline's upper hull first holds
+// `target` extreme vertices. exhausted reports that the skyline ran dry
+// first (the returned radius is then +Inf, i.e. the whole k-skyband is the
+// candidate set).
+func estimateRhoBar(tree *rtree.Tree, w geom.Vector, target int) (rhoBar float64, exhausted bool, fetched int) {
+	ird := skyband.NewIRD(tree, w, 1)
+	b := hull.NewBuilder(tree.Dim())
+	rho := 0.0
+	for {
+		rel, ok := ird.Next()
+		if !ok {
+			return math.Inf(1), true, fetched
+		}
+		fetched++
+		b.Add(rel.ID, rel.Point)
+		rho = rel.Radius
+		// The vertex count cannot reach the target before `target` records
+		// were fetched; past that, the exact (QP-backed) count is checked
+		// only every few fetches — overshooting the stop by a handful of
+		// skyline records merely loosens the (already over-) estimate.
+		if fetched >= target && (fetched-target)%8 == 0 && b.VertexCount() >= target {
+			return rho, false, fetched
+		}
+	}
+}
+
+// ORU computes the paper's second operator (Definition 2): the records in
+// the top-k result of at least one preference vector within distance rho of
+// w, for the minimum rho yielding exactly m records — reporting, as a
+// by-product, every order-sensitive top-k result with its region.
+//
+// This is the complete algorithm of Section 5.3: rho-bar estimation via the
+// incremental rho-skyline, candidate restriction to the rho-bar-skyband,
+// and best-first exploration of the implicit region tree with lazily
+// computed upper-hull layers. Should the estimate ever prove too small
+// (possible only on degenerate inputs), the estimation target is doubled
+// and the search restarted, preserving exactness.
+func ORU(tree *rtree.Tree, w geom.Vector, k, m int) (*ORUResult, error) {
+	return ORUWith(tree, w, k, m, ORUOptions{})
+}
+
+// ORUOptions tune the complete ORU algorithm; the zero value is the
+// configuration evaluated in the paper.
+type ORUOptions struct {
+	// NoPartitionBypass disables the small-union shortcut in Theorem-1
+	// partitioning (used by the ablation benchmarks): every partitioning
+	// builds an explicit L_upd upper hull.
+	NoPartitionBypass bool
+	// Workers > 1 partitions regions concurrently — the parallelisation
+	// direction of Section 6.4. The output is identical to the sequential
+	// algorithm; only wall-clock changes.
+	Workers int
+}
+
+// ORUWith is ORU with explicit algorithm options.
+func ORUWith(tree *rtree.Tree, w geom.Vector, k, m int, opts ORUOptions) (*ORUResult, error) {
+	if err := validate(tree, w, k, m); err != nil {
+		return nil, err
+	}
+	target := m
+	for {
+		rhoBar, exhausted, fetched := estimateRhoBar(tree, w, target)
+		cands := skyband.RhoSkyband(tree, w, k, rhoBar)
+		ex := newExplorer(cands, w, k, nil)
+		ex.noBypass = opts.NoPartitionBypass
+		ex.stats.Fetched = fetched + len(cands)
+		if ex.seed() {
+			var complete bool
+			if opts.Workers > 1 {
+				complete, _ = ex.exploreParallel(m, opts.Workers)
+			} else {
+				complete, _ = ex.explore(m)
+			}
+			if complete {
+				ex.stats.LayersComputed = ex.layers.Computed()
+				return ex.result(), nil
+			}
+		}
+		if exhausted {
+			return nil, ErrInsufficientData
+		}
+		target *= 2
+	}
+}
+
+// result assembles the ORUResult from the explorer state.
+func (e *explorer) result() *ORUResult {
+	res := &ORUResult{
+		Records: e.records,
+		Regions: e.regions,
+		Stats:   e.stats,
+	}
+	if len(e.regions) > 0 {
+		res.Rho = e.regions[len(e.regions)-1].MinDist
+	}
+	return res
+}
+
+// EnumerateWithin enumerates every (order-sensitive) top-k result
+// attainable for a preference vector inside the clip polytope, over the
+// given candidate records (which must be a superset of all records
+// appearing in such top-k results, e.g. the clip's R-skyband [54]). It
+// powers the fixed-region JAA adaptation used as the paper's ORU
+// competitor (Section 6.3).
+func EnumerateWithin(cands []skyband.Member, w geom.Vector, k int, clip region.Region) ([]Record, []TopKRegion, error) {
+	ex := newExplorer(cands, w, k, &clip)
+	if !ex.seed() {
+		return nil, nil, nil
+	}
+	if _, err := ex.explore(0); err != nil {
+		return nil, nil, err
+	}
+	return ex.records, ex.regions, nil
+}
+
+// ORUBSL is the paper's ORU baseline: it uses the same rho-bar estimate,
+// but materialises every upper-hull layer of the entire candidate set
+// upfront, pushes every layer-1 top-region, and partitions all of them
+// exhaustively before reporting the m-sized union of top-k records of the
+// closest regions — no gradual expansion in either radius or layer depth.
+// budget caps the number of partitionings (0 = unlimited); when exceeded,
+// ErrBudgetExceeded is returned, the analogue of the paper's DNF entries.
+func ORUBSL(tree *rtree.Tree, w geom.Vector, k, m int, budget int) (*ORUResult, error) {
+	if err := validate(tree, w, k, m); err != nil {
+		return nil, err
+	}
+	rhoBar, _, fetched := estimateRhoBar(tree, w, m)
+	cands := skyband.RhoSkyband(tree, w, k, rhoBar)
+	ex := newExplorer(cands, w, k, nil)
+	ex.stats.Fetched = fetched + len(cands)
+	ex.budget = budget
+	// Materialise all layers upfront (the baseline's defining waste).
+	for t := 0; ex.layers.Layer(t) != nil; t++ {
+	}
+	ex.stats.LayersComputed = ex.layers.Computed()
+	l0 := ex.layers.Layer(0)
+	if l0 == nil {
+		return nil, ErrInsufficientData
+	}
+	for _, id := range l0.MemberIDs {
+		ex.pushL1(id)
+	}
+	// Exhaust the heap: partition everything reachable.
+	if _, err := ex.explore(0); err != nil {
+		return nil, err
+	}
+	// Sort finalized regions by mindist and take the union until m records.
+	sort.Slice(ex.regions, func(i, j int) bool {
+		return ex.regions[i].MinDist < ex.regions[j].MinDist
+	})
+	res := &ORUResult{Stats: ex.stats}
+	seen := map[int]bool{}
+	for _, reg := range ex.regions {
+		res.Regions = append(res.Regions, reg)
+		added := false
+		for _, r := range reg.TopK {
+			if !seen[r.ID] {
+				seen[r.ID] = true
+				res.Records = append(res.Records, r)
+				added = true
+			}
+		}
+		_ = added
+		res.Rho = reg.MinDist
+		if len(res.Records) >= m {
+			break
+		}
+	}
+	if len(res.Records) < m {
+		return nil, ErrInsufficientData
+	}
+	return res, nil
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// exploreParallel is the parallel variant of explore, implementing the
+// parallelisation the paper proposes in Section 6.4: multiple regions are
+// popped from the min-heap and partitioned concurrently, since determining
+// the next-ranked records in each region is independent of the others.
+//
+// Correctness relies on two facts. First, partitioning emits no output, so
+// reordering partition *work* cannot perturb the answer; only finalizations
+// (Case 2) must happen in global mindist order. The loop therefore batches
+// consecutive Case-1 pops — all with mindist no larger than the heap's
+// remaining minimum — and fully drains the batch (pushing every child)
+// before the next Case-2 node is popped. Second, lazy layer materialisation
+// is hoisted out of the parallel section: every layer a batched partition
+// may touch is computed up front, so workers only read shared state.
+func (e *explorer) exploreParallel(targetM, workers int) (complete bool, err error) {
+	for e.h.Len() > 0 {
+		// Collect a batch of Case-1 nodes from the top of the heap. New
+		// layer-0 regions pushed along the way are themselves Case-1 (for
+		// k > 1), and ordering among Case-1 partitions is free.
+		var batch []*regionNode
+		for len(batch) < workers && e.h.Len() > 0 && len(e.h[0].top) < e.k {
+			n := heap.Pop(&e.h).(*regionNode)
+			if len(n.top) == 1 {
+				l0 := e.layers.Layer(0)
+				for _, a := range l0.Adj[n.top[0]] {
+					e.pushL1(a)
+				}
+			}
+			batch = append(batch, n)
+		}
+		if len(batch) > 0 {
+			if e.budget > 0 && e.stats.RegionsPartitioned+len(batch) > e.budget {
+				return false, ErrBudgetExceeded
+			}
+			// Hoist lazy layer computation: materialise every layer the
+			// batch can touch before going parallel.
+			maxDeepest := 0
+			for _, n := range batch {
+				if n.deepest > maxDeepest {
+					maxDeepest = n.deepest
+				}
+			}
+			e.layers.Layer(maxDeepest + 1) // may be nil; that is fine
+			children := make([][]*regionNode, len(batch))
+			var wg sync.WaitGroup
+			for i, n := range batch {
+				wg.Add(1)
+				go func(i int, n *regionNode) {
+					defer wg.Done()
+					children[i] = e.partition(n)
+				}(i, n)
+			}
+			wg.Wait()
+			e.stats.RegionsPartitioned += len(batch)
+			for i, n := range batch {
+				if children[i] == nil {
+					e.finalize(n)
+					if targetM > 0 && len(e.records) >= targetM {
+						return true, nil
+					}
+					continue
+				}
+				for _, c := range children[i] {
+					e.push(c)
+				}
+			}
+			continue
+		}
+		// Heap top is a finalized-depth region: handle sequentially.
+		n := heap.Pop(&e.h).(*regionNode)
+		if len(n.top) == 1 {
+			l0 := e.layers.Layer(0)
+			for _, a := range l0.Adj[n.top[0]] {
+				e.pushL1(a)
+			}
+		}
+		e.finalize(n)
+		if targetM > 0 && len(e.records) >= targetM {
+			return true, nil
+		}
+	}
+	return targetM == 0, nil
+}

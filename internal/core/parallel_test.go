@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"ordu/internal/geom"
+	"ordu/internal/rtree"
+)
+
+// TestParallelORUMatchesSequential: the Section 6.4 parallelisation must be
+// a pure wall-clock optimisation — identical records, radius, and region
+// count, across dimensions and k values.
+func TestParallelORUMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	for trial := 0; trial < 6; trial++ {
+		d := 2 + trial%3
+		k := 1 + trial%3
+		m := k + 6 + trial
+		pts := antiPoints(rng, 250, d)
+		tr := rtree.BulkLoad(pts)
+		w := geom.RandSimplex(rng, d)
+		seqRes, errA := ORUWith(tr, w, k, m, ORUOptions{})
+		parRes, errB := ORUWith(tr, w, k, m, ORUOptions{Workers: 4})
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("trial %d: error mismatch %v vs %v", trial, errA, errB)
+		}
+		if errA != nil {
+			continue
+		}
+		if math.Abs(seqRes.Rho-parRes.Rho) > 1e-9 {
+			t.Fatalf("trial %d: rho %g vs %g", trial, seqRes.Rho, parRes.Rho)
+		}
+		if len(seqRes.Records) != len(parRes.Records) {
+			t.Fatalf("trial %d: %d vs %d records", trial, len(seqRes.Records), len(parRes.Records))
+		}
+		ss, ps := idSet(seqRes.Records), idSet(parRes.Records)
+		for id := range ss {
+			if !ps[id] {
+				t.Fatalf("trial %d: id %d missing from parallel output", trial, id)
+			}
+		}
+		if len(seqRes.Regions) != len(parRes.Regions) {
+			t.Fatalf("trial %d: region counts %d vs %d", trial,
+				len(seqRes.Regions), len(parRes.Regions))
+		}
+		// Region finalization order must agree too.
+		for i := range seqRes.Regions {
+			if math.Abs(seqRes.Regions[i].MinDist-parRes.Regions[i].MinDist) > 1e-9 {
+				t.Fatalf("trial %d: region %d mindist %g vs %g", trial, i,
+					seqRes.Regions[i].MinDist, parRes.Regions[i].MinDist)
+			}
+		}
+	}
+}
+
+// TestParallelORUWorkerCounts exercises various worker counts including
+// more workers than cores.
+func TestParallelORUWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	pts := antiPoints(rng, 300, 3)
+	tr := rtree.BulkLoad(pts)
+	w := geom.RandSimplex(rng, 3)
+	base, err := ORU(tr, w, 3, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, runtime.NumCPU() + 2} {
+		res, err := ORUWith(tr, w, 3, 15, ORUOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if math.Abs(res.Rho-base.Rho) > 1e-9 || len(res.Records) != len(base.Records) {
+			t.Fatalf("workers=%d diverged", workers)
+		}
+	}
+}

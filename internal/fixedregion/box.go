@@ -1,0 +1,103 @@
+package fixedregion
+
+import (
+	"math"
+	"sort"
+
+	"ordu/internal/geom"
+	"ordu/internal/region"
+)
+
+// BoxRegion is a hypercube preference region around a centre, intersected
+// with the simplex. It carries the interval bounds explicitly so that
+// linear minimisation — the workhorse of R-dominance tests — runs in
+// closed form (a fractional-knapsack argument) instead of a general LP.
+type BoxRegion struct {
+	Center geom.Vector
+	Side   float64
+	lo, hi []float64
+}
+
+// NewBox builds the hypercube region |v_i - c_i| <= side/2 on the simplex.
+func NewBox(c geom.Vector, side float64) *BoxRegion {
+	d := len(c)
+	b := &BoxRegion{Center: c.Clone(), Side: side, lo: make([]float64, d), hi: make([]float64, d)}
+	for i := 0; i < d; i++ {
+		b.lo[i] = math.Max(0, c[i]-side/2)
+		b.hi[i] = math.Min(1, c[i]+side/2)
+	}
+	return b
+}
+
+// Region converts the box to the general halfspace representation used by
+// the region-partitioning machinery.
+func (b *BoxRegion) Region() region.Region {
+	return region.Box(b.Center, b.Side)
+}
+
+// Feasible reports whether the box intersects the simplex.
+func (b *BoxRegion) Feasible() bool {
+	sumLo, sumHi := 0.0, 0.0
+	for i := range b.lo {
+		sumLo += b.lo[i]
+		sumHi += b.hi[i]
+	}
+	return sumLo <= 1+1e-12 && sumHi >= 1-1e-12
+}
+
+// MinOver minimises a.v over the box-simplex intersection in closed form:
+// starting from the interval lower bounds, the remaining simplex mass is
+// assigned greedily to the coordinates with the smallest coefficients.
+// ok is false when the region is empty.
+func (b *BoxRegion) MinOver(a geom.Vector) (float64, bool) {
+	if !b.Feasible() {
+		return 0, false
+	}
+	d := len(a)
+	rem := 1.0
+	val := 0.0
+	for i := 0; i < d; i++ {
+		val += a[i] * b.lo[i]
+		rem -= b.lo[i]
+	}
+	if rem < 0 {
+		return 0, false
+	}
+	order := make([]int, d)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool { return a[order[x]] < a[order[y]] })
+	for _, i := range order {
+		if rem <= 0 {
+			break
+		}
+		room := b.hi[i] - b.lo[i]
+		take := math.Min(room, rem)
+		val += a[i] * take
+		rem -= take
+	}
+	if rem > 1e-9 {
+		return 0, false // box too small to absorb the simplex mass
+	}
+	return val, true
+}
+
+// RDominatesBox is RDominates specialised to hypercube regions via the
+// closed-form minimiser: ri scores at least as high as rj everywhere in
+// the box (and strictly higher somewhere).
+func RDominatesBox(b *BoxRegion, ri, rj geom.Vector) bool {
+	diff := ri.Sub(rj)
+	lo, ok := b.MinOver(diff)
+	if !ok || lo < -1e-12 {
+		return false
+	}
+	for i := range diff {
+		diff[i] = -diff[i]
+	}
+	hi, ok := b.MinOver(diff)
+	if !ok {
+		return false
+	}
+	return -hi > 1e-12
+}

@@ -1,0 +1,65 @@
+package fixedregion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ordu/internal/geom"
+)
+
+// TestBoxMinOverMatchesLP cross-checks the closed-form box minimiser
+// against the general LP solver on random boxes and objectives.
+func TestBoxMinOverMatchesLP(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for iter := 0; iter < 300; iter++ {
+		d := 2 + rng.Intn(5)
+		c := geom.RandSimplex(rng, d)
+		side := 0.05 + 0.5*rng.Float64()
+		box := NewBox(c, side)
+		a := make(geom.Vector, d)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		gv, gok := box.MinOver(a)
+		lv, lok := MinOver(box.Region(), a)
+		if gok != lok {
+			t.Fatalf("iter %d: greedy ok=%v, LP ok=%v (side=%g)", iter, gok, lok, side)
+		}
+		if gok && math.Abs(gv-lv) > 1e-7 {
+			t.Fatalf("iter %d: greedy %g, LP %g", iter, gv, lv)
+		}
+	}
+}
+
+func TestBoxRDominanceMatchesGeneral(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	for iter := 0; iter < 200; iter++ {
+		d := 2 + rng.Intn(3)
+		c := geom.RandSimplex(rng, d)
+		box := NewBox(c, 0.1+0.3*rng.Float64())
+		ri := make(geom.Vector, d)
+		rj := make(geom.Vector, d)
+		for i := 0; i < d; i++ {
+			ri[i] = rng.Float64()
+			rj[i] = rng.Float64()
+		}
+		if RDominatesBox(box, ri, rj) != RDominates(box.Region(), ri, rj) {
+			t.Fatalf("iter %d: box and general R-dominance disagree", iter)
+		}
+	}
+}
+
+func TestBoxFeasibility(t *testing.T) {
+	// A tiny box at a simplex corner that excludes the simplex plane.
+	b := NewBox(geom.Vector{0.05, 0.05, 0.05}, 0.02)
+	if b.Feasible() {
+		t.Error("box far below the simplex plane reported feasible")
+	}
+	if _, ok := b.MinOver(geom.Vector{1, 0, 0}); ok {
+		t.Error("MinOver on infeasible box returned ok")
+	}
+	if NewBox(geom.Vector{0.3, 0.3, 0.4}, 0.1).Feasible() != true {
+		t.Error("centred box must be feasible")
+	}
+}

@@ -1,0 +1,168 @@
+package fixedregion
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ordu/internal/geom"
+	"ordu/internal/region"
+	"ordu/internal/rtree"
+)
+
+func randPoints(rng *rand.Rand, n, d int) []geom.Vector {
+	pts := make([]geom.Vector, n)
+	for i := range pts {
+		p := make(geom.Vector, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestMinOver(t *testing.T) {
+	reg := region.Full(2)
+	// min of v1 over the simplex is 0, min of -v1 is -1.
+	if v, ok := MinOver(reg, geom.Vector{1, 0}); !ok || math.Abs(v) > 1e-9 {
+		t.Errorf("min v1 = %g ok=%v", v, ok)
+	}
+	if v, ok := MinOver(reg, geom.Vector{-1, 0}); !ok || math.Abs(v+1) > 1e-9 {
+		t.Errorf("min -v1 = %g ok=%v", v, ok)
+	}
+	// Over a box around (0.5,0.5) with side 0.2, min v1 = 0.4.
+	boxed := region.Box(geom.Vector{0.5, 0.5}, 0.2)
+	if v, ok := MinOver(boxed, geom.Vector{1, 0}); !ok || math.Abs(v-0.4) > 1e-9 {
+		t.Errorf("boxed min v1 = %g ok=%v", v, ok)
+	}
+}
+
+func TestRDominates(t *testing.T) {
+	reg := region.Box(geom.Vector{0.5, 0.5}, 0.2)
+	hi := geom.Vector{0.8, 0.8}
+	lo := geom.Vector{0.3, 0.3}
+	if !RDominates(reg, hi, lo) {
+		t.Error("coordinate dominance must imply R-dominance")
+	}
+	if RDominates(reg, lo, hi) {
+		t.Error("reverse R-dominance")
+	}
+	// Incomparable records: a=(1,0) beats b=(0.4,0.5) exactly when
+	// v1/v2 >= 5/6, i.e. v1 >= 5/11 ~ 0.4545. Within the box v1 ranges
+	// [0.4, 0.6]: neither R-dominates the other.
+	a := geom.Vector{1, 0}
+	b := geom.Vector{0.4, 0.5}
+	if RDominates(reg, a, b) || RDominates(reg, b, a) {
+		t.Error("incomparable-within-R records must not R-dominate")
+	}
+	// A narrow box on a's side: a R-dominates b.
+	narrow := region.Box(geom.Vector{0.8, 0.2}, 0.1)
+	if !RDominates(narrow, a, b) {
+		t.Error("a must R-dominate b in the narrow box")
+	}
+}
+
+func TestRSkybandMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 4; trial++ {
+		d := 2 + trial%3
+		k := 1 + trial%2
+		pts := randPoints(rng, 150, d)
+		tr := rtree.BulkLoad(pts)
+		w := geom.RandSimplex(rng, d)
+		box := NewBox(w, 0.15)
+		reg := box.Region()
+		got := RSkyband(tr, w, box, k)
+		gotIDs := map[int]bool{}
+		for _, g := range got {
+			gotIDs[g.ID] = true
+		}
+		for i, p := range pts {
+			dom := 0
+			for j, q := range pts {
+				if i != j && (q.Dominates(p) || RDominates(reg, q, p)) {
+					dom++
+				}
+			}
+			want := dom < k
+			if want != gotIDs[i] {
+				t.Fatalf("trial %d: id %d membership %v, want %v", trial, i, gotIDs[i], want)
+			}
+		}
+	}
+}
+
+func TestTopKUnionMatchesSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	d := 3
+	pts := randPoints(rng, 120, d)
+	tr := rtree.BulkLoad(pts)
+	w := geom.Vector{0.3, 0.4, 0.3}
+	boxReg := NewBox(w, 0.2)
+	reg := boxReg.Region()
+	k := 2
+	got := TopKUnion(tr, w, boxReg, k)
+	gotIDs := map[int]bool{}
+	for _, g := range got {
+		gotIDs[g.ID] = true
+	}
+	// Every sampled in-region top-k record must be reported.
+	for s := 0; s < 4000; s++ {
+		v := geom.RandDirichlet(rng, w, 80)
+		if !reg.Contains(v) {
+			continue
+		}
+		type sc struct {
+			id int
+			s  float64
+		}
+		all := make([]sc, len(pts))
+		for i, p := range pts {
+			all[i] = sc{i, p.Dot(v)}
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].s > all[j].s })
+		for r := 0; r < k; r++ {
+			if !gotIDs[all[r].id] {
+				t.Fatalf("sampled top-%d record %d at %v unreported", r+1, all[r].id, v)
+			}
+		}
+	}
+}
+
+func TestRSBConvergesNearM(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	pts := randPoints(rng, 2000, 3)
+	tr := rtree.BulkLoad(pts)
+	w := geom.RandSimplex(rng, 3)
+	k, m := 3, 25
+	res := RSB(tr, w, k, m, 0.10)
+	if res.Trials < 1 {
+		t.Fatal("no trials recorded")
+	}
+	// Convergence is best-effort; it must either land within tolerance or
+	// exhaust the bracket. Check the reported achieved size is consistent.
+	if res.Achieved != len(res.Records) {
+		t.Fatalf("achieved %d but %d records", res.Achieved, len(res.Records))
+	}
+	if res.Achieved < m-m/2 || res.Achieved > 3*m {
+		t.Errorf("RSB wildly off target: achieved %d for m=%d after %d trials",
+			res.Achieved, m, res.Trials)
+	}
+}
+
+func TestJAARunsAndCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	pts := randPoints(rng, 500, 3)
+	tr := rtree.BulkLoad(pts)
+	w := geom.RandSimplex(rng, 3)
+	k, m := 2, 10
+	res := JAA(tr, w, k, m, 0.10)
+	if res.Trials < 1 {
+		t.Fatal("no trials recorded")
+	}
+	if res.Achieved != len(res.Records) {
+		t.Fatalf("achieved %d but %d records", res.Achieved, len(res.Records))
+	}
+}

@@ -1,0 +1,142 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SimplexTol is the tolerance used when validating that a vector lies on the
+// unit simplex.
+const SimplexTol = 1e-9
+
+// OnSimplex reports whether v is a valid preference vector: non-negative
+// components that sum to one (within SimplexTol).
+func OnSimplex(v Vector) bool {
+	if len(v) == 0 {
+		return false
+	}
+	s := 0.0
+	for _, x := range v {
+		if x < -SimplexTol {
+			return false
+		}
+		s += x
+	}
+	return math.Abs(s-1) <= 1e-6
+}
+
+// ValidatePreference returns a descriptive error if w is not a valid
+// preference vector of dimension d.
+func ValidatePreference(w Vector, d int) error {
+	if len(w) != d {
+		return fmt.Errorf("geom: preference vector has dimension %d, want %d", len(w), d)
+	}
+	if !OnSimplex(w) {
+		return fmt.Errorf("geom: preference vector %v is not on the unit simplex", w)
+	}
+	return nil
+}
+
+// NormalizeToSimplex rescales a non-negative vector so its components sum to
+// one. It returns an error for zero or negative input.
+func NormalizeToSimplex(v Vector) (Vector, error) {
+	s := 0.0
+	for _, x := range v {
+		if x < 0 {
+			return nil, fmt.Errorf("geom: negative weight %g", x)
+		}
+		s += x
+	}
+	if s <= 0 {
+		return nil, fmt.Errorf("geom: cannot normalize zero preference vector")
+	}
+	return v.Scale(1 / s), nil
+}
+
+// RandSimplex draws a uniformly distributed point on the (d-1)-simplex using
+// the standard exponential-spacings construction.
+func RandSimplex(rng *rand.Rand, d int) Vector {
+	v := make(Vector, d)
+	s := 0.0
+	for i := range v {
+		v[i] = rng.ExpFloat64()
+		s += v[i]
+	}
+	for i := range v {
+		v[i] /= s
+	}
+	return v
+}
+
+// RandDirichlet draws a point on the simplex from a symmetric Dirichlet
+// distribution centred at c with concentration alpha (larger alpha means the
+// draws cluster more tightly around c). It is used to simulate
+// review-mined preference vectors, which are noisy estimates around a
+// user's latent preference.
+func RandDirichlet(rng *rand.Rand, c Vector, alpha float64) Vector {
+	v := make(Vector, len(c))
+	s := 0.0
+	for i := range v {
+		// Gamma(alpha*c_i) via Marsaglia-Tsang; shape may be < 1.
+		v[i] = gammaSample(rng, math.Max(alpha*c[i], 1e-3))
+		s += v[i]
+	}
+	if s <= 0 {
+		return c.Clone()
+	}
+	for i := range v {
+		v[i] /= s
+	}
+	return v
+}
+
+// gammaSample draws from Gamma(shape, 1) using Marsaglia-Tsang, with the
+// usual boost for shape < 1.
+func gammaSample(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		u := rng.Float64()
+		return gammaSample(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// MaxSimplexDist returns the distance from w to the farthest point of the
+// simplex, i.e. the largest meaningful expansion radius: past it, the
+// rho-ball covers the entire preference domain (footnote 2 of the paper).
+// The farthest point of a simplex from any interior point is one of its
+// vertices e_i.
+func MaxSimplexDist(w Vector) float64 {
+	best := 0.0
+	for i := range w {
+		// distance to vertex e_i
+		s := 0.0
+		for j := range w {
+			x := w[j]
+			if j == i {
+				x -= 1
+			}
+			s += x * x
+		}
+		if s > best {
+			best = s
+		}
+	}
+	return math.Sqrt(best)
+}

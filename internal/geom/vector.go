@@ -1,0 +1,127 @@
+// Package geom provides the low-level geometric primitives shared by every
+// subsystem of the library: vectors in data space, preference vectors on the
+// unit simplex, axis-aligned rectangles (MBRs), and dominance tests.
+//
+// Conventions follow the paper: larger attribute values are preferable, and
+// preference vectors are non-negative with components summing to one, i.e.
+// points on the (d-1)-simplex.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a point in d-dimensional space. It is used both for data records
+// (attribute vectors) and for preference vectors on the simplex.
+type Vector []float64
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	c := make(Vector, len(v))
+	copy(c, v)
+	return c
+}
+
+// Dot returns the inner product of v and u. It panics if dimensions differ.
+func (v Vector) Dot(u Vector) float64 {
+	if len(v) != len(u) {
+		panic(fmt.Sprintf("geom: dot of mismatched dims %d and %d", len(v), len(u)))
+	}
+	s := 0.0
+	for i := range v {
+		s += v[i] * u[i]
+	}
+	return s
+}
+
+// Sub returns v - u as a new vector.
+func (v Vector) Sub(u Vector) Vector {
+	r := make(Vector, len(v))
+	for i := range v {
+		r[i] = v[i] - u[i]
+	}
+	return r
+}
+
+// Add returns v + u as a new vector.
+func (v Vector) Add(u Vector) Vector {
+	r := make(Vector, len(v))
+	for i := range v {
+		r[i] = v[i] + u[i]
+	}
+	return r
+}
+
+// Scale returns s*v as a new vector.
+func (v Vector) Scale(s float64) Vector {
+	r := make(Vector, len(v))
+	for i := range v {
+		r[i] = s * v[i]
+	}
+	return r
+}
+
+// Norm returns the Euclidean norm of v.
+func (v Vector) Norm() float64 {
+	return math.Sqrt(v.Dot(v))
+}
+
+// Dist returns the Euclidean distance between v and u.
+func (v Vector) Dist(u Vector) float64 {
+	s := 0.0
+	for i := range v {
+		d := v[i] - u[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Sum returns the sum of the components of v.
+func (v Vector) Sum() float64 {
+	s := 0.0
+	for i := range v {
+		s += v[i]
+	}
+	return s
+}
+
+// Equal reports whether v and u are identical component-wise.
+func (v Vector) Equal(u Vector) bool {
+	if len(v) != len(u) {
+		return false
+	}
+	for i := range v {
+		if v[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Dominates reports whether v dominates u under the maximisation convention:
+// v is at least as large in every dimension and strictly larger in at least
+// one. A vector does not dominate itself.
+func (v Vector) Dominates(u Vector) bool {
+	strict := false
+	for i := range v {
+		if v[i] < u[i] {
+			return false
+		}
+		if v[i] > u[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// WeakDominates reports whether v is at least as large as u in every
+// dimension (ties allowed everywhere).
+func (v Vector) WeakDominates(u Vector) bool {
+	for i := range v {
+		if v[i] < u[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,93 @@
+package hull
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ordu/internal/geom"
+)
+
+// TestUpperHighDimensions validates membership at the paper's upper
+// dimensionalities by sampling: every sampled top-1 winner must be a
+// member, in d = 5, 6, 7.
+func TestUpperHighDimensions(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	for _, d := range []int{5, 6, 7} {
+		pts := randPoints(rng, 80, d)
+		u := ComputeUpper(seqIDs(len(pts)), pts)
+		members := map[int]bool{}
+		for _, id := range u.MemberIDs {
+			members[id] = true
+		}
+		for s := 0; s < 500; s++ {
+			v := geom.RandSimplex(rng, d)
+			best, bestScore := -1, math.Inf(-1)
+			for i, p := range pts {
+				if sc := p.Dot(v); sc > bestScore {
+					best, bestScore = i, sc
+				}
+			}
+			if !members[best] {
+				t.Fatalf("d=%d: winner %d not a member (%d members of %d points)",
+					d, best, len(u.MemberIDs), len(pts))
+			}
+		}
+	}
+}
+
+// TestLayersHighDim: peeling still partitions the whole set in high d.
+func TestLayersHighDim(t *testing.T) {
+	rng := rand.New(rand.NewSource(132))
+	d := 6
+	pts := randPoints(rng, 60, d)
+	ls := NewLayers(seqIDs(len(pts)), pts)
+	covered := 0
+	for t1 := 0; ; t1++ {
+		u := ls.Layer(t1)
+		if u == nil {
+			break
+		}
+		covered += len(u.MemberIDs)
+	}
+	if covered != len(pts) {
+		t.Fatalf("layers cover %d of %d", covered, len(pts))
+	}
+}
+
+// TestCollinearPoints2D: exactly collinear inputs (a classic degeneracy)
+// are separated by the symbolic perturbation without crashing, and the
+// extreme points of the segment are always members.
+func TestCollinearPoints2D(t *testing.T) {
+	pts := make([]geom.Vector, 11)
+	for i := range pts {
+		x := float64(i) / 10
+		pts[i] = geom.Vector{x, 1 - x}
+	}
+	u := ComputeUpper(seqIDs(len(pts)), pts)
+	m := map[int]bool{}
+	for _, id := range u.MemberIDs {
+		m[id] = true
+	}
+	if !m[0] || !m[10] {
+		t.Fatalf("segment endpoints missing from members: %v", u.MemberIDs)
+	}
+}
+
+// TestCospherePoints: many points on a sphere (all extreme) in 3D.
+func TestCospherePoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(133))
+	pts := make([]geom.Vector, 60)
+	for i := range pts {
+		// Random direction in the positive octant, unit norm.
+		v := geom.Vector{math.Abs(rng.NormFloat64()), math.Abs(rng.NormFloat64()), math.Abs(rng.NormFloat64())}
+		n := v.Norm()
+		pts[i] = v.Scale(1 / n)
+	}
+	u := ComputeUpper(seqIDs(len(pts)), pts)
+	// On the positive-octant sphere every point is top-1 for its own
+	// direction scaled onto the simplex, so all must be members.
+	if len(u.MemberIDs) < len(pts)*9/10 {
+		t.Fatalf("only %d of %d cosphere points are members", len(u.MemberIDs), len(pts))
+	}
+}

@@ -1,0 +1,601 @@
+// Package hull is the library's computational-geometry core, replacing the
+// role Qhull [9] plays in the paper's implementation. It computes upper
+// hulls of d-dimensional point sets — the part of the convex hull whose
+// facets have non-negative outward normals, i.e. the records that can be
+// top-1 for some preference vector (Section 5.1) — together with the facet
+// structure ORU consumes: facet norms (points in the preference domain),
+// per-record facet sets F(r), and adjacency sets A(r).
+//
+// The algorithm is the incremental beneath-beyond construction: a full
+// convex hull is grown point by point, starting from a synthetic simplex of
+// d+1 sentinel points placed strictly below the data (every real point
+// strictly dominates every sentinel, so sentinels can never lie on an upper
+// facet, while guaranteeing full dimensionality for arbitrarily small or
+// degenerate inputs). Points are deterministically jittered by a hash of
+// their coordinates to enforce general position, which the paper assumes
+// throughout; all outputs (adjacency, norms) are reported for the original
+// coordinates.
+package hull
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ordu/internal/geom"
+	"ordu/internal/linalg"
+	"ordu/internal/qp"
+)
+
+// Upper is the upper hull of a point set with its facet structure.
+type Upper struct {
+	// MemberIDs lists the ids of records on the upper hull, i.e. the
+	// records that are top-1 for at least one preference vector.
+	MemberIDs []int
+	// Facets lists the upper facets as sets of member ids (d per facet in
+	// general position).
+	Facets [][]int
+	// Norms holds, per facet, the facet's norm: the outward normal scaled
+	// to unit coordinate sum, a point in the preference domain.
+	Norms []geom.Vector
+	// Adj maps each member id to the ids adjacent to it (sharing an upper
+	// facet): the set A(r) of the paper.
+	Adj map[int][]int
+	// FacetsOf maps each member id to the indices (into Facets) of the
+	// upper facets it defines: the set F(r).
+	FacetsOf map[int][]int
+}
+
+// IsMember reports whether id lies on the upper hull.
+func (u *Upper) IsMember(id int) bool {
+	_, ok := u.Adj[id]
+	return ok
+}
+
+// facet is one simplicial facet of the full hull under construction.
+type facet struct {
+	verts     []int // d internal point indices, sorted
+	normal    []float64
+	offset    float64
+	neighbors []*facet // neighbors[i] shares all verts except verts[i]
+	dead      bool
+	visitTag  int
+}
+
+// Builder incrementally constructs a convex hull and exposes upper-hull
+// snapshots. It is the engine behind both one-shot ComputeUpper calls and
+// the incremental hull maintenance of ORU's rho-bar estimation
+// (Section 5.3).
+type Builder struct {
+	dim     int
+	pts     [][]float64 // jittered working coordinates; sentinels first
+	ids     []int       // external id per point; -1 for sentinels
+	facets  []*facet
+	tag     int
+	started bool
+	// interior is a point strictly inside the initial simplex, used to
+	// orient facet normals outward.
+	interior []float64
+}
+
+// NewBuilder returns a hull builder for d-dimensional points, d >= 2.
+func NewBuilder(d int) *Builder {
+	if d < 2 {
+		panic(fmt.Sprintf("hull: dimension %d < 2", d))
+	}
+	return &Builder{dim: d}
+}
+
+const (
+	jitterScale = 1e-9
+	visEps      = 1e-12
+	upperTol    = 1e-7
+)
+
+// jitter deterministically perturbs coordinate j of a point based on the
+// point's coordinate bits, enforcing general position while keeping results
+// reproducible across runs and across subsets.
+func jitter(p geom.Vector, j int) float64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, x := range p {
+		h ^= math.Float64bits(x)
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+	}
+	h ^= uint64(j+1) * 0x94d049bb133111eb
+	h ^= h >> 31
+	h *= 0xd6e8feb86659fd93
+	h ^= h >> 32
+	// Map to (-1, 1).
+	return (float64(h%(1<<52))/float64(1<<52) - 0.5) * 2
+}
+
+// Add inserts one point with its external id. Points may arrive in any
+// order; duplicates (by jittered coordinates) simply land inside the hull.
+func (b *Builder) Add(id int, p geom.Vector) {
+	if len(p) != b.dim {
+		panic(fmt.Sprintf("hull: point dim %d, builder dim %d", len(p), b.dim))
+	}
+	w := make([]float64, b.dim)
+	for j := range w {
+		w[j] = p[j] + jitterScale*jitter(p, j)
+	}
+	if !b.started {
+		b.bootstrap(w)
+	}
+	b.ids = append(b.ids, id)
+	b.pts = append(b.pts, w)
+	b.insert(len(b.pts) - 1)
+}
+
+// bootstrap creates the sentinel simplex strictly below the first point.
+func (b *Builder) bootstrap(first []float64) {
+	d := b.dim
+	span := 4.0
+	for _, x := range first {
+		if a := math.Abs(x); a > span/4 {
+			span = 4 * a
+		}
+	}
+	base := make([]float64, d)
+	for j := range base {
+		base[j] = first[j] - span
+	}
+	// Sentinels: base, and base - span*e_i for i = 0..d-1.
+	b.pts = make([][]float64, 0, d+1)
+	b.ids = make([]int, 0, d+1)
+	b.pts = append(b.pts, base)
+	b.ids = append(b.ids, -1)
+	for i := 0; i < d; i++ {
+		s := append([]float64(nil), base...)
+		s[i] -= span
+		// Tiny asymmetry to keep the sentinel simplex in general position
+		// with respect to jittered data points.
+		s[(i+1)%d] -= span * 0.01 * float64(i+1)
+		b.pts = append(b.pts, s)
+		b.ids = append(b.ids, -1)
+	}
+	b.interior = make([]float64, d)
+	for _, p := range b.pts {
+		for j := range p {
+			b.interior[j] += p[j] / float64(d+1)
+		}
+	}
+	// Initial facets: all d-subsets of the d+1 sentinels.
+	all := make([]int, d+1)
+	for i := range all {
+		all[i] = i
+	}
+	fs := make([]*facet, 0, d+1)
+	for skip := 0; skip <= d; skip++ {
+		verts := make([]int, 0, d)
+		for _, v := range all {
+			if v != skip {
+				verts = append(verts, v)
+			}
+		}
+		f, err := b.newFacet(verts)
+		if err != nil {
+			panic("hull: degenerate sentinel simplex: " + err.Error())
+		}
+		fs = append(fs, f)
+	}
+	// Wire neighbors: facet skipping i and facet skipping j share all
+	// vertices except i and j.
+	for i, fi := range fs {
+		for k, v := range fi.verts {
+			// Neighbor opposite v: the facet that skips v.
+			fi.neighbors[k] = fs[v]
+			_ = i
+		}
+	}
+	b.facets = fs
+	b.started = true
+}
+
+// newFacet builds a facet through the given vertex indices, oriented away
+// from the interior point.
+func (b *Builder) newFacet(verts []int) (*facet, error) {
+	d := b.dim
+	pts := make([][]float64, d)
+	sorted := append([]int(nil), verts...)
+	sort.Ints(sorted)
+	for i, v := range sorted {
+		pts[i] = b.pts[v]
+	}
+	n, c, err := linalg.HyperplaneThrough(pts)
+	if err != nil {
+		return nil, err
+	}
+	// Orient outward.
+	s := -c
+	for j := 0; j < d; j++ {
+		s += n[j] * b.interior[j]
+	}
+	if s > 0 {
+		for j := range n {
+			n[j] = -n[j]
+		}
+		c = -c
+	}
+	// Normalise for stable eps comparisons.
+	mag := 0.0
+	for _, x := range n {
+		mag += x * x
+	}
+	mag = math.Sqrt(mag)
+	if mag < 1e-300 {
+		return nil, linalg.ErrSingular
+	}
+	for j := range n {
+		n[j] /= mag
+	}
+	c /= mag
+	return &facet{
+		verts:     sorted,
+		normal:    n,
+		offset:    c,
+		neighbors: make([]*facet, d),
+	}, nil
+}
+
+// insert adds internal point index pi to the hull.
+func (b *Builder) insert(pi int) {
+	p := b.pts[pi]
+	// Collect visible facets by full scan (robust and fast enough at the
+	// candidate-set sizes ORU operates on).
+	var visible []*facet
+	b.tag++
+	for _, f := range b.facets {
+		if f.dead {
+			continue
+		}
+		s := -f.offset
+		for j := range p {
+			s += f.normal[j] * p[j]
+		}
+		if s > visEps {
+			f.visitTag = b.tag
+			visible = append(visible, f)
+		}
+	}
+	if len(visible) == 0 {
+		return // interior point
+	}
+	// Horizon ridges: (visible facet, vertex-opposite-index) pairs whose
+	// neighbor is not visible.
+	type ridge struct {
+		verts   []int // d-1 vertices, sorted
+		outside *facet
+	}
+	var horizon []ridge
+	for _, f := range visible {
+		for i, nb := range f.neighbors {
+			if nb == nil || nb.visitTag == b.tag {
+				continue
+			}
+			rv := make([]int, 0, b.dim-1)
+			for k, v := range f.verts {
+				if k != i {
+					rv = append(rv, v)
+				}
+			}
+			horizon = append(horizon, ridge{verts: rv, outside: nb})
+		}
+	}
+	// Build new facets: ridge + p.
+	newFacets := make([]*facet, 0, len(horizon))
+	// pending maps a sorted sub-ridge (d-1 vertices including p) to the
+	// facet+slot waiting for its partner.
+	type slot struct {
+		f *facet
+		i int
+	}
+	pending := make(map[string]slot)
+	keyOf := func(vs []int) string {
+		buf := make([]byte, 0, len(vs)*4)
+		for _, v := range vs {
+			buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		return string(buf)
+	}
+	for _, r := range horizon {
+		verts := append(append([]int(nil), r.verts...), pi)
+		nf, err := b.newFacet(verts)
+		if err != nil {
+			// Degenerate ridge (jitter should prevent this); skip the facet.
+			continue
+		}
+		// Wire across the horizon: nf's slot opposite p links to r.outside.
+		for i, v := range nf.verts {
+			if v == pi {
+				nf.neighbors[i] = r.outside
+			}
+		}
+		// r.outside's slot that pointed to a visible facet now points to nf.
+		for i, nb := range r.outside.neighbors {
+			if nb != nil && nb.visitTag == b.tag {
+				// Check the shared ridge matches r.verts.
+				shared := make([]int, 0, b.dim-1)
+				for k, v := range r.outside.verts {
+					if k != i {
+						shared = append(shared, v)
+					}
+				}
+				if equalInts(shared, r.verts) {
+					r.outside.neighbors[i] = nf
+					break
+				}
+			}
+		}
+		// Wire among new facets via sub-ridges containing p.
+		for i, v := range nf.verts {
+			if v == pi {
+				continue
+			}
+			sub := make([]int, 0, b.dim-1)
+			for k, u := range nf.verts {
+				if k != i {
+					sub = append(sub, u)
+				}
+			}
+			key := keyOf(sub)
+			if other, ok := pending[key]; ok {
+				nf.neighbors[i] = other.f
+				other.f.neighbors[other.i] = nf
+				delete(pending, key)
+			} else {
+				pending[key] = slot{f: nf, i: i}
+			}
+		}
+		newFacets = append(newFacets, nf)
+	}
+	for _, f := range visible {
+		f.dead = true
+	}
+	// Compact the facet list occasionally to keep scans cheap.
+	b.facets = append(b.facets, newFacets...)
+	if len(b.facets) > 64 {
+		alive := 0
+		for _, f := range b.facets {
+			if !f.dead {
+				alive++
+			}
+		}
+		if alive*2 < len(b.facets) {
+			kept := make([]*facet, 0, alive)
+			for _, f := range b.facets {
+				if !f.dead {
+					kept = append(kept, f)
+				}
+			}
+			b.facets = kept
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	// Both sorted.
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Upper extracts the current upper hull.
+//
+// Membership uses the exact local criterion rather than facet-normal signs:
+// a hull vertex r is top-1 for some preference vector iff there is a v on
+// the simplex with (r - q).v >= 0 for every hull vertex q adjacent to r in
+// the full facet graph (beating all neighbours of a convex-hull vertex
+// means beating everything, for any linear objective). This correctly
+// captures records that win only near the boundary of the preference
+// domain, whose incident facets all have mixed-sign normals. Adjacency is
+// the full-hull co-facet relation restricted to members, which is exactly
+// the constraint set defining the top-region C(r): any record tying r at
+// the top for some v shares a hull facet with r.
+func (b *Builder) Upper() *Upper {
+	u := &Upper{
+		Adj:      make(map[int][]int),
+		FacetsOf: make(map[int][]int),
+	}
+	if !b.started {
+		return u
+	}
+	// Full-hull adjacency among real vertices (sentinels excluded).
+	fullAdj := make(map[int]map[int]bool)
+	touch := func(id int) {
+		if _, ok := fullAdj[id]; !ok {
+			fullAdj[id] = make(map[int]bool)
+		}
+	}
+	for _, f := range b.facets {
+		if f.dead {
+			continue
+		}
+		for _, v := range f.verts {
+			if b.ids[v] < 0 {
+				continue
+			}
+			touch(b.ids[v])
+			for _, o := range f.verts {
+				if o != v && b.ids[o] >= 0 {
+					fullAdj[b.ids[v]][b.ids[o]] = true
+				}
+			}
+		}
+	}
+	// Point lookup by external id (the builder may hold stale duplicates
+	// of an id only if the caller added one; ids are unique by contract).
+	ptOf := make(map[int]geom.Vector, len(fullAdj))
+	for i, id := range b.ids {
+		if id >= 0 {
+			ptOf[id] = b.pts[i]
+		}
+	}
+	// Fast path: a vertex incident to a facet whose outward normal is
+	// (strictly) non-negative is certainly top-1 at that facet's norm; the
+	// QP membership test is needed only for vertices whose facets all have
+	// mixed-sign normals (winners confined to the simplex boundary).
+	fastMember := make(map[int]bool)
+	for _, f := range b.facets {
+		if f.dead {
+			continue
+		}
+		nonneg := true
+		for _, x := range f.normal {
+			if x < -1e-12 {
+				nonneg = false
+				break
+			}
+		}
+		if !nonneg {
+			continue
+		}
+		for _, v := range f.verts {
+			if b.ids[v] >= 0 {
+				fastMember[b.ids[v]] = true
+			}
+		}
+	}
+	members := make(map[int]bool)
+	for id, adj := range fullAdj {
+		if fastMember[id] || b.canTop(ptOf[id], adj, ptOf) {
+			members[id] = true
+		}
+	}
+	for id := range members {
+		adj := make([]int, 0, len(fullAdj[id]))
+		for o := range fullAdj[id] {
+			if members[o] {
+				adj = append(adj, o)
+			}
+		}
+		sort.Ints(adj)
+		u.Adj[id] = adj
+		u.MemberIDs = append(u.MemberIDs, id)
+	}
+	sort.Ints(u.MemberIDs)
+	// Informational facet structure: real-vertex facets with non-negative
+	// normals (the facets whose norms are interior preference points).
+	for _, f := range b.facets {
+		if f.dead || !b.isUpper(f) {
+			continue
+		}
+		fi := len(u.Facets)
+		idv := make([]int, len(f.verts))
+		for i, v := range f.verts {
+			idv[i] = b.ids[v]
+		}
+		u.Facets = append(u.Facets, idv)
+		u.Norms = append(u.Norms, normOf(f))
+		for _, id := range idv {
+			u.FacetsOf[id] = append(u.FacetsOf[id], fi)
+		}
+	}
+	return u
+}
+
+// canTop reports whether some preference vector makes p score at least as
+// high as all points in adj (and hence as the whole hull).
+func (b *Builder) canTop(p geom.Vector, adj map[int]bool, ptOf map[int]geom.Vector) bool {
+	d := b.dim
+	if len(adj) == 0 {
+		return true
+	}
+	ones := make([]float64, d)
+	for j := range ones {
+		ones[j] = 1
+	}
+	pr := &qp.Problem{
+		P:   ones, // any target; only feasibility matters
+		EqA: [][]float64{ones},
+		EqB: []float64{1},
+	}
+	for j := 0; j < d; j++ {
+		e := make([]float64, d)
+		e[j] = 1
+		pr.InA = append(pr.InA, e)
+		pr.InB = append(pr.InB, 0)
+	}
+	for o := range adj {
+		q := ptOf[o]
+		diff := make([]float64, d)
+		for j := 0; j < d; j++ {
+			diff[j] = p[j] - q[j]
+		}
+		pr.InA = append(pr.InA, diff)
+		pr.InB = append(pr.InB, 0)
+	}
+	return qp.Feasible(pr)
+}
+
+// isUpper reports whether f is an upper facet: all-real vertices and a
+// non-negative normal within tolerance.
+func (b *Builder) isUpper(f *facet) bool {
+	for _, v := range f.verts {
+		if b.ids[v] < 0 {
+			return false
+		}
+	}
+	for _, x := range f.normal {
+		if x < -upperTol {
+			return false
+		}
+	}
+	return true
+}
+
+// normOf returns the facet norm: the outward normal clamped to the
+// non-negative orthant and scaled to unit sum (a preference-domain point).
+func normOf(f *facet) geom.Vector {
+	n := make(geom.Vector, len(f.normal))
+	s := 0.0
+	for j, x := range f.normal {
+		if x < 0 {
+			x = 0
+		}
+		n[j] = x
+		s += x
+	}
+	if s <= 0 {
+		// Cannot happen for a genuine upper facet; return barycentre to
+		// stay well-defined.
+		for j := range n {
+			n[j] = 1 / float64(len(n))
+		}
+		return n
+	}
+	for j := range n {
+		n[j] /= s
+	}
+	return n
+}
+
+// VertexCount returns the number of distinct real points currently on the
+// upper hull. ORU's rho-bar estimation keeps feeding the incremental
+// rho-skyline until this count reaches m (Section 5.3).
+func (b *Builder) VertexCount() int {
+	return len(b.Upper().MemberIDs)
+}
+
+// ComputeUpper computes the upper hull of the given records in one shot.
+// ids and points run in parallel.
+func ComputeUpper(ids []int, points []geom.Vector) *Upper {
+	if len(ids) != len(points) {
+		panic("hull: ids and points length mismatch")
+	}
+	if len(ids) == 0 {
+		return &Upper{Adj: map[int][]int{}, FacetsOf: map[int][]int{}}
+	}
+	b := NewBuilder(len(points[0]))
+	for i, id := range ids {
+		b.Add(id, points[i])
+	}
+	return b.Upper()
+}

@@ -1,0 +1,333 @@
+package hull
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ordu/internal/geom"
+)
+
+func randPoints(rng *rand.Rand, n, d int) []geom.Vector {
+	pts := make([]geom.Vector, n)
+	for i := range pts {
+		p := make(geom.Vector, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func seqIDs(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+func TestUpper2DKnown(t *testing.T) {
+	// Square corners plus centre: upper hull is the two maximal corners
+	// (0,1) and (1,0) plus (1,1)... here use a classic staircase.
+	pts := []geom.Vector{
+		{0.1, 0.9}, // 0: on upper hull
+		{0.5, 0.7}, // 1: on upper hull (above segment 0-3? check: segment
+		// from (0.1,0.9) to (0.9,0.1) at x=0.5 has y=0.5 < 0.7 -> yes)
+		{0.3, 0.3}, // 2: interior
+		{0.9, 0.1}, // 3: on upper hull
+		{0.4, 0.4}, // 4: interior
+	}
+	u := ComputeUpper(seqIDs(len(pts)), pts)
+	want := []int{0, 1, 3}
+	if !equalIntSlices(u.MemberIDs, want) {
+		t.Fatalf("members = %v, want %v", u.MemberIDs, want)
+	}
+	// Adjacency along the chain: 0-1, 1-3.
+	if !equalIntSlices(u.Adj[1], []int{0, 3}) {
+		t.Errorf("Adj[1] = %v", u.Adj[1])
+	}
+	if !equalIntSlices(u.Adj[0], []int{1}) || !equalIntSlices(u.Adj[3], []int{1}) {
+		t.Errorf("chain ends adjacency wrong: %v %v", u.Adj[0], u.Adj[3])
+	}
+	if len(u.Facets) != 2 {
+		t.Fatalf("facets = %v", u.Facets)
+	}
+}
+
+func equalIntSlices(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestUpperWinnersAreMembers: for random preference vectors, the top-1
+// record must be an upper-hull member, and at every facet norm all facet
+// vertices must be tied at the maximum score.
+func TestUpperStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, d := range []int{2, 3, 4, 5} {
+		for trial := 0; trial < 3; trial++ {
+			pts := randPoints(rng, 60+trial*50, d)
+			u := ComputeUpper(seqIDs(len(pts)), pts)
+			members := map[int]bool{}
+			for _, id := range u.MemberIDs {
+				members[id] = true
+			}
+			// Sampled winners must be members.
+			for s := 0; s < 300; s++ {
+				v := geom.RandSimplex(rng, d)
+				best, bestScore := -1, math.Inf(-1)
+				for i, p := range pts {
+					if sc := p.Dot(v); sc > bestScore {
+						best, bestScore = i, sc
+					}
+				}
+				if !members[best] {
+					t.Fatalf("d=%d: winner %d for %v not an upper-hull member", d, best, v)
+				}
+			}
+			// Facet norms: all facet vertices tie at the max score.
+			for fi, facet := range u.Facets {
+				norm := u.Norms[fi]
+				if !geom.OnSimplex(norm) {
+					t.Fatalf("facet norm %v off simplex", norm)
+				}
+				scores := make([]float64, len(facet))
+				maxAll := math.Inf(-1)
+				for _, p := range pts {
+					if sc := p.Dot(norm); sc > maxAll {
+						maxAll = sc
+					}
+				}
+				for i, id := range facet {
+					scores[i] = pts[id].Dot(norm)
+					if scores[i] < maxAll-1e-5 {
+						t.Fatalf("d=%d facet %d: vertex %d score %g below max %g at norm",
+							d, fi, id, scores[i], maxAll)
+					}
+				}
+			}
+			// Adjacency is symmetric.
+			for id, adj := range u.Adj {
+				for _, o := range adj {
+					found := false
+					for _, back := range u.Adj[o] {
+						if back == id {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Fatalf("adjacency not symmetric: %d->%d", id, o)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMembersWinSomewhere: every member must be the (weak) top scorer at
+// the average of its facet norms.
+func TestMembersWinSomewhere(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, d := range []int{2, 3, 4} {
+		pts := randPoints(rng, 120, d)
+		u := ComputeUpper(seqIDs(len(pts)), pts)
+		for _, id := range u.MemberIDs {
+			fs := u.FacetsOf[id]
+			if len(fs) == 0 {
+				continue // degenerate fallback member
+			}
+			v := make(geom.Vector, d)
+			for _, fi := range fs {
+				for j := range v {
+					v[j] += u.Norms[fi][j] / float64(len(fs))
+				}
+			}
+			my := pts[id].Dot(v)
+			for i, p := range pts {
+				if i != id && p.Dot(v) > my+1e-6 {
+					t.Fatalf("d=%d: member %d loses to %d at its top-region centre", d, id, i)
+				}
+			}
+		}
+	}
+}
+
+func TestDegenerateSmallSets(t *testing.T) {
+	// Fewer than d points in d=4: degenerate hull, maximal-point fallback.
+	pts := []geom.Vector{
+		{0.9, 0.1, 0.5, 0.5},
+		{0.1, 0.9, 0.5, 0.5},
+		{0.2, 0.2, 0.2, 0.2}, // dominated by neither, but weak everywhere
+	}
+	u := ComputeUpper(seqIDs(3), pts)
+	if len(u.MemberIDs) == 0 {
+		t.Fatal("degenerate set produced no members")
+	}
+	// The two strong points must be members.
+	m := map[int]bool{}
+	for _, id := range u.MemberIDs {
+		m[id] = true
+	}
+	if !m[0] || !m[1] {
+		t.Fatalf("members %v missing strong points", u.MemberIDs)
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	u := ComputeUpper([]int{7}, []geom.Vector{{0.5, 0.5}})
+	if !equalIntSlices(u.MemberIDs, []int{7}) {
+		t.Fatalf("members = %v", u.MemberIDs)
+	}
+	if !u.IsMember(7) || u.IsMember(8) {
+		t.Error("IsMember wrong")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	u := ComputeUpper(nil, nil)
+	if len(u.MemberIDs) != 0 {
+		t.Fatal("empty input must give empty hull")
+	}
+}
+
+func TestDominatedPointNeverMember(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 10; trial++ {
+		d := 2 + rng.Intn(4)
+		pts := randPoints(rng, 50, d)
+		// Add a point strictly dominated by pts[0].
+		weak := pts[0].Clone()
+		for j := range weak {
+			weak[j] -= 0.05
+		}
+		pts = append(pts, weak)
+		u := ComputeUpper(seqIDs(len(pts)), pts)
+		if u.IsMember(len(pts) - 1) {
+			t.Fatalf("d=%d: dominated point on upper hull", d)
+		}
+	}
+}
+
+func TestLayersPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for _, d := range []int{2, 3, 4} {
+		pts := randPoints(rng, 150, d)
+		ls := NewLayers(seqIDs(len(pts)), pts)
+		seen := map[int]int{}
+		for t1 := 0; ; t1++ {
+			u := ls.Layer(t1)
+			if u == nil {
+				break
+			}
+			if len(u.MemberIDs) == 0 {
+				t.Fatal("empty non-nil layer")
+			}
+			for _, id := range u.MemberIDs {
+				if prev, dup := seen[id]; dup {
+					t.Fatalf("id %d on layers %d and %d", id, prev, t1)
+				}
+				seen[id] = t1
+			}
+		}
+		if len(seen) != len(pts) {
+			t.Fatalf("d=%d: layers cover %d of %d records", d, len(seen), len(pts))
+		}
+		// LayerOf agrees.
+		for id, li := range seen {
+			got, ok := ls.LayerOf(id)
+			if !ok || got != li {
+				t.Fatalf("LayerOf(%d) = %d,%v want %d", id, got, ok, li)
+			}
+		}
+		if _, ok := ls.LayerOf(99999); ok {
+			t.Error("unknown id resolved")
+		}
+	}
+}
+
+// TestLayersTopKCoverage: the union of the first k layers must contain the
+// top-k records for any preference vector (each layer contributes at least
+// one record ranked above anything in deeper layers).
+func TestLayersTopKCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	d := 3
+	pts := randPoints(rng, 200, d)
+	ls := NewLayers(seqIDs(len(pts)), pts)
+	k := 4
+	inFirstK := map[int]bool{}
+	for t1 := 0; t1 < k; t1++ {
+		u := ls.Layer(t1)
+		if u == nil {
+			break
+		}
+		for _, id := range u.MemberIDs {
+			inFirstK[id] = true
+		}
+	}
+	for s := 0; s < 200; s++ {
+		v := geom.RandSimplex(rng, d)
+		type sc struct {
+			id int
+			s  float64
+		}
+		all := make([]sc, len(pts))
+		for i, p := range pts {
+			all[i] = sc{i, p.Dot(v)}
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].s > all[j].s })
+		for r := 0; r < k; r++ {
+			if !inFirstK[all[r].id] {
+				t.Fatalf("top-%d record %d for %v not in first %d layers", r+1, all[r].id, v, k)
+			}
+		}
+	}
+}
+
+func TestBuilderIncrementalMatchesOneShot(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	d := 3
+	pts := randPoints(rng, 80, d)
+	b := NewBuilder(d)
+	for i, p := range pts {
+		b.Add(i, p)
+	}
+	inc := b.Upper()
+	oneShot := ComputeUpper(seqIDs(len(pts)), pts)
+	if !equalIntSlices(inc.MemberIDs, oneShot.MemberIDs) {
+		t.Fatalf("incremental members %v != one-shot %v", inc.MemberIDs, oneShot.MemberIDs)
+	}
+}
+
+func TestVertexCountMonotone(t *testing.T) {
+	d := 2
+	b := NewBuilder(d)
+	// Points on a concave-down curve: all on the upper hull.
+	for i := 0; i < 20; i++ {
+		x := float64(i) / 19
+		y := math.Sqrt(1 - x*x)
+		b.Add(i, geom.Vector{x, y})
+		if got := b.VertexCount(); got != i+1 {
+			t.Fatalf("after %d circle points, VertexCount = %d", i+1, got)
+		}
+	}
+}
+
+func TestNewBuilderPanicsOnLowDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for d<2")
+		}
+	}()
+	NewBuilder(1)
+}

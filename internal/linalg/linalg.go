@@ -1,0 +1,162 @@
+// Package linalg provides the small dense linear-algebra kernels needed by
+// the geometric substrates: LU solves with partial pivoting, hyperplane
+// fitting (null-space of a (d-1) x d system), and Gram-matrix assembly.
+// All systems in this library are tiny (dimension at most ~10), so the
+// implementations favour clarity and numerical robustness over blocking.
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a linear system has no unique solution at the
+// working precision.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// Solve solves the n x n system A x = b using Gaussian elimination with
+// partial pivoting. A and b are not modified.
+func Solve(A [][]float64, b []float64) ([]float64, error) {
+	n := len(A)
+	// Work on copies.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n+1)
+		copy(m[i], A[i])
+		m[i][n] = b[i]
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv, best := col, math.Abs(m[col][col])
+		for r := col + 1; r < n; r++ {
+			if a := math.Abs(m[r][col]); a > best {
+				piv, best = r, a
+			}
+		}
+		if best < 1e-13 {
+			return nil, ErrSingular
+		}
+		m[col], m[piv] = m[piv], m[col]
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := m[i][n]
+		for j := i + 1; j < n; j++ {
+			s -= m[i][j] * x[j]
+		}
+		x[i] = s / m[i][i]
+	}
+	return x, nil
+}
+
+// HyperplaneThrough fits a hyperplane passing through the d points pts (each
+// of dimension d). It returns a normal vector n and offset c such that
+// n . x = c for every input point. The normal is not normalised and its
+// orientation is arbitrary. Returns ErrSingular if the points are affinely
+// dependent.
+func HyperplaneThrough(pts [][]float64) (normal []float64, offset float64, err error) {
+	d := len(pts[0])
+	if len(pts) != d {
+		return nil, 0, errors.New("linalg: hyperplane needs exactly d points")
+	}
+	// Rows: pts[i] - pts[0] for i = 1..d-1; find null vector via elimination
+	// of the (d-1) x d system M n = 0.
+	rows := make([][]float64, d-1)
+	for i := 1; i < d; i++ {
+		r := make([]float64, d)
+		for j := 0; j < d; j++ {
+			r[j] = pts[i][j] - pts[0][j]
+		}
+		rows[i-1] = r
+	}
+	normal, err = NullVector(rows, d)
+	if err != nil {
+		return nil, 0, err
+	}
+	for j := 0; j < d; j++ {
+		offset += normal[j] * pts[0][j]
+	}
+	return normal, offset, nil
+}
+
+// NullVector returns a non-zero vector in the null space of the given
+// (len(rows)) x d matrix, assuming the rows are linearly independent and
+// len(rows) == d-1 (a one-dimensional null space). Returns ErrSingular when
+// the rows are dependent.
+func NullVector(rows [][]float64, d int) ([]float64, error) {
+	k := len(rows)
+	if k != d-1 {
+		return nil, errors.New("linalg: null vector requires d-1 rows")
+	}
+	// Row-reduce a copy, tracking pivot columns.
+	m := make([][]float64, k)
+	for i := range m {
+		m[i] = append([]float64(nil), rows[i]...)
+	}
+	pivCols := make([]int, 0, k)
+	row := 0
+	for col := 0; col < d && row < k; col++ {
+		piv, best := -1, 1e-12
+		for r := row; r < k; r++ {
+			if a := math.Abs(m[r][col]); a > best {
+				piv, best = r, a
+			}
+		}
+		if piv < 0 {
+			continue
+		}
+		m[row], m[piv] = m[piv], m[row]
+		inv := 1 / m[row][col]
+		for c := col; c < d; c++ {
+			m[row][c] *= inv
+		}
+		for r := 0; r < k; r++ {
+			if r == row {
+				continue
+			}
+			f := m[r][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < d; c++ {
+				m[r][c] -= f * m[row][c]
+			}
+		}
+		pivCols = append(pivCols, col)
+		row++
+	}
+	if row < k {
+		return nil, ErrSingular
+	}
+	// The single free column yields the null vector.
+	isPiv := make([]bool, d)
+	for _, c := range pivCols {
+		isPiv[c] = true
+	}
+	free := -1
+	for c := 0; c < d; c++ {
+		if !isPiv[c] {
+			free = c
+			break
+		}
+	}
+	if free < 0 {
+		return nil, ErrSingular
+	}
+	n := make([]float64, d)
+	n[free] = 1
+	for i, c := range pivCols {
+		n[c] = -m[i][free]
+	}
+	return n, nil
+}

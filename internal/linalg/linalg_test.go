@@ -1,0 +1,138 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSolveSimple(t *testing.T) {
+	A := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := Solve(A, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	A := [][]float64{{1, 2}, {2, 4}}
+	if _, err := Solve(A, []float64{1, 2}); err != ErrSingular {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + rng.Intn(7)
+		A := make([][]float64, n)
+		xTrue := make([]float64, n)
+		for i := range A {
+			A[i] = make([]float64, n)
+			for j := range A[i] {
+				A[i][j] = rng.NormFloat64()
+			}
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		for i := range b {
+			for j := range xTrue {
+				b[i] += A[i][j] * xTrue[j]
+			}
+		}
+		x, err := Solve(A, b)
+		if err != nil {
+			continue // singular random draw; acceptable
+		}
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-7 {
+				t.Fatalf("iter %d: x[%d] = %g, want %g", iter, i, x[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestSolveDoesNotClobberInput(t *testing.T) {
+	A := [][]float64{{3, 1}, {1, 2}}
+	b := []float64{4, 3}
+	if _, err := Solve(A, b); err != nil {
+		t.Fatal(err)
+	}
+	if A[0][0] != 3 || A[1][1] != 2 || b[0] != 4 {
+		t.Error("Solve modified its inputs")
+	}
+}
+
+func TestHyperplaneThrough2D(t *testing.T) {
+	pts := [][]float64{{0, 1}, {1, 0}}
+	n, c, err := HyperplaneThrough(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plane x+y=1 up to scale: n[0] == n[1], c == n[0].
+	if math.Abs(n[0]-n[1]) > 1e-12*math.Abs(n[0]) || math.Abs(c-n[0]) > 1e-12 {
+		t.Errorf("normal %v offset %g does not describe x+y=1", n, c)
+	}
+}
+
+func TestHyperplaneThroughRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 100; iter++ {
+		d := 2 + rng.Intn(5)
+		pts := make([][]float64, d)
+		for i := range pts {
+			pts[i] = make([]float64, d)
+			for j := range pts[i] {
+				pts[i][j] = rng.Float64()
+			}
+		}
+		n, c, err := HyperplaneThrough(pts)
+		if err != nil {
+			continue // degenerate draw
+		}
+		norm := 0.0
+		for _, v := range n {
+			norm += v * v
+		}
+		if norm < 1e-18 {
+			t.Fatal("zero normal returned")
+		}
+		for _, p := range pts {
+			s := -c
+			for j := range p {
+				s += n[j] * p[j]
+			}
+			if math.Abs(s) > 1e-6*math.Sqrt(norm) {
+				t.Fatalf("point %v off plane by %g", p, s)
+			}
+		}
+	}
+}
+
+func TestHyperplaneWrongCount(t *testing.T) {
+	if _, _, err := HyperplaneThrough([][]float64{{1, 2}}); err == nil {
+		t.Error("expected error for wrong point count")
+	}
+}
+
+func TestNullVectorDependentRows(t *testing.T) {
+	rows := [][]float64{{1, 2, 3}, {2, 4, 6}}
+	if _, err := NullVector(rows, 3); err == nil {
+		t.Error("expected ErrSingular for dependent rows")
+	}
+}
+
+func TestNullVector(t *testing.T) {
+	rows := [][]float64{{1, 0, 0}, {0, 1, 0}}
+	n, err := NullVector(rows, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n[0] != 0 || n[1] != 0 || n[2] == 0 {
+		t.Errorf("null vector = %v, want along e3", n)
+	}
+}

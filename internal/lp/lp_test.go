@@ -1,0 +1,145 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSimple2D(t *testing.T) {
+	// min -x - y s.t. x + y <= 1, x,y >= 0 -> optimum -1 on the segment.
+	pr := &Problem{
+		C:   []float64{-1, -1},
+		InA: [][]float64{{1, 1}},
+		InB: []float64{1},
+	}
+	x, val, st, err := Solve(pr)
+	if err != nil || st != Optimal {
+		t.Fatalf("st=%v err=%v", st, err)
+	}
+	if math.Abs(val+1) > 1e-9 {
+		t.Errorf("val = %g, want -1", val)
+	}
+	if math.Abs(x[0]+x[1]-1) > 1e-9 {
+		t.Errorf("x = %v not on boundary", x)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// min x1 s.t. x1 + x2 = 1 -> 0 at (0,1).
+	pr := &Problem{
+		C:   []float64{1, 0},
+		EqA: [][]float64{{1, 1}},
+		EqB: []float64{1},
+	}
+	x, val, st, err := Solve(pr)
+	if err != nil || st != Optimal {
+		t.Fatalf("st=%v err=%v", st, err)
+	}
+	if math.Abs(val) > 1e-9 || math.Abs(x[1]-1) > 1e-9 {
+		t.Errorf("x=%v val=%g", x, val)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x1 + x2 = 1 and x1 + x2 = 2.
+	pr := &Problem{
+		C:   []float64{0, 0},
+		EqA: [][]float64{{1, 1}, {1, 1}},
+		EqB: []float64{1, 2},
+	}
+	_, _, st, err := Solve(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Infeasible {
+		t.Errorf("st = %v, want Infeasible", st)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x with no upper bound.
+	pr := &Problem{C: []float64{-1}}
+	_, _, st, err := Solve(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Unbounded {
+		t.Errorf("st = %v, want Unbounded", st)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// -x <= -0.5 means x >= 0.5; min x -> 0.5.
+	pr := &Problem{
+		C:   []float64{1},
+		InA: [][]float64{{-1}},
+		InB: []float64{-0.5},
+	}
+	x, val, st, err := Solve(pr)
+	if err != nil || st != Optimal {
+		t.Fatalf("st=%v err=%v", st, err)
+	}
+	if math.Abs(val-0.5) > 1e-9 || math.Abs(x[0]-0.5) > 1e-9 {
+		t.Errorf("x=%v val=%g", x, val)
+	}
+}
+
+func TestRedundantRows(t *testing.T) {
+	pr := &Problem{
+		C:   []float64{1, 1},
+		EqA: [][]float64{{1, 1}, {2, 2}},
+		EqB: []float64{1, 2},
+	}
+	_, val, st, err := Solve(pr)
+	if err != nil || st != Optimal {
+		t.Fatalf("st=%v err=%v", st, err)
+	}
+	if math.Abs(val-1) > 1e-9 {
+		t.Errorf("val = %g, want 1", val)
+	}
+}
+
+func TestFeasiblePoint(t *testing.T) {
+	pr := &Problem{
+		C:   []float64{0, 0, 0},
+		EqA: [][]float64{{1, 1, 1}},
+		EqB: []float64{1},
+		InA: [][]float64{{1, 0, 0}},
+		InB: []float64{0.3},
+	}
+	x, ok := FeasiblePoint(pr)
+	if !ok {
+		t.Fatal("feasible system reported infeasible")
+	}
+	if x[0] > 0.3+1e-9 || math.Abs(x[0]+x[1]+x[2]-1) > 1e-9 {
+		t.Errorf("x = %v infeasible", x)
+	}
+}
+
+// TestMinOverSimplexMatchesVertexEnumeration: a linear function over the
+// simplex attains its minimum at a vertex, i.e. the smallest coefficient.
+func TestMinOverSimplexMatchesVertexEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 100; iter++ {
+		d := 2 + rng.Intn(6)
+		c := make([]float64, d)
+		minC := math.Inf(1)
+		for i := range c {
+			c[i] = rng.NormFloat64()
+			minC = math.Min(minC, c[i])
+		}
+		ones := make([]float64, d)
+		for i := range ones {
+			ones[i] = 1
+		}
+		pr := &Problem{C: c, EqA: [][]float64{ones}, EqB: []float64{1}}
+		_, val, st, err := Solve(pr)
+		if err != nil || st != Optimal {
+			t.Fatalf("iter %d: st=%v err=%v", iter, st, err)
+		}
+		if math.Abs(val-minC) > 1e-7 {
+			t.Fatalf("iter %d: val=%g want %g", iter, val, minC)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package osskyline
+
+import (
+	"math/rand"
+	"testing"
+
+	"ordu/internal/geom"
+	"ordu/internal/rtree"
+)
+
+func TestTopMMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, d := range []int{2, 3, 4} {
+		pts := make([]geom.Vector, 300)
+		for i := range pts {
+			p := make(geom.Vector, d)
+			for j := range p {
+				p[j] = rng.Float64()
+			}
+			pts[i] = p
+		}
+		tr := rtree.BulkLoad(pts)
+		got := TopM(tr, 10)
+
+		// Brute force: skyline members with dominance counts.
+		type sc struct{ id, count int }
+		var brute []sc
+		for i, p := range pts {
+			dominated := false
+			count := 0
+			for j, q := range pts {
+				if i == j {
+					continue
+				}
+				if q.Dominates(p) {
+					dominated = true
+					break
+				}
+			}
+			if dominated {
+				continue
+			}
+			for j, q := range pts {
+				if i != j && p.Dominates(q) {
+					count++
+				}
+			}
+			brute = append(brute, sc{i, count})
+		}
+		// Validate every returned record: on skyline, correct count.
+		bruteMap := map[int]int{}
+		for _, b := range brute {
+			bruteMap[b.id] = b.count
+		}
+		for _, g := range got {
+			want, onSky := bruteMap[g.ID]
+			if !onSky {
+				t.Fatalf("d=%d: id %d not on skyline", d, g.ID)
+			}
+			if g.Count != want {
+				t.Fatalf("d=%d: id %d count %d, want %d", d, g.ID, g.Count, want)
+			}
+		}
+		// Counts must be the m largest.
+		if len(got) > 0 && len(brute) > len(got) {
+			min := got[len(got)-1].Count
+			better := 0
+			for _, b := range brute {
+				if b.count > min {
+					better++
+				}
+			}
+			if better > len(got) {
+				t.Fatalf("d=%d: %d skyline records dominate more than the selected minimum", d, better)
+			}
+		}
+	}
+}
+
+func TestTopMSmallerSkyline(t *testing.T) {
+	// Strongly correlated data: tiny skyline; TopM(m) returns all of it.
+	pts := []geom.Vector{
+		{0.9, 0.9}, {0.5, 0.5}, {0.4, 0.6}, {0.2, 0.2},
+	}
+	tr := rtree.BulkLoad(pts)
+	got := TopM(tr, 10)
+	if len(got) != 1 || got[0].ID != 0 {
+		t.Fatalf("got %v", got)
+	}
+	if got[0].Count != 3 {
+		t.Fatalf("count = %d, want 3", got[0].Count)
+	}
+}

@@ -1,0 +1,267 @@
+// Package qp solves the convex quadratic programs that arise throughout the
+// paper's geometry: minimise the squared Euclidean distance from a target
+// point p to a polyhedron given by linear equalities and inequalities.
+//
+//	min  1/2 ||x - p||^2
+//	s.t. EqA[i] . x  = EqB[i]   for all equality rows
+//	     InA[j] . x >= InB[j]   for all inequality rows
+//
+// This is exactly the problem class the paper delegates to QuadProg++ [26]
+// (Goldfarb-Idnani [31]): the mindist from the seed vector w to the
+// intersection of a score-tie hyperplane with the preference simplex
+// (Section 4.1), and the mindist from w to a top-region polytope
+// (Section 5.3.1). The solver below is the Goldfarb-Idnani dual active-set
+// method specialised to an identity Hessian, which makes every step a plain
+// projection computable with a small Gram-matrix solve.
+//
+// Because the dual method starts from the unconstrained optimum and adds
+// violated constraints one at a time, it needs no feasible starting point
+// and detects infeasibility as a by-product; region-emptiness tests across
+// the library rely on that.
+package qp
+
+import (
+	"errors"
+	"math"
+
+	"ordu/internal/linalg"
+)
+
+// ErrInfeasible is returned when the constraint set is empty.
+var ErrInfeasible = errors.New("qp: infeasible constraint system")
+
+// ErrNumeric is returned when the active-set iteration fails to converge,
+// which indicates a degenerate or ill-scaled input.
+var ErrNumeric = errors.New("qp: failed to converge")
+
+// Problem describes one projection QP. Rows of EqA/InA must all have the
+// same dimension as P.
+type Problem struct {
+	P   []float64   // target point to project
+	EqA [][]float64 // equality constraint normals
+	EqB []float64   // equality right-hand sides
+	InA [][]float64 // inequality constraint normals (InA[j].x >= InB[j])
+	InB []float64   // inequality right-hand sides
+}
+
+const (
+	tol     = 1e-10
+	maxIter = 10000
+)
+
+// Solve returns the feasible point x closest to pr.P and its distance from
+// pr.P. It returns ErrInfeasible when the constraints admit no solution.
+func Solve(pr *Problem) (x []float64, dist float64, err error) {
+	d := len(pr.P)
+	x = append([]float64(nil), pr.P...)
+
+	// Constraints are indexed equalities first, then inequalities.
+	ne, ni := len(pr.EqA), len(pr.InA)
+	normal := func(i int) []float64 {
+		if i < ne {
+			return pr.EqA[i]
+		}
+		return pr.InA[i-ne]
+	}
+	rhs := func(i int) float64 {
+		if i < ne {
+			return pr.EqB[i]
+		}
+		return pr.InB[i-ne]
+	}
+	// sign[i] is -1 when an equality is being approached from above
+	// (n.x > b), so that the working constraint sign[i]*n.x >= sign[i]*b is
+	// violated in the standard direction.
+	slack := func(i int, sgn float64) float64 {
+		n := normal(i)
+		s := -rhs(i) * sgn
+		for j := 0; j < d; j++ {
+			s += sgn * n[j] * x[j]
+		}
+		return s
+	}
+
+	type activeEntry struct {
+		idx int
+		sgn float64
+		u   float64 // dual variable (kept >= 0 for inequalities)
+	}
+	var active []activeEntry
+
+	// solveGram computes r = (N^T N)^{-1} N^T nq and z = nq - N r for the
+	// current active normals N (columns sgn*normal).
+	solveGram := func(nq []float64) (r []float64, z []float64, ok bool) {
+		k := len(active)
+		z = append([]float64(nil), nq...)
+		if k == 0 {
+			return nil, z, true
+		}
+		G := make([][]float64, k)
+		b := make([]float64, k)
+		cols := make([][]float64, k)
+		for a := 0; a < k; a++ {
+			na := normal(active[a].idx)
+			col := make([]float64, d)
+			for j := 0; j < d; j++ {
+				col[j] = active[a].sgn * na[j]
+			}
+			cols[a] = col
+		}
+		for a := 0; a < k; a++ {
+			G[a] = make([]float64, k)
+			for bI := 0; bI < k; bI++ {
+				s := 0.0
+				for j := 0; j < d; j++ {
+					s += cols[a][j] * cols[bI][j]
+				}
+				G[a][bI] = s
+			}
+			s := 0.0
+			for j := 0; j < d; j++ {
+				s += cols[a][j] * nq[j]
+			}
+			b[a] = s
+		}
+		r, errS := linalg.Solve(G, b)
+		if errS != nil {
+			return nil, nil, false
+		}
+		for a := 0; a < k; a++ {
+			for j := 0; j < d; j++ {
+				z[j] -= r[a] * cols[a][j]
+			}
+		}
+		return r, z, true
+	}
+
+	// addConstraint runs the GI inner loop until constraint q (with working
+	// sign sgn) is satisfied or infeasibility is proven.
+	addConstraint := func(q int, sgn float64) error {
+		nq := make([]float64, d)
+		n := normal(q)
+		for j := 0; j < d; j++ {
+			nq[j] = sgn * n[j]
+		}
+		uq := 0.0 // dual variable of q, accumulated across partial steps
+		for iter := 0; iter < maxIter; iter++ {
+			s := slack(q, sgn)
+			if s >= -tol {
+				if q < ne {
+					// Equalities stay active so later steps preserve them,
+					// unless they are linearly dependent on the current
+					// active set (then they are already implied).
+					_, z, ok := solveGram(nq)
+					if !ok {
+						return ErrNumeric
+					}
+					zz := 0.0
+					for j := 0; j < d; j++ {
+						zz += z[j] * z[j]
+					}
+					if zz > tol {
+						active = append(active, activeEntry{idx: q, sgn: sgn, u: uq})
+					}
+				}
+				return nil
+			}
+			r, z, ok := solveGram(nq)
+			if !ok {
+				return ErrNumeric
+			}
+			zz := 0.0
+			for j := 0; j < d; j++ {
+				zz += z[j] * z[j]
+			}
+			t2 := math.Inf(1)
+			if zz > tol {
+				t2 = -s / zz
+			}
+			// Partial step bound from active inequality duals.
+			t1 := math.Inf(1)
+			drop := -1
+			for a := range active {
+				if active[a].idx < ne {
+					continue // equalities are never dropped
+				}
+				if r != nil && r[a] > tol {
+					if lim := active[a].u / r[a]; lim < t1 {
+						t1, drop = lim, a
+					}
+				}
+			}
+			t := math.Min(t1, t2)
+			if math.IsInf(t, 1) {
+				return ErrInfeasible
+			}
+			// Dual update (and primal when a step direction exists).
+			for a := range active {
+				if r != nil {
+					active[a].u -= t * r[a]
+				}
+			}
+			uq += t
+			if zz > tol {
+				for j := 0; j < d; j++ {
+					x[j] += t * z[j]
+				}
+			}
+			if t == t2 && !math.IsInf(t2, 1) {
+				active = append(active, activeEntry{idx: q, sgn: sgn, u: uq})
+				return nil
+			}
+			// Partial step: drop the blocking constraint and retry q with
+			// the accumulated dual uq, exactly as in Goldfarb-Idnani.
+			active = append(active[:drop], active[drop+1:]...)
+		}
+		return ErrNumeric
+	}
+
+	// Install equalities first.
+	for i := 0; i < ne; i++ {
+		sgn := 1.0
+		if slack(i, 1) > tol {
+			sgn = -1
+		}
+		if err := addConstraint(i, sgn); err != nil {
+			return nil, 0, err
+		}
+	}
+	// Then repeatedly add the most violated inequality.
+	for iter := 0; iter < maxIter; iter++ {
+		worst, q := -tol, -1
+		for i := ne; i < ne+ni; i++ {
+			inActive := false
+			for _, a := range active {
+				if a.idx == i {
+					inActive = true
+					break
+				}
+			}
+			if inActive {
+				continue
+			}
+			if s := slack(i, 1); s < worst {
+				worst, q = s, i
+			}
+		}
+		if q < 0 {
+			dist = 0.0
+			for j := 0; j < d; j++ {
+				dd := x[j] - pr.P[j]
+				dist += dd * dd
+			}
+			return x, math.Sqrt(dist), nil
+		}
+		if err := addConstraint(q, 1); err != nil {
+			return nil, 0, err
+		}
+	}
+	return nil, 0, ErrNumeric
+}
+
+// Feasible reports whether the constraint system of pr admits any solution,
+// ignoring the objective.
+func Feasible(pr *Problem) bool {
+	_, _, err := Solve(pr)
+	return err == nil
+}

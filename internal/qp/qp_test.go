@@ -1,0 +1,228 @@
+package qp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestUnconstrained(t *testing.T) {
+	x, dist, err := Solve(&Problem{P: []float64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 1, 1e-12) || !almostEq(x[1], 2, 1e-12) || dist != 0 {
+		t.Errorf("x=%v dist=%g", x, dist)
+	}
+}
+
+func TestProjectOntoLine(t *testing.T) {
+	// Project (1,1) onto x+y=1: expect (0.5,0.5), dist sqrt(2)/2.
+	pr := &Problem{
+		P:   []float64{1, 1},
+		EqA: [][]float64{{1, 1}},
+		EqB: []float64{1},
+	}
+	x, dist, err := Solve(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 0.5, 1e-9) || !almostEq(x[1], 0.5, 1e-9) {
+		t.Errorf("x = %v", x)
+	}
+	if !almostEq(dist, math.Sqrt2/2, 1e-9) {
+		t.Errorf("dist = %g", dist)
+	}
+}
+
+func TestProjectOntoSimplex(t *testing.T) {
+	// Project (2,-1) onto the 1-simplex: expect vertex (1,0).
+	pr := &Problem{
+		P:   []float64{2, -1},
+		EqA: [][]float64{{1, 1}},
+		EqB: []float64{1},
+		InA: [][]float64{{1, 0}, {0, 1}},
+		InB: []float64{0, 0},
+	}
+	x, _, err := Solve(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 1, 1e-9) || !almostEq(x[1], 0, 1e-9) {
+		t.Errorf("x = %v, want (1,0)", x)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x >= 1 and x <= 0 simultaneously.
+	pr := &Problem{
+		P:   []float64{0.5},
+		InA: [][]float64{{1}, {-1}},
+		InB: []float64{1, 0},
+	}
+	if _, _, err := Solve(pr); err != ErrInfeasible {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestInfeasibleEqualities(t *testing.T) {
+	// x+y=1 and x+y=2.
+	pr := &Problem{
+		P:   []float64{0, 0},
+		EqA: [][]float64{{1, 1}, {1, 1}},
+		EqB: []float64{1, 2},
+	}
+	if _, _, err := Solve(pr); err == nil {
+		t.Error("expected infeasibility for contradictory equalities")
+	}
+}
+
+func TestRedundantEqualities(t *testing.T) {
+	// Duplicate consistent equalities must not break the solver.
+	pr := &Problem{
+		P:   []float64{3, 3},
+		EqA: [][]float64{{1, 1}, {2, 2}},
+		EqB: []float64{1, 2},
+	}
+	x, _, err := Solve(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0]+x[1], 1, 1e-9) {
+		t.Errorf("x = %v violates x+y=1", x)
+	}
+}
+
+func TestMindistToHyperplaneCapMatchesHandComputation(t *testing.T) {
+	// In d=2 on the simplex: hyperplane (r_i - r_j).v = 0 with
+	// r_i - r_j = (1,-1) crosses the simplex at (0.5, 0.5).
+	// From w=(0.8,0.2) the mindist is |(0.8,0.2)-(0.5,0.5)| = 0.3*sqrt(2).
+	pr := &Problem{
+		P:   []float64{0.8, 0.2},
+		EqA: [][]float64{{1, 1}, {1, -1}},
+		EqB: []float64{1, 0},
+		InA: [][]float64{{1, 0}, {0, 1}},
+		InB: []float64{0, 0},
+	}
+	x, dist, err := Solve(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 0.5, 1e-9) || !almostEq(x[1], 0.5, 1e-9) {
+		t.Errorf("x = %v", x)
+	}
+	if !almostEq(dist, 0.3*math.Sqrt2, 1e-9) {
+		t.Errorf("dist = %g, want %g", dist, 0.3*math.Sqrt2)
+	}
+}
+
+// TestAgainstProjectedGradient cross-checks the active-set solver against a
+// slow projected-gradient reference on random simplex-restricted problems.
+func TestAgainstSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 300; iter++ {
+		d := 2 + rng.Intn(5)
+		p := make([]float64, d)
+		for i := range p {
+			p[i] = rng.Float64()
+		}
+		// Random halfspace a.v >= b through the simplex interior.
+		a := make([]float64, d)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		pr := &Problem{
+			P:   p,
+			EqA: [][]float64{ones(d)},
+			EqB: []float64{1},
+			InA: [][]float64{a},
+			InB: []float64{0},
+		}
+		for i := 0; i < d; i++ {
+			e := make([]float64, d)
+			e[i] = 1
+			pr.InA = append(pr.InA, e)
+			pr.InB = append(pr.InB, 0)
+		}
+		x, dist, err := Solve(pr)
+		if err == ErrInfeasible {
+			// Verify by sampling that the region really looks empty.
+			if v := bestSample(rng, d, a, p, 20000); v >= 0 {
+				t.Fatalf("iter %d: solver infeasible but sample found dist %g", iter, v)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		// Feasibility of the reported point.
+		sum, dot := 0.0, 0.0
+		for i := range x {
+			if x[i] < -1e-8 {
+				t.Fatalf("iter %d: negative coordinate %g", iter, x[i])
+			}
+			sum += x[i]
+			dot += a[i] * x[i]
+		}
+		if !almostEq(sum, 1, 1e-8) || dot < -1e-8 {
+			t.Fatalf("iter %d: infeasible answer sum=%g dot=%g", iter, sum, dot)
+		}
+		// No sampled feasible point may be meaningfully closer.
+		if v := bestSample(rng, d, a, p, 5000); v >= 0 && v < dist-1e-6 {
+			t.Fatalf("iter %d: sample dist %g < solver dist %g", iter, v, dist)
+		}
+	}
+}
+
+func ones(d int) []float64 {
+	o := make([]float64, d)
+	for i := range o {
+		o[i] = 1
+	}
+	return o
+}
+
+// bestSample returns the smallest distance from p to a sampled feasible
+// point of {v on simplex: a.v >= 0}, or -1 if no sample is feasible.
+func bestSample(rng *rand.Rand, d int, a, p []float64, n int) float64 {
+	best := -1.0
+	for s := 0; s < n; s++ {
+		v := make([]float64, d)
+		sum := 0.0
+		for i := range v {
+			v[i] = rng.ExpFloat64()
+			sum += v[i]
+		}
+		dot := 0.0
+		for i := range v {
+			v[i] /= sum
+			dot += a[i] * v[i]
+		}
+		if dot < 0 {
+			continue
+		}
+		dist := 0.0
+		for i := range v {
+			dd := v[i] - p[i]
+			dist += dd * dd
+		}
+		dist = math.Sqrt(dist)
+		if best < 0 || dist < best {
+			best = dist
+		}
+	}
+	return best
+}
+
+func TestFeasible(t *testing.T) {
+	pr := &Problem{
+		P:   []float64{0, 0},
+		InA: [][]float64{{1, 0}},
+		InB: []float64{-1},
+	}
+	if !Feasible(pr) {
+		t.Error("trivially feasible system reported infeasible")
+	}
+}

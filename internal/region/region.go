@@ -1,0 +1,151 @@
+// Package region represents convex polytopes in the preference domain: the
+// top-regions C(r) of Lemma 2, their refinements under Theorem 1, and the
+// fixed preference polytopes R of the baseline techniques [20, 54]. A
+// region is the intersection of the unit simplex with a set of halfspaces;
+// emptiness tests and mindist computations reduce to projection QPs.
+package region
+
+import (
+	"math"
+
+	"ordu/internal/geom"
+	"ordu/internal/qp"
+)
+
+// Halfspace is one linear constraint A.v >= B over preference vectors.
+type Halfspace struct {
+	A geom.Vector
+	B float64
+}
+
+// Beat returns the halfspace of preference vectors for which record r
+// scores at least as high as record q: (r - q).v >= 0. It is the building
+// block of every top-region in the paper.
+func Beat(r, q geom.Vector) Halfspace {
+	return Halfspace{A: r.Sub(q), B: 0}
+}
+
+// Region is a convex polytope in the preference domain: the unit simplex
+// intersected with the listed halfspaces.
+type Region struct {
+	Dim int
+	Hs  []Halfspace
+}
+
+// Full returns the whole preference domain (the unit simplex).
+func Full(d int) Region {
+	return Region{Dim: d}
+}
+
+// With returns a new region additionally constrained by the given
+// halfspaces. The receiver is unchanged; the halfspace slice is copied so
+// regions can be extended independently along different search branches.
+func (r Region) With(hs ...Halfspace) Region {
+	out := Region{Dim: r.Dim, Hs: make([]Halfspace, 0, len(r.Hs)+len(hs))}
+	out.Hs = append(out.Hs, r.Hs...)
+	out.Hs = append(out.Hs, hs...)
+	return out
+}
+
+// Contains reports whether v satisfies every constraint (with tolerance).
+func (r Region) Contains(v geom.Vector) bool {
+	if !geom.OnSimplex(v) {
+		return false
+	}
+	for _, h := range r.Hs {
+		if h.A.Dot(v) < h.B-1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// problem assembles the QP constraint system for the region.
+func (r Region) problem(target geom.Vector) *qp.Problem {
+	d := r.Dim
+	ones := make([]float64, d)
+	for i := range ones {
+		ones[i] = 1
+	}
+	pr := &qp.Problem{
+		P:   target,
+		EqA: [][]float64{ones},
+		EqB: []float64{1},
+	}
+	for i := 0; i < d; i++ {
+		e := make([]float64, d)
+		e[i] = 1
+		pr.InA = append(pr.InA, e)
+		pr.InB = append(pr.InB, 0)
+	}
+	for _, h := range r.Hs {
+		pr.InA = append(pr.InA, h.A)
+		pr.InB = append(pr.InB, h.B)
+	}
+	return pr
+}
+
+// MinDist returns the minimum distance from w to the region and the
+// closest point. ok is false when the region is empty. w must have the
+// region's dimensionality.
+func (r Region) MinDist(w geom.Vector) (dist float64, closest geom.Vector, ok bool) {
+	x, d2, err := qp.Solve(r.problem(w))
+	if err != nil {
+		return 0, nil, false
+	}
+	return d2, x, true
+}
+
+// Empty reports whether the region has no feasible point.
+func (r Region) Empty() bool {
+	_, _, ok := r.MinDist(barycentre(r.Dim))
+	return !ok
+}
+
+// FeasiblePoint returns a point of the region (the projection of the
+// simplex barycentre), or ok=false when the region is empty.
+func (r Region) FeasiblePoint() (geom.Vector, bool) {
+	_, x, ok := r.MinDist(barycentre(r.Dim))
+	return x, ok
+}
+
+func barycentre(d int) geom.Vector {
+	b := make(geom.Vector, d)
+	for i := range b {
+		b[i] = 1 / float64(d)
+	}
+	return b
+}
+
+// Box returns the region |v_i - c_i| <= side/2 intersected with the
+// simplex: the hypercube preference polytope the fixed-region adaptations
+// are fed (Section 6.1).
+func Box(c geom.Vector, side float64) Region {
+	d := len(c)
+	r := Region{Dim: d}
+	for i := 0; i < d; i++ {
+		lo := c[i] - side/2
+		hi := c[i] + side/2
+		e := make(geom.Vector, d)
+		e[i] = 1
+		ne := make(geom.Vector, d)
+		ne[i] = -1
+		if lo > 0 {
+			r.Hs = append(r.Hs, Halfspace{A: e, B: lo})
+		}
+		if hi < 1 {
+			r.Hs = append(r.Hs, Halfspace{A: ne, B: -hi})
+		}
+	}
+	return r
+}
+
+// MaxDist returns an upper bound on the distance from w to any point of
+// the region (the distance to the farthest simplex vertex, clipped by
+// nothing tighter; used only for reporting).
+func (r Region) MaxDist(w geom.Vector) float64 {
+	return geom.MaxSimplexDist(w)
+}
+
+// Infeasible is a sentinel distance for empty regions.
+var Infeasible = math.Inf(1)

@@ -1,0 +1,211 @@
+package skyband
+
+import (
+	"container/heap"
+	"math"
+
+	"ordu/internal/geom"
+	"ordu/internal/rtree"
+)
+
+// IRD is the incremental rho-skyband module of Section 5.3.2. It serves
+// "get next" calls, each returning the record that joins the rho-skyband at
+// the immediately larger radius around the seed w, together with that
+// radius (the record's inflection radius).
+//
+// Internally it drives the score-ordered BBS scanner to fetch k-skyband
+// members progressively into set T, where their exact inflection radii are
+// known on arrival (only higher-scoring records can rho-dominate them, and
+// those are all fetched earlier). Records are released once their
+// inflection radius is no larger than a lower bound rho_ on the inflection
+// radius of anything not yet fetched. The bound is the minimum, over the
+// BBS heap contents (set S), of each entry's inflection radius with respect
+// to the fetched set T; since radii only grow as T grows, bounds computed
+// against an older T remain valid, and the implementation refreshes only
+// the entry that currently blocks the minimum (lazy revalidation).
+type IRD struct {
+	w  geom.Vector
+	k  int
+	sc *Scanner
+	pr *SkybandPruner
+
+	t       []Member  // fetched k-skyband records, in decreasing score order
+	tRadii  []float64 // inflection radius of each t entry
+	pending pendHeap  // fetched but not yet released, keyed by inflection radius
+
+	bounds boundHeap
+	live   map[uint64]*boundEntry
+
+	exhausted bool
+}
+
+// Released is one output of IRD: a record and the radius at which it joins
+// the rho-skyband.
+type Released struct {
+	ID     int
+	Point  geom.Vector
+	Radius float64
+}
+
+type pendItem struct {
+	rec Member
+	rho float64
+}
+
+type pendHeap []pendItem
+
+func (h pendHeap) Len() int            { return len(h) }
+func (h pendHeap) Less(i, j int) bool  { return h[i].rho < h[j].rho }
+func (h pendHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pendHeap) Push(x interface{}) { *h = append(*h, x.(pendItem)) }
+func (h *pendHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+type boundEntry struct {
+	seq      uint64
+	pt       geom.Vector
+	bound    float64
+	tVersion int // size of T when bound was computed
+	dead     bool
+}
+
+type boundHeap []*boundEntry
+
+func (h boundHeap) Len() int            { return len(h) }
+func (h boundHeap) Less(i, j int) bool  { return h[i].bound < h[j].bound }
+func (h boundHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *boundHeap) Push(x interface{}) { *h = append(*h, x.(*boundEntry)) }
+func (h *boundHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// NewIRD starts an incremental rho-skyband computation around w.
+func NewIRD(tree *rtree.Tree, w geom.Vector, k int) *IRD {
+	ird := &IRD{
+		w:    w,
+		k:    k,
+		pr:   NewSkybandPruner(k),
+		live: make(map[uint64]*boundEntry),
+	}
+	ird.sc = NewScanner(tree, w)
+	ird.sc.onPush = func(e *scanEntry) {
+		be := &boundEntry{seq: e.seq, pt: e.pt}
+		ird.live[e.seq] = be
+		heap.Push(&ird.bounds, be)
+	}
+	ird.sc.onPop = func(e *scanEntry) {
+		if be, ok := ird.live[e.seq]; ok {
+			be.dead = true
+			delete(ird.live, e.seq)
+		}
+	}
+	return ird
+}
+
+// inflectionOf computes the inflection radius of p against the current T.
+func (ird *IRD) inflectionOf(p geom.Vector) float64 {
+	if len(ird.t) < ird.k {
+		return 0
+	}
+	mindists := make([]float64, 0, len(ird.t))
+	for _, t := range ird.t {
+		mindists = append(mindists, Mindist(ird.w, p, t.Point))
+	}
+	return InflectionRadius(mindists, ird.k)
+}
+
+// boundAtLeast reports whether the inflection radius of p against the
+// current T is at least x, with early exit once k covering intervals are
+// found (each interval [0, mindist] with mindist >= x counts).
+func (ird *IRD) boundAtLeast(p geom.Vector, x float64) bool {
+	count := 0
+	for _, t := range ird.t {
+		if t.Point.Dominates(p) || Mindist(ird.w, p, t.Point) >= x {
+			count++
+			if count >= ird.k {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// boundsClear reports whether every not-yet-fetched record provably has
+// inflection radius at least x. Stored bounds are lower bounds computed
+// against an older T (radii only grow as T grows), so entries are
+// revalidated lazily: only while the minimum stored bound is below x, and
+// each revalidation early-exits at x rather than computing the exact
+// radius.
+func (ird *IRD) boundsClear(x float64) bool {
+	for ird.bounds.Len() > 0 {
+		top := ird.bounds[0]
+		if top.dead {
+			heap.Pop(&ird.bounds)
+			continue
+		}
+		if top.bound >= x {
+			return true // heap min >= x, so every entry is
+		}
+		if top.tVersion == len(ird.t) {
+			return false // bound is current and below x
+		}
+		if !ird.boundAtLeast(top.pt, x) {
+			// Genuinely below x at the current T; leave the stored (still
+			// valid) bound in place — the next fetch changes T anyway.
+			return false
+		}
+		top.bound = x // truthful lower bound, confirmed against current T
+		top.tVersion = len(ird.t)
+		heap.Fix(&ird.bounds, 0)
+	}
+	return true // S is empty: nothing unfetched remains
+}
+
+// fetch advances the underlying k-skyband scan by one record. It returns
+// false when the scan is exhausted.
+func (ird *IRD) fetch() bool {
+	id, p, ok := ird.sc.Next(ird.pr)
+	if !ok {
+		ird.exhausted = true
+		return false
+	}
+	rho := ird.inflectionOf(p)
+	ird.pr.Add(p)
+	m := Member{ID: id, Point: p}
+	ird.t = append(ird.t, m)
+	ird.tRadii = append(ird.tRadii, rho)
+	if !math.IsInf(rho, 1) {
+		heap.Push(&ird.pending, pendItem{rec: m, rho: rho})
+	}
+	return true
+}
+
+// Next releases the rho-skyband member with the smallest remaining
+// inflection radius. ok is false once the entire k-skyband is exhausted.
+func (ird *IRD) Next() (Released, bool) {
+	for {
+		if ird.pending.Len() > 0 {
+			if ird.exhausted || ird.boundsClear(ird.pending[0].rho) {
+				it := heap.Pop(&ird.pending).(pendItem)
+				return Released{ID: it.rec.ID, Point: it.rec.Point, Radius: it.rho}, true
+			}
+		}
+		if ird.exhausted {
+			return Released{}, false
+		}
+		ird.fetch()
+	}
+}
+
+// FetchedCount returns how many k-skyband members IRD has fetched so far,
+// a measure of the search effort (|T| in the paper's notation).
+func (ird *IRD) FetchedCount() int { return len(ird.t) }

@@ -1,0 +1,126 @@
+// Package skyband implements the dominance-side machinery of the paper:
+// rho-dominance tests (Section 3), mindist and inflection-radius
+// computation (Section 4.1), the score-ordered progressive BBS variant that
+// both ORD and ORU build on (Sections 4.2, 5.3.2), plain skyline/k-skyband
+// retrieval, and the incremental rho-skyband module IRD (Section 5.3.2).
+package skyband
+
+import (
+	"math"
+	"sort"
+
+	"ordu/internal/geom"
+	"ordu/internal/qp"
+)
+
+// Mindist returns rho_{i,j}: the largest radius at which rj still
+// rho-dominates ri around the seed w, i.e. the minimum distance from w to
+// the intersection of the score-tie hyperplane U_v(ri) = U_v(rj) with the
+// preference simplex (Section 4.1). It returns +Inf when rj outscores ri on
+// the entire preference domain (in particular when rj dominates ri).
+//
+// The caller must ensure U_w(rj) >= U_w(ri); otherwise rj never
+// rho-dominates ri and the notion is undefined.
+//
+// The computation first tries the closed form for the foot of the
+// perpendicular within the simplex's supporting hyperplane; only when that
+// foot leaves the simplex does it fall back to the QP solver, mirroring how
+// the paper uses QuadProg++ for the general case.
+func Mindist(w, ri, rj geom.Vector) float64 {
+	d := len(w)
+	// Single allocation-free pass: dominance check, hyperplane coefficient
+	// aggregates (a = ri - rj), and a.w.
+	dominates, strict := true, false
+	aw, asum, a2 := 0.0, 0.0, 0.0
+	for i := 0; i < d; i++ {
+		ai := ri[i] - rj[i]
+		if ai > 0 {
+			dominates = false
+		} else if ai < 0 {
+			strict = true
+		}
+		aw += ai * w[i]
+		asum += ai
+		a2 += ai * ai
+	}
+	if dominates && strict {
+		return math.Inf(1)
+	}
+	// Project a onto the simplex's supporting hyperplane sum(v)=1.
+	mean := asum / float64(d)
+	proj2 := a2 - asum*mean
+	if proj2 < 1e-18 {
+		// a is (numerically) parallel to the all-ones vector: the score gap
+		// is constant over the whole domain.
+		if math.Abs(aw) < 1e-15 {
+			return 0 // identical scores everywhere; degenerate tie
+		}
+		return math.Inf(1)
+	}
+	// Foot of the perpendicular: v* = w - (aw/proj2) * (a - mean*1).
+	alpha := aw / proj2
+	feasible := true
+	for i := 0; i < d; i++ {
+		if w[i]-alpha*(ri[i]-rj[i]-mean) < -1e-12 {
+			feasible = false
+			break
+		}
+	}
+	dist := math.Abs(aw) / math.Sqrt(proj2)
+	if feasible {
+		return dist
+	}
+	// Foot outside the simplex: exact QP projection.
+	a := ri.Sub(rj)
+	ones := make([]float64, d)
+	ge := make([][]float64, d)
+	gb := make([]float64, d)
+	for i := 0; i < d; i++ {
+		ones[i] = 1
+		e := make([]float64, d)
+		e[i] = 1
+		ge[i] = e
+	}
+	pr := &qp.Problem{
+		P:   w,
+		EqA: [][]float64{ones, a},
+		EqB: []float64{1, 0},
+		InA: ge,
+		InB: gb,
+	}
+	_, qdist, err := qp.Solve(pr)
+	if err != nil {
+		// The hyperplane misses the simplex entirely: rj wins everywhere.
+		return math.Inf(1)
+	}
+	return qdist
+}
+
+// InflectionRadius computes the inflection radius of a record given the
+// mindists contributed by its higher-scoring competitors (Figure 2(a)):
+// each competitor rho-dominates the record on the interval [0, mindist], so
+// the record joins the rho-skyband once fewer than k intervals remain, i.e.
+// at the k-th largest mindist. With fewer than k competitors the record is
+// in every rho-skyband (radius 0); +Inf means it never joins (it is
+// dominated outright by at least k others).
+func InflectionRadius(mindists []float64, k int) float64 {
+	if len(mindists) < k {
+		return 0
+	}
+	ds := append([]float64(nil), mindists...)
+	sort.Float64s(ds)
+	return ds[len(ds)-k]
+}
+
+// RhoDominates reports whether rj rho-dominates ri at radius rho around w.
+// Records tied in score for w never dominate each other.
+func RhoDominates(w, rj, ri geom.Vector, rho float64) bool {
+	sj, si := rj.Dot(w), ri.Dot(w)
+	if sj < si {
+		return false
+	}
+	if sj == si && !rj.Dominates(ri) {
+		return false
+	}
+	return Mindist(w, ri, rj) >= rho
+}

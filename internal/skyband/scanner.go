@@ -1,0 +1,134 @@
+package skyband
+
+import (
+	"container/heap"
+
+	"ordu/internal/geom"
+	"ordu/internal/rtree"
+)
+
+// Pruner decides whether a candidate point (a record, or the top corner of
+// an index node, which score-bounds its whole subtree) can be excluded from
+// a progressive scan. BBS's correctness requires only that a pruned point
+// could never belong to the result, given the records emitted so far.
+type Pruner interface {
+	Prune(p geom.Vector) bool
+}
+
+// scanEntry is one element of the branch-and-bound heap: an index node or a
+// record, keyed by the (upper bound of) score for the scan's seed vector.
+type scanEntry struct {
+	score float64
+	sum   float64 // coordinate sum; breaks score ties so that a dominating
+	// record is always popped before the record it dominates
+	node *rtree.Node // nil for records
+	id   int
+	pt   geom.Vector // record point, or node top corner
+	seq  uint64
+}
+
+type scanHeap []scanEntry
+
+func (h scanHeap) Len() int { return len(h) }
+func (h scanHeap) Less(i, j int) bool {
+	if h[i].score != h[j].score {
+		return h[i].score > h[j].score
+	}
+	return h[i].sum > h[j].sum
+}
+func (h scanHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *scanHeap) Push(x interface{}) { *h = append(*h, x.(scanEntry)) }
+func (h *scanHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Scanner is the paper's amended BBS (Sections 4.2, 5.3.2): it visits index
+// nodes and records in decreasing (upper bound of) score for the seed w,
+// using a max-heap, and emits the records that survive a caller-supplied
+// pruner. The visiting order guarantees that no record emitted later can
+// dominate (or rho-dominate, for any rho) one emitted earlier, which is the
+// property BBS's correctness rests on.
+type Scanner struct {
+	w       geom.Vector
+	h       scanHeap
+	seq     uint64
+	visited int // heap pops, for instrumentation
+
+	// Observers, used by IRD to maintain lower-bound inflection radii for
+	// the not-yet-considered part of the dataset (set S in the paper).
+	onPush func(e *scanEntry)
+	onPop  func(e *scanEntry)
+}
+
+// NewScanner starts a scan of tree in decreasing score order for w.
+func NewScanner(tree *rtree.Tree, w geom.Vector) *Scanner {
+	s := &Scanner{w: w}
+	if root := tree.Root(); root != nil {
+		top := rootRect(root)
+		s.pushNode(root, top)
+	}
+	return s
+}
+
+func rootRect(n *rtree.Node) geom.Vector {
+	r := n.Entries[0].Rect.Clone()
+	for _, e := range n.Entries[1:] {
+		r.Extend(e.Rect)
+	}
+	return r.TopCorner()
+}
+
+func (s *Scanner) push(e scanEntry) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.h, e)
+	if s.onPush != nil {
+		s.onPush(&e)
+	}
+}
+
+func (s *Scanner) pushNode(n *rtree.Node, top geom.Vector) {
+	s.push(scanEntry{score: s.w.Dot(top), sum: top.Sum(), node: n, pt: top})
+}
+
+func (s *Scanner) pushRecord(id int, p geom.Vector) {
+	s.push(scanEntry{score: s.w.Dot(p), sum: p.Sum(), id: id, pt: p})
+}
+
+// Next returns the next surviving record in decreasing score order. The
+// pruner may be nil, in which case every record is emitted (that is BBR's
+// ranked retrieval). ok is false when the scan is exhausted.
+func (s *Scanner) Next(pruner Pruner) (id int, p geom.Vector, ok bool) {
+	for len(s.h) > 0 {
+		e := heap.Pop(&s.h).(scanEntry)
+		s.visited++
+		if s.onPop != nil {
+			s.onPop(&e)
+		}
+		if pruner != nil && pruner.Prune(e.pt) {
+			continue
+		}
+		if e.node == nil {
+			return e.id, e.pt, true
+		}
+		for _, ent := range e.node.Entries {
+			if e.node.Level == 0 {
+				s.pushRecord(ent.ID, geom.Vector(ent.Rect.Lo))
+			} else {
+				s.pushNode(ent.Child, ent.Rect.TopCorner())
+			}
+		}
+	}
+	return 0, nil, false
+}
+
+// Visited returns the number of heap pops performed, a proxy for I/O in
+// the paper's disk-based analysis.
+func (s *Scanner) Visited() int { return s.visited }
+
+// Exhausted reports whether the scan has no remaining entries.
+func (s *Scanner) Exhausted() bool { return len(s.h) == 0 }

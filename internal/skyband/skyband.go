@@ -1,0 +1,68 @@
+package skyband
+
+import (
+	"ordu/internal/geom"
+	"ordu/internal/rtree"
+)
+
+// Member is a record returned by a skyband computation.
+type Member struct {
+	ID    int
+	Point geom.Vector
+}
+
+// KSkyband computes the k-skyband of the indexed dataset with the
+// score-ordered BBS variant (visiting entries in decreasing score for a
+// strictly positive reference vector, which preserves BBS's correctness
+// invariant that no later record can dominate an earlier one). Members are
+// returned in decreasing score order for the uniform vector.
+func KSkyband(tree *rtree.Tree, k int) []Member {
+	d := tree.Dim()
+	w := make(geom.Vector, d)
+	for i := range w {
+		w[i] = 1 / float64(d)
+	}
+	return KSkybandFor(tree, w, k)
+}
+
+// KSkybandFor computes the k-skyband visiting entries in decreasing score
+// for the given seed; the result set is independent of the seed, but the
+// emission order follows it. The seed's zero components are handled by the
+// scanner's coordinate-sum tie-break.
+func KSkybandFor(tree *rtree.Tree, w geom.Vector, k int) []Member {
+	sc := NewScanner(tree, w)
+	pr := NewSkybandPruner(k)
+	var out []Member
+	for {
+		id, p, ok := sc.Next(pr)
+		if !ok {
+			return out
+		}
+		pr.Add(p)
+		out = append(out, Member{ID: id, Point: p})
+	}
+}
+
+// Skyline computes the traditional skyline (the 1-skyband).
+func Skyline(tree *rtree.Tree) []Member {
+	return KSkyband(tree, 1)
+}
+
+// RhoSkyband computes the rho-skyband for a fixed radius rho around w: the
+// records rho-dominated by fewer than k others (Definition of Section 3).
+// It is the building block the complete ORD algorithm improves upon, and
+// the reference the tests validate ORD against.
+func RhoSkyband(tree *rtree.Tree, w geom.Vector, k int, rho float64) []Member {
+	sc := NewScanner(tree, w)
+	pr := NewRhoPruner(w, k)
+	pr.Rho = rho
+	var out []Member
+	for {
+		id, p, ok := sc.Next(pr)
+		if !ok {
+			return out
+		}
+		pr.Add(p)
+		out = append(out, Member{ID: id, Point: p})
+	}
+}

@@ -1,0 +1,90 @@
+// Package topk implements BBR [66]: branch-and-bound ranked retrieval of
+// the k records with the highest linear utility score over an R-tree. The
+// first k records popped from a max-heap ordered by score upper bound are
+// exactly the top-k.
+package topk
+
+import (
+	"container/heap"
+	"sort"
+
+	"ordu/internal/geom"
+	"ordu/internal/rtree"
+)
+
+// Result is one ranked record.
+type Result struct {
+	ID    int
+	Point geom.Vector
+	Score float64
+}
+
+type entry struct {
+	score float64
+	node  *rtree.Node
+	id    int
+	pt    geom.Vector
+}
+
+type maxHeap []entry
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return h[i].score > h[j].score }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(entry)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// TopK returns the k records with the highest score for w, in decreasing
+// score order. Fewer records are returned when the dataset is smaller
+// than k.
+func TopK(tree *rtree.Tree, w geom.Vector, k int) []Result {
+	root := tree.Root()
+	if root == nil || k <= 0 {
+		return nil
+	}
+	var h maxHeap
+	pushNode := func(n *rtree.Node, top geom.Vector) {
+		heap.Push(&h, entry{score: w.Dot(top), node: n, pt: top})
+	}
+	r := root.Entries[0].Rect.Clone()
+	for _, e := range root.Entries[1:] {
+		r.Extend(e.Rect)
+	}
+	pushNode(root, r.TopCorner())
+	out := make([]Result, 0, k)
+	for len(h) > 0 && len(out) < k {
+		e := heap.Pop(&h).(entry)
+		if e.node == nil {
+			out = append(out, Result{ID: e.id, Point: e.pt, Score: e.score})
+			continue
+		}
+		for _, ent := range e.node.Entries {
+			if e.node.Level == 0 {
+				p := geom.Vector(ent.Rect.Lo)
+				heap.Push(&h, entry{score: w.Dot(p), id: ent.ID, pt: p})
+			} else {
+				pushNode(ent.Child, ent.Rect.TopCorner())
+			}
+		}
+	}
+	return out
+}
+
+// BruteTopK is the linear-scan reference used in tests and small examples.
+func BruteTopK(points []geom.Vector, w geom.Vector, k int) []Result {
+	res := make([]Result, 0, len(points))
+	for i, p := range points {
+		res = append(res, Result{ID: i, Point: p, Score: w.Dot(p)})
+	}
+	sort.Slice(res, func(i, j int) bool { return res[i].Score > res[j].Score })
+	if len(res) > k {
+		res = res[:k]
+	}
+	return res
+}

@@ -1,0 +1,72 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+
+	"ordu/internal/geom"
+	"ordu/internal/rtree"
+)
+
+func TestTopKMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, d := range []int{2, 4, 6} {
+		pts := make([]geom.Vector, 500)
+		for i := range pts {
+			p := make(geom.Vector, d)
+			for j := range p {
+				p[j] = rng.Float64()
+			}
+			pts[i] = p
+		}
+		tr := rtree.BulkLoad(pts)
+		for _, k := range []int{1, 5, 20} {
+			w := geom.RandSimplex(rng, d)
+			got := TopK(tr, w, k)
+			want := BruteTopK(pts, w, k)
+			if len(got) != len(want) {
+				t.Fatalf("d=%d k=%d: got %d results", d, k, len(got))
+			}
+			for i := range got {
+				// Scores must match rank-for-rank (ids may differ on exact
+				// ties, which do not occur with random float data).
+				if got[i].ID != want[i].ID {
+					t.Fatalf("d=%d k=%d rank %d: got id %d, want %d",
+						d, k, i, got[i].ID, want[i].ID)
+				}
+			}
+		}
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	pts := []geom.Vector{{0.5, 0.5}, {0.9, 0.1}}
+	tr := rtree.BulkLoad(pts)
+	w := geom.Vector{0.5, 0.5}
+	if got := TopK(tr, w, 0); got != nil {
+		t.Error("k=0 should return nil")
+	}
+	if got := TopK(tr, w, 10); len(got) != 2 {
+		t.Errorf("k beyond dataset size returned %d", len(got))
+	}
+	empty := rtree.New(2)
+	if got := TopK(empty, w, 3); got != nil {
+		t.Error("empty tree should return nil")
+	}
+}
+
+func TestTopKOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	pts := make([]geom.Vector, 200)
+	for i := range pts {
+		pts[i] = geom.Vector{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	tr := rtree.BulkLoad(pts)
+	w := geom.Vector{0.3, 0.3, 0.4}
+	res := TopK(tr, w, 50)
+	for i := 1; i < len(res); i++ {
+		if res[i].Score > res[i-1].Score {
+			t.Fatal("results not in decreasing score order")
+		}
+	}
+}

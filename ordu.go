@@ -1,0 +1,403 @@
+// Package ordu implements the ORD and ORU operators of Mouratidis, Li and
+// Tang, "Marrying Top-k with Skyline Queries: Relaxing the Preference Input
+// while Producing Output of Controllable Size" (SIGMOD 2021), together with
+// the query machinery they build on: R-tree indexing, branch-and-bound
+// top-k and skyband retrieval, rho-dominance, and upper-hull geometry.
+//
+// Both operators take a best-effort preference vector w (the seed), a rank
+// parameter k, and a desired output size m, and report exactly m records:
+//
+//   - ORD relaxes dominance: it returns the records rho-dominated by fewer
+//     than k others, for the minimum radius rho around w that yields m
+//     records. It interpolates between the top-k at w (rho = 0) and the
+//     traditional k-skyband (rho unbounded).
+//   - ORU relaxes ranking: it returns the records that appear in the top-k
+//     result of at least one preference vector within distance rho of w,
+//     again for the minimum rho yielding m records — and reports every
+//     order-sensitive top-k result with its preference region as a
+//     by-product.
+//
+// Records are d-dimensional with larger-is-better attributes; preference
+// vectors are non-negative with components summing to 1. Use Normalize to
+// bring raw columns into shape.
+//
+// A minimal session:
+//
+//	ds, _ := ordu.NewDataset(records)             // builds the R-tree
+//	res, _ := ds.ORU([]float64{0.5, 0.3, 0.2}, 5, 20)
+//	for _, r := range res.Records { fmt.Println(r.ID, r.Record) }
+package ordu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"ordu/internal/core"
+	"ordu/internal/geom"
+	"ordu/internal/osskyline"
+	"ordu/internal/rtree"
+	"ordu/internal/skyband"
+	"ordu/internal/topk"
+)
+
+// Dataset is an indexed collection of records supporting the library's
+// query operators. It is not safe for concurrent mutation; concurrent
+// read-only queries are safe.
+type Dataset struct {
+	tree   *rtree.Tree
+	points map[int]geom.Vector
+	nextID int
+}
+
+// Result is one record returned by a query.
+type Result struct {
+	// ID identifies the record (assigned in input order by NewDataset).
+	ID int
+	// Record holds the record's attributes.
+	Record []float64
+	// Score is the utility for the query's preference vector, when one was
+	// involved (0 otherwise).
+	Score float64
+}
+
+// ORDResult is the output of Dataset.ORD.
+type ORDResult struct {
+	// Records are the m output records in order of inflection radius: the
+	// first j records form the result for every output size j <= m.
+	Records []Result
+	// Radii are the inflection radii parallel to Records: the radius at
+	// which each record enters the rho-skyband.
+	Radii []float64
+	// Rho is the stopping radius (Definition 1).
+	Rho float64
+}
+
+// RegionTopK is one preference region with a fixed order-sensitive top-k
+// result, reported by ORU as a by-product (Section 5.3.1 of the paper).
+type RegionTopK struct {
+	// TopK is the order-sensitive top-k result holding anywhere in the
+	// region.
+	TopK []Result
+	// MinDist is the region's distance from the seed vector.
+	MinDist float64
+	// Witness is a preference vector inside the region.
+	Witness []float64
+}
+
+// ORUResult is the output of Dataset.ORU.
+type ORUResult struct {
+	// Records are the m output records in confirmation order.
+	Records []Result
+	// Rho is the stopping radius (Definition 2).
+	Rho float64
+	// Regions lists the finalized top-k regions in increasing distance
+	// from the seed.
+	Regions []RegionTopK
+}
+
+// NewDataset indexes the given records (each a slice of d >= 2 attributes,
+// larger-is-better). Record i receives ID i.
+func NewDataset(records [][]float64) (*Dataset, error) {
+	if len(records) == 0 {
+		return nil, errors.New("ordu: empty dataset")
+	}
+	d := len(records[0])
+	if d < 2 {
+		return nil, fmt.Errorf("ordu: records have %d attribute(s); need at least 2", d)
+	}
+	pts := make([]geom.Vector, len(records))
+	for i, r := range records {
+		if len(r) != d {
+			return nil, fmt.Errorf("ordu: record %d has %d attributes, want %d", i, len(r), d)
+		}
+		for j, x := range r {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil, fmt.Errorf("ordu: record %d attribute %d is not finite", i, j)
+			}
+		}
+		pts[i] = geom.Vector(r).Clone()
+	}
+	ds := &Dataset{
+		tree:   rtree.BulkLoad(pts),
+		points: make(map[int]geom.Vector, len(pts)),
+		nextID: len(pts),
+	}
+	for i, p := range pts {
+		ds.points[i] = p
+	}
+	return ds, nil
+}
+
+// Len returns the number of records.
+func (ds *Dataset) Len() int { return ds.tree.Len() }
+
+// Dim returns the number of attributes per record.
+func (ds *Dataset) Dim() int { return ds.tree.Dim() }
+
+// Record returns the attributes of a record by id.
+func (ds *Dataset) Record(id int) ([]float64, bool) {
+	p, ok := ds.points[id]
+	return p, ok
+}
+
+// Insert adds a record and returns its id. The paper's operators need no
+// precomputation beyond the index, so updates are immediately visible to
+// subsequent queries (Section 3).
+func (ds *Dataset) Insert(record []float64) (int, error) {
+	if len(record) != ds.Dim() {
+		return 0, fmt.Errorf("ordu: record has %d attributes, want %d", len(record), ds.Dim())
+	}
+	id := ds.nextID
+	ds.nextID++
+	p := geom.Vector(record).Clone()
+	if err := ds.tree.Insert(id, p); err != nil {
+		return 0, err
+	}
+	ds.points[id] = p
+	return id, nil
+}
+
+// Delete removes a record by id, reporting whether it existed.
+func (ds *Dataset) Delete(id int) bool {
+	if !ds.tree.Delete(id) {
+		return false
+	}
+	delete(ds.points, id)
+	return true
+}
+
+// prepW validates and copies a preference vector.
+func (ds *Dataset) prepW(w []float64) (geom.Vector, error) {
+	v := geom.Vector(w)
+	if err := geom.ValidatePreference(v, ds.Dim()); err != nil {
+		return nil, err
+	}
+	return v.Clone(), nil
+}
+
+// TopK returns the k records with the highest utility for w, best first
+// (BBR branch-and-bound ranked retrieval).
+func (ds *Dataset) TopK(w []float64, k int) ([]Result, error) {
+	v, err := ds.prepW(w)
+	if err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("ordu: k = %d, want k >= 1", k)
+	}
+	rs := topk.TopK(ds.tree, v, k)
+	out := make([]Result, len(rs))
+	for i, r := range rs {
+		out[i] = Result{ID: r.ID, Record: r.Point, Score: r.Score}
+	}
+	return out, nil
+}
+
+// Skyline returns the records dominated by no other (BBS).
+func (ds *Dataset) Skyline() []Result {
+	ms := skyband.Skyline(ds.tree)
+	out := make([]Result, len(ms))
+	for i, m := range ms {
+		out[i] = Result{ID: m.ID, Record: m.Point}
+	}
+	return out
+}
+
+// KSkyband returns the records dominated by fewer than k others (BBS).
+func (ds *Dataset) KSkyband(k int) ([]Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("ordu: k = %d, want k >= 1", k)
+	}
+	ms := skyband.KSkyband(ds.tree, k)
+	out := make([]Result, len(ms))
+	for i, m := range ms {
+		out[i] = Result{ID: m.ID, Record: m.Point}
+	}
+	return out, nil
+}
+
+// OSSkyline returns the m skyline records that dominate the most records
+// (the output-size-specified skyline of Lin et al. [49], the qualitative
+// baseline of the paper's Section 6.1).
+func (ds *Dataset) OSSkyline(m int) []Result {
+	rs := osskyline.TopM(ds.tree, m)
+	out := make([]Result, len(rs))
+	for i, r := range rs {
+		out[i] = Result{ID: r.ID, Record: r.Point, Score: float64(r.Count)}
+	}
+	return out
+}
+
+// ORD runs the paper's dominance-flavoured operator (Definition 1).
+func (ds *Dataset) ORD(w []float64, k, m int) (*ORDResult, error) {
+	v, err := ds.prepW(w)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.ORD(ds.tree, v, k, m)
+	if err != nil {
+		return nil, err
+	}
+	out := &ORDResult{Rho: res.Rho, Radii: res.Radii}
+	for _, r := range res.Records {
+		out.Records = append(out.Records, Result{ID: r.ID, Record: r.Point, Score: v.Dot(r.Point)})
+	}
+	return out, nil
+}
+
+// ORU runs the paper's ranking-flavoured operator (Definition 2).
+func (ds *Dataset) ORU(w []float64, k, m int) (*ORUResult, error) {
+	v, err := ds.prepW(w)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.ORU(ds.tree, v, k, m)
+	if err != nil {
+		return nil, err
+	}
+	out := &ORUResult{Rho: res.Rho}
+	for _, r := range res.Records {
+		out.Records = append(out.Records, Result{ID: r.ID, Record: r.Point, Score: v.Dot(r.Point)})
+	}
+	for _, reg := range res.Regions {
+		rt := RegionTopK{MinDist: reg.MinDist}
+		for _, r := range reg.TopK {
+			rt.TopK = append(rt.TopK, Result{ID: r.ID, Record: r.Point})
+		}
+		if wit, ok := reg.Region.FeasiblePoint(); ok {
+			rt.Witness = wit
+		}
+		out.Regions = append(out.Regions, rt)
+	}
+	return out, nil
+}
+
+// ORUParallel is ORU with concurrent region partitioning — the
+// parallelisation direction the paper proposes in Section 6.4. The result
+// is identical to ORU; only wall-clock changes. workers <= 1 falls back to
+// the sequential algorithm.
+func (ds *Dataset) ORUParallel(w []float64, k, m, workers int) (*ORUResult, error) {
+	v, err := ds.prepW(w)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.ORUWith(ds.tree, v, k, m, core.ORUOptions{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	out := &ORUResult{Rho: res.Rho}
+	for _, r := range res.Records {
+		out.Records = append(out.Records, Result{ID: r.ID, Record: r.Point, Score: v.Dot(r.Point)})
+	}
+	for _, reg := range res.Regions {
+		rt := RegionTopK{MinDist: reg.MinDist}
+		for _, r := range reg.TopK {
+			rt.TopK = append(rt.TopK, Result{ID: r.ID, Record: r.Point})
+		}
+		if wit, ok := reg.Region.FeasiblePoint(); ok {
+			rt.Witness = wit
+		}
+		out.Regions = append(out.Regions, rt)
+	}
+	return out, nil
+}
+
+// Filter returns a new dataset holding only the records within the given
+// attribute ranges (inclusive; pass -Inf/+Inf entries for open bounds).
+// This realises the range-predicate composition of Section 3: filter by
+// hard constraints first, then run ORD/ORU on the survivors. The returned
+// dataset assigns fresh ids; use the mapping to translate back.
+func (ds *Dataset) Filter(min, max []float64) (*Dataset, []int, error) {
+	if len(min) != ds.Dim() || len(max) != ds.Dim() {
+		return nil, nil, fmt.Errorf("ordu: bounds have dims %d/%d, want %d", len(min), len(max), ds.Dim())
+	}
+	var records [][]float64
+	var ids []int
+	for id, p := range ds.points {
+		inside := true
+		for j := range p {
+			if p[j] < min[j] || p[j] > max[j] {
+				inside = false
+				break
+			}
+		}
+		if inside {
+			records = append(records, p)
+			ids = append(ids, id)
+		}
+	}
+	if len(records) == 0 {
+		return nil, nil, errors.New("ordu: no records satisfy the range predicate")
+	}
+	// Deterministic order regardless of map iteration.
+	order := make([]int, len(ids))
+	for i := range order {
+		order[i] = i
+	}
+	sortByIDs(order, ids)
+	sorted := make([][]float64, len(records))
+	mapping := make([]int, len(records))
+	for i, oi := range order {
+		sorted[i] = records[oi]
+		mapping[i] = ids[oi]
+	}
+	sub, err := NewDataset(sorted)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, mapping, nil
+}
+
+// sortByIDs orders the index slice by ascending ids[index].
+func sortByIDs(order, ids []int) {
+	sort.Slice(order, func(a, b int) bool { return ids[order[a]] < ids[order[b]] })
+}
+
+// ErrInsufficientData reports that the dataset cannot produce the requested
+// number of records (m exceeds what the operator can ever output).
+var ErrInsufficientData = core.ErrInsufficientData
+
+// Normalize min-max scales each column of records into [0, 1] and returns
+// the scaled copy. Columns with a single distinct value map to 0.5.
+// Attributes where smaller is better should be negated by the caller first.
+func Normalize(records [][]float64) [][]float64 {
+	if len(records) == 0 {
+		return nil
+	}
+	d := len(records[0])
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	for j := 0; j < d; j++ {
+		lo[j], hi[j] = math.Inf(1), math.Inf(-1)
+	}
+	for _, r := range records {
+		for j, x := range r {
+			lo[j] = math.Min(lo[j], x)
+			hi[j] = math.Max(hi[j], x)
+		}
+	}
+	out := make([][]float64, len(records))
+	for i, r := range records {
+		q := make([]float64, d)
+		for j, x := range r {
+			if hi[j] > lo[j] {
+				q[j] = (x - lo[j]) / (hi[j] - lo[j])
+			} else {
+				q[j] = 0.5
+			}
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// Preference normalises a non-negative weight vector onto the unit simplex.
+func Preference(weights []float64) ([]float64, error) {
+	v, err := geom.NormalizeToSimplex(geom.Vector(weights).Clone())
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}

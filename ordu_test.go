@@ -1,0 +1,281 @@
+package ordu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randRecords(rng *rand.Rand, n, d int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		r := make([]float64, d)
+		for j := range r {
+			r[j] = rng.Float64()
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// antiRecords yields anticorrelated data with large skybands.
+func antiRecords(rng *rand.Rand, n, d int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		r := make([]float64, d)
+		s := 0.0
+		for j := range r {
+			r[j] = rng.Float64()
+			s += r[j]
+		}
+		f := (float64(d)/2 + 0.1*rng.NormFloat64()) / s
+		for j := range r {
+			r[j] = math.Min(1, math.Max(0, r[j]*f))
+		}
+		out[i] = r
+	}
+	return out
+}
+
+func TestNewDatasetValidation(t *testing.T) {
+	if _, err := NewDataset(nil); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := NewDataset([][]float64{{1}}); err == nil {
+		t.Error("1-dimensional dataset accepted")
+	}
+	if _, err := NewDataset([][]float64{{1, 2}, {1, 2, 3}}); err == nil {
+		t.Error("ragged dataset accepted")
+	}
+	if _, err := NewDataset([][]float64{{1, math.NaN()}}); err == nil {
+		t.Error("NaN accepted")
+	}
+	ds, err := NewDataset([][]float64{{0.1, 0.9}, {0.8, 0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 2 || ds.Dim() != 2 {
+		t.Fatalf("Len=%d Dim=%d", ds.Len(), ds.Dim())
+	}
+}
+
+func TestDatasetDoesNotAliasInput(t *testing.T) {
+	recs := [][]float64{{0.1, 0.9}, {0.8, 0.2}}
+	ds, _ := NewDataset(recs)
+	recs[0][0] = 999
+	r, _ := ds.Record(0)
+	if r[0] == 999 {
+		t.Fatal("dataset aliases caller memory")
+	}
+}
+
+func TestTopKAndSkyline(t *testing.T) {
+	ds, _ := NewDataset([][]float64{
+		{0.9, 0.1}, // 0
+		{0.1, 0.9}, // 1
+		{0.6, 0.6}, // 2: dominates 3
+		{0.5, 0.5}, // 3
+	})
+	top, err := ds.TopK([]float64{0.5, 0.5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top[0].ID != 2 {
+		t.Fatalf("top-1 = %d, want 2", top[0].ID)
+	}
+	if top[0].Score != 0.6 {
+		t.Fatalf("score = %g", top[0].Score)
+	}
+	sky := ds.Skyline()
+	ids := map[int]bool{}
+	for _, s := range sky {
+		ids[s.ID] = true
+	}
+	if !ids[0] || !ids[1] || !ids[2] || ids[3] {
+		t.Fatalf("skyline = %v", sky)
+	}
+	band, err := ds.KSkyband(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(band) != 4 {
+		t.Fatalf("2-skyband = %d records", len(band))
+	}
+}
+
+func TestPreferenceValidation(t *testing.T) {
+	ds, _ := NewDataset([][]float64{{0.5, 0.5}, {0.4, 0.6}})
+	if _, err := ds.TopK([]float64{0.9, 0.9}, 1); err == nil {
+		t.Error("off-simplex preference accepted")
+	}
+	if _, err := ds.TopK([]float64{1, 0, 0}, 1); err == nil {
+		t.Error("wrong-dimension preference accepted")
+	}
+	if _, err := ds.TopK([]float64{0.5, 0.5}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestORDPublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	ds, err := NewDataset(antiRecords(rng, 500, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := []float64{0.4, 0.3, 0.3}
+	res, err := ds.ORD(w, 3, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 15 || len(res.Radii) != 15 {
+		t.Fatalf("got %d records, %d radii", len(res.Records), len(res.Radii))
+	}
+	if res.Rho != res.Radii[14] {
+		t.Fatal("Rho mismatch")
+	}
+	// Scores populated.
+	for _, r := range res.Records {
+		want := 0.4*r.Record[0] + 0.3*r.Record[1] + 0.3*r.Record[2]
+		if math.Abs(r.Score-want) > 1e-12 {
+			t.Fatalf("score %g, want %g", r.Score, want)
+		}
+	}
+}
+
+func TestORUPublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	ds, err := NewDataset(antiRecords(rng, 400, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := []float64{0.3, 0.3, 0.4}
+	res, err := ds.ORU(w, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 10 {
+		t.Fatalf("got %d records", len(res.Records))
+	}
+	if len(res.Regions) == 0 {
+		t.Fatal("no regions reported")
+	}
+	for i, reg := range res.Regions {
+		if len(reg.TopK) != 2 {
+			t.Fatalf("region %d has top-%d", i, len(reg.TopK))
+		}
+		if reg.Witness == nil {
+			t.Fatalf("region %d has no witness", i)
+		}
+		if i > 0 && reg.MinDist < res.Regions[i-1].MinDist-1e-12 {
+			t.Fatal("regions not sorted by mindist")
+		}
+	}
+	if res.Rho != res.Regions[len(res.Regions)-1].MinDist {
+		t.Fatal("Rho != last region mindist")
+	}
+}
+
+func TestInsertDeleteAffectQueries(t *testing.T) {
+	ds, _ := NewDataset([][]float64{
+		{0.5, 0.5},
+		{0.4, 0.4},
+	})
+	top, _ := ds.TopK([]float64{0.5, 0.5}, 1)
+	if top[0].ID != 0 {
+		t.Fatal("unexpected initial top-1")
+	}
+	id, err := ds.Insert([]float64{0.9, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, _ = ds.TopK([]float64{0.5, 0.5}, 1)
+	if top[0].ID != id {
+		t.Fatalf("inserted record not top-1: got %d", top[0].ID)
+	}
+	if !ds.Delete(id) {
+		t.Fatal("delete failed")
+	}
+	top, _ = ds.TopK([]float64{0.5, 0.5}, 1)
+	if top[0].ID != 0 {
+		t.Fatal("delete not reflected")
+	}
+	if ds.Delete(id) {
+		t.Fatal("double delete succeeded")
+	}
+	if _, err := ds.Insert([]float64{1, 2, 3}); err == nil {
+		t.Fatal("wrong-dimension insert accepted")
+	}
+}
+
+func TestOSSkyline(t *testing.T) {
+	ds, _ := NewDataset([][]float64{
+		{0.9, 0.9}, // dominates everything else
+		{0.1, 0.8},
+		{0.8, 0.1},
+		{0.2, 0.2},
+	})
+	got := ds.OSSkyline(2)
+	if len(got) != 1 || got[0].ID != 0 || got[0].Score != 3 {
+		t.Fatalf("OSSkyline = %+v", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	recs := [][]float64{{10, 5, 7}, {20, 5, 3}, {15, 5, 5}}
+	norm := Normalize(recs)
+	if norm[0][0] != 0 || norm[1][0] != 1 || norm[2][0] != 0.5 {
+		t.Fatalf("col 0 = %v", [][]float64{norm[0], norm[1], norm[2]})
+	}
+	for i := range norm {
+		if norm[i][1] != 0.5 {
+			t.Fatal("constant column must map to 0.5")
+		}
+	}
+	if Normalize(nil) != nil {
+		t.Fatal("Normalize(nil) != nil")
+	}
+}
+
+func TestPreferenceHelper(t *testing.T) {
+	w, err := Preference([]float64{2, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[0] != 0.25 || w[2] != 0.5 {
+		t.Fatalf("w = %v", w)
+	}
+	if _, err := Preference([]float64{0, 0}); err == nil {
+		t.Fatal("zero weights accepted")
+	}
+}
+
+func TestORDORUSmallestOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	ds, _ := NewDataset(randRecords(rng, 200, 3))
+	w := []float64{0.3, 0.3, 0.4}
+	k := 3
+	ord, err := ds.ORD(w, k, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oru, err := ds.ORU(w, k, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, _ := ds.TopK(w, k)
+	topIDs := map[int]bool{}
+	for _, r := range top {
+		topIDs[r.ID] = true
+	}
+	// With m = k both operators degenerate to the top-k at w.
+	for _, r := range ord.Records {
+		if !topIDs[r.ID] {
+			t.Fatalf("ORD(m=k) returned non-top-k record %d", r.ID)
+		}
+	}
+	for _, r := range oru.Records {
+		if !topIDs[r.ID] {
+			t.Fatalf("ORU(m=k) returned non-top-k record %d", r.ID)
+		}
+	}
+}
