@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover bench experiments examples clean
+.PHONY: all build test race cover bench serve experiments examples clean
 
 all: build test
 
@@ -8,7 +8,9 @@ build:
 	$(GO) build ./...
 
 test:
+	$(GO) vet ./...
 	$(GO) test ./...
+	$(GO) test -race ./internal/server ./internal/core
 
 race:
 	$(GO) test -race ./...
@@ -18,6 +20,10 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Start the query server on :8375 with a generated demo dataset.
+serve:
+	$(GO) run ./cmd/ordud -addr :8375 -gen demo=ANTI:50000:4:1
 
 # Regenerate every table/figure of the paper's evaluation (reduced grid).
 experiments:

@@ -13,7 +13,8 @@
 package main
 
 import (
-	"encoding/csv"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +24,7 @@ import (
 
 	"ordu"
 	"ordu/internal/data"
+	"ordu/internal/server"
 )
 
 func main() {
@@ -37,6 +39,7 @@ func main() {
 		k        = flag.Int("k", 5, "rank parameter k")
 		m        = flag.Int("m", 20, "output size m")
 		show     = flag.Int("show", 20, "max records to print")
+		jsonOut  = flag.Bool("json", false, "emit the result as JSON in the ordud wire format")
 	)
 	flag.Parse()
 
@@ -48,7 +51,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("dataset: %d records x %d attributes\n", ds.Len(), ds.Dim())
+	if !*jsonOut {
+		fmt.Printf("dataset: %d records x %d attributes\n", ds.Len(), ds.Dim())
+	}
 
 	var w []float64
 	if *wFlag != "" {
@@ -70,6 +75,10 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *jsonOut {
+			emitJSON(server.NewORDResponse(res))
+			return
+		}
 		fmt.Printf("ORD(k=%d, m=%d) stopping radius rho=%.6f  [%v]\n", *k, *m, res.Rho, time.Since(t0))
 		for i, r := range res.Records {
 			if i >= *show {
@@ -82,6 +91,10 @@ func main() {
 		res, err := ds.ORU(w, *k, *m)
 		if err != nil {
 			fatal(err)
+		}
+		if *jsonOut {
+			emitJSON(server.NewORUResponse(res))
+			return
 		}
 		fmt.Printf("ORU(k=%d, m=%d) stopping radius rho=%.6f, %d top-k regions  [%v]\n",
 			*k, *m, res.Rho, len(res.Regions), time.Since(t0))
@@ -97,12 +110,20 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *jsonOut {
+			emitJSON(server.NewRecordsResponse("topk", res))
+			return
+		}
 		fmt.Printf("top-%d  [%v]\n", *k, time.Since(t0))
 		for i, r := range res {
 			fmt.Printf("  #%-4d id=%-8d score=%.4f  %v\n", i+1, r.ID, r.Score, short(r.Record))
 		}
 	case "skyline":
 		res := ds.Skyline()
+		if *jsonOut {
+			emitJSON(server.NewRecordsResponse("skyline", res))
+			return
+		}
 		fmt.Printf("skyline: %d records  [%v]\n", len(res), time.Since(t0))
 		printSome(res, *show)
 	case "skyband":
@@ -110,10 +131,18 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *jsonOut {
+			emitJSON(server.NewRecordsResponse("skyband", res))
+			return
+		}
 		fmt.Printf("%d-skyband: %d records  [%v]\n", *k, len(res), time.Since(t0))
 		printSome(res, *show)
 	case "osskyline":
 		res := ds.OSSkyline(*m)
+		if *jsonOut {
+			emitJSON(server.NewRecordsResponse("osskyline", res))
+			return
+		}
 		fmt.Printf("OSS skyline (top-%d by dominance count)  [%v]\n", *m, time.Since(t0))
 		for i, r := range res {
 			fmt.Printf("  #%-4d id=%-8d dominates=%d  %v\n", i+1, r.ID, int(r.Score), short(r.Record))
@@ -125,26 +154,9 @@ func main() {
 
 func loadRecords(file, gen string, n, d int, seed int64) ([][]float64, error) {
 	if file != "" {
-		f, err := os.Open(file)
+		out, err := data.LoadCSV(file)
 		if err != nil {
 			return nil, err
-		}
-		defer f.Close()
-		rows, err := csv.NewReader(f).ReadAll()
-		if err != nil {
-			return nil, err
-		}
-		out := make([][]float64, 0, len(rows))
-		for i, row := range rows {
-			rec := make([]float64, len(row))
-			for j, cell := range row {
-				v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
-				if err != nil {
-					return nil, fmt.Errorf("row %d col %d: %v", i+1, j+1, err)
-				}
-				rec[j] = v
-			}
-			out = append(out, rec)
 		}
 		return ordu.Normalize(out), nil
 	}
@@ -190,7 +202,26 @@ func short(v []float64) string {
 	return "[" + strings.Join(parts, " ") + "]"
 }
 
+// emitJSON prints one wire-format result line (the same schema ordud
+// serves), so shell pipelines and network clients share a format.
+func emitJSON(v *server.QueryResponse) {
+	if err := json.NewEncoder(os.Stdout).Encode(v); err != nil {
+		fatal(err)
+	}
+}
+
+// fatal prints a one-line friendly message and exits non-zero. Known input
+// mistakes get a hint instead of a raw error dump.
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ordu:", err)
+	msg := err.Error()
+	switch {
+	case errors.Is(err, ordu.ErrBadSeed):
+		msg += " (check -w: comma-separated non-negative weights, one per attribute)"
+	case errors.Is(err, ordu.ErrBadParams):
+		msg += " (check -k and -m: both positive, with m >= k)"
+	case errors.Is(err, ordu.ErrInsufficientData):
+		msg += " (the dataset cannot yield m records: lower -m or raise -k)"
+	}
+	fmt.Fprintln(os.Stderr, "ordu:", strings.TrimPrefix(msg, "ordu: "))
 	os.Exit(1)
 }

@@ -1,0 +1,24 @@
+package core
+
+import (
+	"context"
+	"fmt"
+)
+
+// cancelEvery is the stride, in fetch iterations, at which the tight
+// retrieval loops poll for cancellation. Region partitionings are polled on
+// every pop instead: each involves QP work orders of magnitude costlier
+// than the check.
+const cancelEvery = 64
+
+// ctxErr polls ctx without blocking, wrapping any cancellation cause so
+// errors.Is(err, context.DeadlineExceeded / context.Canceled) holds for
+// callers (e.g. an HTTP layer mapping deadlines to 504).
+func ctxErr(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("core: query cancelled: %w", ctx.Err())
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ordu/internal/geom"
+	"ordu/internal/rtree"
+)
+
+func ctxTestTree(n, d int, seed int64) *rtree.Tree {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Vector, n)
+	for i := range pts {
+		p := make(geom.Vector, d)
+		s := 0.0
+		for j := range p {
+			p[j] = rng.Float64()
+			s += p[j]
+		}
+		f := float64(d) / 2 / s
+		for j := range p {
+			p[j] = p[j] * f
+			if p[j] > 1 {
+				p[j] = 1
+			}
+		}
+		pts[i] = p
+	}
+	return rtree.BulkLoad(pts)
+}
+
+func TestORDCtxCancelled(t *testing.T) {
+	tree := ctxTestTree(500, 3, 11)
+	w := geom.Vector{0.4, 0.3, 0.3}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ORDCtx(ctx, tree, w, 3, 15); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Background context reproduces the plain result.
+	got, err := ORDCtx(context.Background(), tree, w, 3, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ORD(tree, w, 3, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(want.Records) || got.Rho != want.Rho {
+		t.Fatalf("ctx result diverges: %d/%g vs %d/%g",
+			len(got.Records), got.Rho, len(want.Records), want.Rho)
+	}
+	for i := range got.Records {
+		if got.Records[i].ID != want.Records[i].ID {
+			t.Fatalf("record %d: %d vs %d", i, got.Records[i].ID, want.Records[i].ID)
+		}
+	}
+}
+
+func TestORUCtxCancelled(t *testing.T) {
+	tree := ctxTestTree(500, 3, 12)
+	w := geom.Vector{0.3, 0.3, 0.4}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ORUCtx(ctx, tree, w, 2, 10); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Parallel exploration honours cancellation too.
+	if _, err := ORUWithCtx(ctx, tree, w, 2, 10, ORUOptions{Workers: 4}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("parallel err = %v, want context.Canceled", err)
+	}
+}
+
+func TestORUCtxDeadline(t *testing.T) {
+	tree := ctxTestTree(20000, 3, 13)
+	w := geom.Vector{0.4, 0.3, 0.3}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := ORUCtx(ctx, tree, w, 5, 60)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	// Cooperative checks must abort promptly, not after the full query.
+	if e := time.Since(start); e > 2*time.Second {
+		t.Fatalf("cancellation took %v", e)
+	}
+}

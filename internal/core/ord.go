@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"sort"
 
@@ -53,6 +54,13 @@ func (h *candHeap) Pop() interface{} {
 // candidates) shrinks as better candidates arrive, making the retrieval
 // increasingly selective until the heap dries up.
 func ORD(tree *rtree.Tree, w geom.Vector, k, m int) (*ORDResult, error) {
+	return ORDCtx(context.Background(), tree, w, k, m)
+}
+
+// ORDCtx is ORD with cooperative cancellation: the progressive retrieval
+// polls ctx every few fetches and aborts with an error wrapping ctx.Err()
+// once the context is done.
+func ORDCtx(ctx context.Context, tree *rtree.Tree, w geom.Vector, k, m int) (*ORDResult, error) {
 	if err := validate(tree, w, k, m); err != nil {
 		return nil, err
 	}
@@ -60,7 +68,12 @@ func ORD(tree *rtree.Tree, w geom.Vector, k, m int) (*ORDResult, error) {
 	pruner := skyband.NewRhoPruner(w, k)
 	var cands candHeap
 
-	for {
+	for i := 0; ; i++ {
+		if i%cancelEvery == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+		}
 		id, p, ok := sc.Next(pruner)
 		if !ok {
 			break

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"math"
 	"sort"
@@ -149,8 +150,11 @@ func (e *explorer) push(n *regionNode) {
 // that many distinct records are confirmed; with targetM == 0 it exhausts
 // the heap (clip mode / full enumeration). It reports whether the target
 // was reached (always true for targetM == 0 unless the budget tripped).
-func (e *explorer) explore(targetM int) (complete bool, err error) {
+func (e *explorer) explore(ctx context.Context, targetM int) (complete bool, err error) {
 	for e.h.Len() > 0 {
+		if err := ctxErr(ctx); err != nil {
+			return false, err
+		}
 		n := heap.Pop(&e.h).(*regionNode)
 		if len(n.top) == 1 {
 			// Lazily extend the root level along layer-0 adjacency whenever
@@ -332,14 +336,17 @@ func (e *explorer) finalize(n *regionNode) {
 // `target` extreme vertices. exhausted reports that the skyline ran dry
 // first (the returned radius is then +Inf, i.e. the whole k-skyband is the
 // candidate set).
-func estimateRhoBar(tree *rtree.Tree, w geom.Vector, target int) (rhoBar float64, exhausted bool, fetched int) {
+func estimateRhoBar(ctx context.Context, tree *rtree.Tree, w geom.Vector, target int) (rhoBar float64, exhausted bool, fetched int, err error) {
 	ird := skyband.NewIRD(tree, w, 1)
 	b := hull.NewBuilder(tree.Dim())
 	rho := 0.0
 	for {
-		rel, ok := ird.Next()
+		rel, ok, err := ird.NextCtx(ctx)
+		if err != nil {
+			return 0, false, fetched, err
+		}
 		if !ok {
-			return math.Inf(1), true, fetched
+			return math.Inf(1), true, fetched, nil
 		}
 		fetched++
 		b.Add(rel.ID, rel.Point)
@@ -349,7 +356,7 @@ func estimateRhoBar(tree *rtree.Tree, w geom.Vector, target int) (rhoBar float64
 		// only every few fetches — overshooting the stop by a handful of
 		// skyline records merely loosens the (already over-) estimate.
 		if fetched >= target && (fetched-target)%8 == 0 && b.VertexCount() >= target {
-			return rho, false, fetched
+			return rho, false, fetched, nil
 		}
 	}
 }
@@ -366,7 +373,14 @@ func estimateRhoBar(tree *rtree.Tree, w geom.Vector, target int) (rhoBar float64
 // (possible only on degenerate inputs), the estimation target is doubled
 // and the search restarted, preserving exactness.
 func ORU(tree *rtree.Tree, w geom.Vector, k, m int) (*ORUResult, error) {
-	return ORUWith(tree, w, k, m, ORUOptions{})
+	return ORUWithCtx(context.Background(), tree, w, k, m, ORUOptions{})
+}
+
+// ORUCtx is ORU with cooperative cancellation: the rho-bar estimation, the
+// candidate retrieval and the best-first exploration all poll ctx and abort
+// with an error wrapping ctx.Err() once it is done.
+func ORUCtx(ctx context.Context, tree *rtree.Tree, w geom.Vector, k, m int) (*ORUResult, error) {
+	return ORUWithCtx(ctx, tree, w, k, m, ORUOptions{})
 }
 
 // ORUOptions tune the complete ORU algorithm; the zero value is the
@@ -384,22 +398,37 @@ type ORUOptions struct {
 
 // ORUWith is ORU with explicit algorithm options.
 func ORUWith(tree *rtree.Tree, w geom.Vector, k, m int, opts ORUOptions) (*ORUResult, error) {
+	return ORUWithCtx(context.Background(), tree, w, k, m, opts)
+}
+
+// ORUWithCtx is ORUWith with cooperative cancellation (see ORUCtx).
+func ORUWithCtx(ctx context.Context, tree *rtree.Tree, w geom.Vector, k, m int, opts ORUOptions) (*ORUResult, error) {
 	if err := validate(tree, w, k, m); err != nil {
 		return nil, err
 	}
 	target := m
 	for {
-		rhoBar, exhausted, fetched := estimateRhoBar(tree, w, target)
-		cands := skyband.RhoSkyband(tree, w, k, rhoBar)
+		rhoBar, exhausted, fetched, err := estimateRhoBar(ctx, tree, w, target)
+		if err != nil {
+			return nil, err
+		}
+		cands, err := skyband.RhoSkybandCtx(ctx, tree, w, k, rhoBar)
+		if err != nil {
+			return nil, err
+		}
 		ex := newExplorer(cands, w, k, nil)
 		ex.noBypass = opts.NoPartitionBypass
 		ex.stats.Fetched = fetched + len(cands)
 		if ex.seed() {
 			var complete bool
+			var exErr error
 			if opts.Workers > 1 {
-				complete, _ = ex.exploreParallel(m, opts.Workers)
+				complete, exErr = ex.exploreParallel(ctx, m, opts.Workers)
 			} else {
-				complete, _ = ex.explore(m)
+				complete, exErr = ex.explore(ctx, m)
+			}
+			if exErr != nil {
+				return nil, exErr
 			}
 			if complete {
 				ex.stats.LayersComputed = ex.layers.Computed()
@@ -437,7 +466,7 @@ func EnumerateWithin(cands []skyband.Member, w geom.Vector, k int, clip region.R
 	if !ex.seed() {
 		return nil, nil, nil
 	}
-	if _, err := ex.explore(0); err != nil {
+	if _, err := ex.explore(context.Background(), 0); err != nil {
 		return nil, nil, err
 	}
 	return ex.records, ex.regions, nil
@@ -454,7 +483,10 @@ func ORUBSL(tree *rtree.Tree, w geom.Vector, k, m int, budget int) (*ORUResult, 
 	if err := validate(tree, w, k, m); err != nil {
 		return nil, err
 	}
-	rhoBar, _, fetched := estimateRhoBar(tree, w, m)
+	rhoBar, _, fetched, err := estimateRhoBar(context.Background(), tree, w, m)
+	if err != nil {
+		return nil, err
+	}
 	cands := skyband.RhoSkyband(tree, w, k, rhoBar)
 	ex := newExplorer(cands, w, k, nil)
 	ex.stats.Fetched = fetched + len(cands)
@@ -471,7 +503,7 @@ func ORUBSL(tree *rtree.Tree, w geom.Vector, k, m int, budget int) (*ORUResult, 
 		ex.pushL1(id)
 	}
 	// Exhaust the heap: partition everything reachable.
-	if _, err := ex.explore(0); err != nil {
+	if _, err := ex.explore(context.Background(), 0); err != nil {
 		return nil, err
 	}
 	// Sort finalized regions by mindist and take the union until m records.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"sync"
 )
 
@@ -18,8 +19,11 @@ import (
 // before the next Case-2 node is popped. Second, lazy layer materialisation
 // is hoisted out of the parallel section: every layer a batched partition
 // may touch is computed up front, so workers only read shared state.
-func (e *explorer) exploreParallel(targetM, workers int) (complete bool, err error) {
+func (e *explorer) exploreParallel(ctx context.Context, targetM, workers int) (complete bool, err error) {
 	for e.h.Len() > 0 {
+		if err := ctxErr(ctx); err != nil {
+			return false, err
+		}
 		// Collect a batch of Case-1 nodes from the top of the heap. New
 		// layer-0 regions pushed along the way are themselves Case-1 (for
 		// k > 1), and ordering among Case-1 partitions is free.

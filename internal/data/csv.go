@@ -1,0 +1,51 @@
+package data
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// LoadCSV reads a records file: one record per line, numeric columns only,
+// no header. Values are returned raw — callers decide whether to min-max
+// normalise (both cmd/ordu and the serving layer do, so larger-is-better
+// semantics hold regardless of the source scale).
+func LoadCSV(path string) ([][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := ParseCSV(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// ParseCSV parses CSV records from r (see LoadCSV).
+func ParseCSV(r io.Reader) ([][]float64, error) {
+	rows, err := csv.NewReader(r).ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, 0, len(rows))
+	for i, row := range rows {
+		rec := make([]float64, len(row))
+		for j, cell := range row {
+			v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+			if err != nil {
+				return nil, fmt.Errorf("row %d col %d: %v", i+1, j+1, err)
+			}
+			rec[j] = v
+		}
+		out = append(out, rec)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no records")
+	}
+	return out, nil
+}

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketsMS are the upper bounds (milliseconds, cumulative
+// prometheus-style `le` semantics) of the request latency histogram; an
+// implicit +Inf bucket counts everything.
+var latencyBucketsMS = []float64{1, 5, 25, 100, 500, 2500}
+
+// metrics holds the server's cumulative counters. All fields are updated
+// with atomics; reading produces a consistent-enough snapshot for
+// monitoring.
+type metrics struct {
+	start time.Time
+
+	requests map[string]*atomic.Int64 // per operator
+	status   map[int]*atomic.Int64    // per mapped status class / code
+	latency  []atomic.Int64           // one per bucket + +Inf
+}
+
+// statusKeys are the response-code counters the server distinguishes:
+// overload (429) and query deadline (504) get their own counters since
+// they are the two signals admission tuning cares about.
+var statusKeys = []int{200, 400, 404, 422, 429, 500, 504}
+
+func newMetrics() *metrics {
+	m := &metrics{
+		start:    time.Now(),
+		requests: make(map[string]*atomic.Int64),
+		status:   make(map[int]*atomic.Int64),
+		latency:  make([]atomic.Int64, len(latencyBucketsMS)+1),
+	}
+	for _, op := range []string{"ord", "oru", "datasets", "other"} {
+		m.requests[op] = new(atomic.Int64)
+	}
+	for _, code := range statusKeys {
+		m.status[code] = new(atomic.Int64)
+	}
+	return m
+}
+
+// observe records one finished request.
+func (m *metrics) observe(op string, code int, dur time.Duration) {
+	c, ok := m.requests[op]
+	if !ok {
+		c = m.requests["other"]
+	}
+	c.Add(1)
+	sc, ok := m.status[code]
+	if !ok {
+		// Codes without their own counter (e.g. 201) fold into their
+		// class representative so a created dataset never reads as a 500.
+		if sc, ok = m.status[code/100*100]; !ok {
+			sc = m.status[500]
+		}
+	}
+	sc.Add(1)
+	ms := float64(dur) / float64(time.Millisecond)
+	for i, le := range latencyBucketsMS {
+		if ms <= le {
+			m.latency[i].Add(1)
+		}
+	}
+	m.latency[len(latencyBucketsMS)].Add(1)
+}
+
+// LatencyBucket is one cumulative histogram bucket on the wire.
+type LatencyBucket struct {
+	// LEMilliseconds is the bucket's inclusive upper bound ("+Inf" last).
+	LEMilliseconds string `json:"le_ms"`
+	Count          int64  `json:"count"`
+}
+
+// Metrics is the GET /metrics response schema (expvar-style JSON).
+type Metrics struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Requests      map[string]int64 `json:"requests"`
+	Responses     map[string]int64 `json:"responses"`
+	LatencyMS     []LatencyBucket  `json:"latency_ms"`
+	Queue         QueueMetrics     `json:"queue"`
+	Cache         CacheMetrics     `json:"cache"`
+}
+
+// QueueMetrics describes the worker pool's instantaneous state.
+type QueueMetrics struct {
+	Workers  int   `json:"workers"`
+	Running  int   `json:"running"`
+	Depth    int64 `json:"depth"`    // requests waiting for a worker
+	Capacity int64 `json:"capacity"` // workers + queue slots
+}
+
+// CacheMetrics describes the result cache.
+type CacheMetrics struct {
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	HitRate  float64 `json:"hit_rate"`
+	Entries  int     `json:"entries"`
+	Capacity int     `json:"capacity"`
+}

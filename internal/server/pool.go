@@ -1,0 +1,63 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errOverloaded is returned by pool.acquire when the queue is full; the
+// handler maps it to HTTP 429.
+var errOverloaded = errors.New("server: overloaded, try again later")
+
+// pool bounds query concurrency: at most `workers` queries execute at
+// once, at most `queueDepth` more wait for a worker, and anything beyond
+// is rejected immediately so overload sheds load instead of piling up
+// goroutines.
+type pool struct {
+	sem      chan struct{}
+	inflight atomic.Int64
+	workers  int
+	capacity int64 // workers + queueDepth
+}
+
+func newPool(workers, queueDepth int) *pool {
+	return &pool{
+		sem:      make(chan struct{}, workers),
+		workers:  workers,
+		capacity: int64(workers + queueDepth),
+	}
+}
+
+// acquire reserves an execution slot, waiting in the queue while all
+// workers are busy. It fails fast with errOverloaded when the queue is
+// full, and with ctx.Err() if the request deadline expires while queued.
+// On success the caller must invoke release exactly once.
+func (p *pool) acquire(ctx context.Context) (release func(), err error) {
+	if p.inflight.Add(1) > p.capacity {
+		p.inflight.Add(-1)
+		return nil, errOverloaded
+	}
+	select {
+	case p.sem <- struct{}{}:
+		return func() {
+			<-p.sem
+			p.inflight.Add(-1)
+		}, nil
+	case <-ctx.Done():
+		p.inflight.Add(-1)
+		return nil, ctx.Err()
+	}
+}
+
+// running reports how many queries are executing right now.
+func (p *pool) running() int { return len(p.sem) }
+
+// queued reports how many admitted requests are waiting for a worker.
+func (p *pool) queued() int64 {
+	q := p.inflight.Load() - int64(p.running())
+	if q < 0 {
+		q = 0
+	}
+	return q
+}

@@ -1,0 +1,435 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ordu"
+	"ordu/internal/data"
+	"ordu/internal/geom"
+)
+
+// Config tunes a Server; zero fields take the documented defaults.
+type Config struct {
+	// Workers caps concurrently executing queries (default 4).
+	Workers int
+	// QueueDepth caps admitted-but-waiting requests beyond Workers
+	// (default 2*Workers). A full queue answers 429 immediately.
+	QueueDepth int
+	// CacheSize is the LRU result-cache capacity in entries (default 256;
+	// negative disables caching).
+	CacheSize int
+	// DefaultTimeout is the per-request deadline when the request does not
+	// name one (default 10s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps request-supplied deadlines (default 60s).
+	MaxTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	return c
+}
+
+// namedDataset pairs a dataset with its registration generation; the
+// generation participates in cache keys, so replacing a dataset under the
+// same name implicitly invalidates its cached results.
+type namedDataset struct {
+	ds  *ordu.Dataset
+	gen uint64
+}
+
+// Server answers ORD/ORU queries over named in-memory datasets. Datasets
+// are immutable once registered (replacement swaps the whole dataset), so
+// queries run lock-free on a snapshot.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	pool  *pool
+	cache *lruCache
+	met   *metrics
+
+	mu       sync.RWMutex
+	datasets map[string]namedDataset
+	nextGen  uint64
+}
+
+// New builds a Server with the given configuration.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:      cfg.withDefaults(),
+		datasets: make(map[string]namedDataset),
+	}
+	s.pool = newPool(s.cfg.Workers, s.cfg.QueueDepth)
+	s.cache = newLRUCache(s.cfg.CacheSize)
+	s.met = newMetrics()
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /datasets", s.handleListDatasets)
+	s.mux.HandleFunc("POST /datasets", s.handleAddDataset)
+	s.mux.HandleFunc("POST /query/ord", func(w http.ResponseWriter, r *http.Request) { s.handleQuery(w, r, "ord") })
+	s.mux.HandleFunc("POST /query/oru", func(w http.ResponseWriter, r *http.Request) { s.handleQuery(w, r, "oru") })
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Config returns the effective configuration, with defaults applied.
+func (s *Server) Config() Config { return s.cfg }
+
+// AddDataset registers (or replaces) a dataset under the given name.
+// Replacement bumps the name's generation, invalidating cached results.
+func (s *Server) AddDataset(name string, ds *ordu.Dataset) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextGen++
+	s.datasets[name] = namedDataset{ds: ds, gen: s.nextGen}
+}
+
+// dataset returns a registered dataset snapshot.
+func (s *Server) dataset(name string) (namedDataset, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	nd, ok := s.datasets[name]
+	return nd, ok
+}
+
+// --- query handling ---
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, op string) {
+	start := time.Now()
+	var req QueryRequest
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, op, start, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if err := validateWire(&req); err != nil {
+		s.fail(w, op, start, http.StatusBadRequest, err.Error())
+		return
+	}
+	nd, ok := s.dataset(req.Dataset)
+	if !ok {
+		s.fail(w, op, start, http.StatusNotFound, fmt.Sprintf("unknown dataset %q", req.Dataset))
+		return
+	}
+
+	key := cacheKey(op, req.Dataset, nd.gen, req.W, req.K, req.M)
+	if body, ok := s.cache.Get(key); ok {
+		w.Header().Set("X-Cache", "HIT")
+		s.reply(w, op, start, http.StatusOK, body)
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	release, err := s.pool.acquire(ctx)
+	if err != nil {
+		if errors.Is(err, errOverloaded) {
+			w.Header().Set("Retry-After", "1")
+			s.fail(w, op, start, http.StatusTooManyRequests, "server overloaded: worker pool and queue are full")
+			return
+		}
+		// Deadline expired (or client left) while queued.
+		s.fail(w, op, start, statusForCtx(err), fmt.Sprintf("request expired while queued: %v", err))
+		return
+	}
+	defer release()
+
+	var resp *QueryResponse
+	switch op {
+	case "ord":
+		res, qerr := nd.ds.ORDCtx(ctx, req.W, req.K, req.M)
+		if qerr != nil {
+			err = qerr
+		} else {
+			resp = NewORDResponse(res)
+		}
+	case "oru":
+		res, qerr := nd.ds.ORUParallelCtx(ctx, req.W, req.K, req.M, req.Workers)
+		if qerr != nil {
+			err = qerr
+		} else {
+			resp = NewORUResponse(res)
+		}
+	}
+	if err != nil {
+		s.fail(w, op, start, statusForQueryError(err), err.Error())
+		return
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		s.fail(w, op, start, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.cache.Put(key, body)
+	w.Header().Set("X-Cache", "MISS")
+	s.reply(w, op, start, http.StatusOK, body)
+}
+
+// statusForQueryError maps a facade/core error to an HTTP status.
+func statusForQueryError(err error) int {
+	switch {
+	case errors.Is(err, ordu.ErrBadSeed), errors.Is(err, ordu.ErrBadParams):
+		return http.StatusBadRequest
+	case errors.Is(err, ordu.ErrInsufficientData):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return statusForCtx(err)
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// statusForCtx maps a context cancellation cause: deadline -> 504, client
+// disconnect -> 500 (the client never sees it; the counter does).
+func statusForCtx(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusInternalServerError
+}
+
+// --- datasets ---
+
+// DatasetRequest is the body of POST /datasets: either a server-local CSV
+// path or a generator spec.
+type DatasetRequest struct {
+	Name      string         `json:"name"`
+	CSVPath   string         `json:"csv_path,omitempty"`
+	Generator *GeneratorSpec `json:"generator,omitempty"`
+}
+
+// GeneratorSpec names one of the internal/data generators.
+type GeneratorSpec struct {
+	// Dist is IND, COR, ANTI, HOTEL, HOUSE, NBA or TA (case-insensitive).
+	Dist string `json:"dist"`
+	// N is the cardinality (<= 0 uses the canonical size for the real-like
+	// generators; required for IND/COR/ANTI).
+	N int `json:"n,omitempty"`
+	// D is the dimensionality (IND/COR/ANTI only).
+	D int `json:"d,omitempty"`
+	// Seed drives the generator.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// DatasetInfo describes one registered dataset.
+type DatasetInfo struct {
+	Name    string `json:"name"`
+	Records int    `json:"records"`
+	Dims    int    `json:"dims"`
+}
+
+// BuildDataset materialises a dataset from a CSV path or generator spec.
+// CSV columns are min-max normalised into [0,1], matching cmd/ordu.
+func BuildDataset(csvPath string, gen *GeneratorSpec) (*ordu.Dataset, error) {
+	switch {
+	case csvPath != "" && gen != nil:
+		return nil, fmt.Errorf("give either csv_path or generator, not both")
+	case csvPath != "":
+		recs, err := data.LoadCSV(csvPath)
+		if err != nil {
+			return nil, err
+		}
+		return ordu.NewDataset(ordu.Normalize(recs))
+	case gen != nil:
+		recs, err := generate(gen)
+		if err != nil {
+			return nil, err
+		}
+		return ordu.NewDataset(recs)
+	default:
+		return nil, fmt.Errorf("give csv_path or generator")
+	}
+}
+
+func generate(g *GeneratorSpec) ([][]float64, error) {
+	var pts []geom.Vector
+	switch strings.ToUpper(g.Dist) {
+	case "IND", "COR", "ANTI":
+		if g.N <= 0 || g.D < 2 {
+			return nil, fmt.Errorf("generator %s needs n >= 1 and d >= 2", g.Dist)
+		}
+		pts = data.Synthetic(data.Distribution(strings.ToUpper(g.Dist)), g.N, g.D, g.Seed)
+	case "HOTEL":
+		pts = data.Hotel(g.N, g.Seed)
+	case "HOUSE":
+		pts = data.House(g.N, g.Seed)
+	case "NBA":
+		pts = data.NBA(g.N, g.Seed)
+	case "TA":
+		pts = data.TripAdvisor(g.N, g.Seed)
+	default:
+		return nil, fmt.Errorf("unknown generator %q (want IND, COR, ANTI, HOTEL, HOUSE, NBA or TA)", g.Dist)
+	}
+	out := make([][]float64, len(pts))
+	for i, p := range pts {
+		out[i] = p
+	}
+	return out, nil
+}
+
+func (s *Server) handleAddDataset(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req DatasetRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, "datasets", start, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if req.Name == "" {
+		s.fail(w, "datasets", start, http.StatusBadRequest, "missing dataset name")
+		return
+	}
+	ds, err := BuildDataset(req.CSVPath, req.Generator)
+	if err != nil {
+		s.fail(w, "datasets", start, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.AddDataset(req.Name, ds)
+	s.writeJSON(w, "datasets", start, http.StatusCreated,
+		DatasetInfo{Name: req.Name, Records: ds.Len(), Dims: ds.Dim()})
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.mu.RLock()
+	infos := make([]DatasetInfo, 0, len(s.datasets))
+	for name, nd := range s.datasets {
+		infos = append(infos, DatasetInfo{Name: name, Records: nd.ds.Len(), Dims: nd.ds.Dim()})
+	}
+	s.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	s.writeJSON(w, "datasets", start, http.StatusOK, infos)
+}
+
+// --- health & metrics ---
+
+// Health is the GET /healthz response schema.
+type Health struct {
+	Status        string  `json:"status"`
+	Datasets      int     `json:"datasets"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.mu.RLock()
+	n := len(s.datasets)
+	s.mu.RUnlock()
+	s.writeJSON(w, "other", start, http.StatusOK, Health{
+		Status:        "ok",
+		Datasets:      n,
+		UptimeSeconds: time.Since(s.met.start).Seconds(),
+	})
+}
+
+// Snapshot assembles the current metrics.
+func (s *Server) Snapshot() Metrics {
+	hits, misses := s.cache.Stats()
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	m := Metrics{
+		UptimeSeconds: time.Since(s.met.start).Seconds(),
+		Requests:      make(map[string]int64),
+		Responses:     make(map[string]int64),
+		Queue: QueueMetrics{
+			Workers:  s.cfg.Workers,
+			Running:  s.pool.running(),
+			Depth:    s.pool.queued(),
+			Capacity: s.pool.capacity,
+		},
+		Cache: CacheMetrics{
+			Hits:     hits,
+			Misses:   misses,
+			HitRate:  hitRate,
+			Entries:  s.cache.Len(),
+			Capacity: s.cfg.CacheSize,
+		},
+	}
+	for op, c := range s.met.requests {
+		m.Requests[op] = c.Load()
+	}
+	total := int64(0)
+	for code, c := range s.met.status {
+		m.Responses[strconv.Itoa(code)] = c.Load()
+		total += c.Load()
+	}
+	m.Responses["total"] = total
+	for i, le := range latencyBucketsMS {
+		m.LatencyMS = append(m.LatencyMS, LatencyBucket{
+			LEMilliseconds: strconv.FormatFloat(le, 'g', -1, 64),
+			Count:          s.met.latency[i].Load(),
+		})
+	}
+	m.LatencyMS = append(m.LatencyMS, LatencyBucket{
+		LEMilliseconds: "+Inf",
+		Count:          s.met.latency[len(latencyBucketsMS)].Load(),
+	})
+	return m
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, "other", time.Now(), http.StatusOK, s.Snapshot())
+}
+
+// --- response plumbing ---
+
+// reply writes a pre-marshaled JSON body and records metrics.
+func (s *Server) reply(w http.ResponseWriter, op string, start time.Time, code int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(body)
+	s.met.observe(op, code, time.Since(start))
+}
+
+// writeJSON marshals v and replies.
+func (s *Server) writeJSON(w http.ResponseWriter, op string, start time.Time, code int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		s.fail(w, op, start, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.reply(w, op, start, code, body)
+}
+
+// fail replies with an ErrorResponse.
+func (s *Server) fail(w http.ResponseWriter, op string, start time.Time, code int, msg string) {
+	s.writeJSON(w, op, start, code, ErrorResponse{Error: msg})
+}

@@ -1,0 +1,413 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"ordu"
+	"ordu/internal/data"
+)
+
+// testServer builds a server over one ANTI dataset named "main".
+func testServer(t *testing.T, cfg Config, n int) *Server {
+	t.Helper()
+	s := New(cfg)
+	s.AddDataset("main", testDataset(t, n))
+	return s
+}
+
+func testDataset(t *testing.T, n int) *ordu.Dataset {
+	t.Helper()
+	pts := data.Synthetic(data.ANTI, n, 3, 42)
+	recs := make([][]float64, len(pts))
+	for i, p := range pts {
+		recs[i] = p
+	}
+	ds, err := ordu.NewDataset(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func do(t *testing.T, h http.Handler, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func decode[T any](t *testing.T, rec *httptest.ResponseRecorder) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatalf("bad JSON body %q: %v", rec.Body.String(), err)
+	}
+	return v
+}
+
+func TestQueryORDHappyPath(t *testing.T) {
+	s := testServer(t, Config{}, 400)
+	rec := do(t, s.Handler(), "POST", "/query/ord",
+		`{"dataset":"main","w":[0.4,0.3,0.3],"k":3,"m":15}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	resp := decode[QueryResponse](t, rec)
+	if resp.Op != "ord" || len(resp.Records) != 15 {
+		t.Fatalf("op=%q records=%d", resp.Op, len(resp.Records))
+	}
+	if resp.Rho <= 0 {
+		t.Fatalf("rho = %g", resp.Rho)
+	}
+	for i, r := range resp.Records {
+		if r.Radius == nil {
+			t.Fatalf("record %d missing inflection radius", i)
+		}
+		if i > 0 && *r.Radius < *resp.Records[i-1].Radius {
+			t.Fatal("radii not sorted")
+		}
+	}
+	if *resp.Records[14].Radius != resp.Rho {
+		t.Fatal("rho != largest inflection radius")
+	}
+}
+
+func TestQueryORUHappyPath(t *testing.T) {
+	s := testServer(t, Config{}, 400)
+	rec := do(t, s.Handler(), "POST", "/query/oru",
+		`{"dataset":"main","w":[0.3,0.3,0.4],"k":2,"m":10}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	resp := decode[QueryResponse](t, rec)
+	if resp.Op != "oru" || len(resp.Records) != 10 {
+		t.Fatalf("op=%q records=%d", resp.Op, len(resp.Records))
+	}
+	if len(resp.Regions) == 0 {
+		t.Fatal("no regions")
+	}
+	for i, reg := range resp.Regions {
+		if len(reg.TopK) != 2 {
+			t.Fatalf("region %d has top-%d", i, len(reg.TopK))
+		}
+		if len(reg.Witness) != 3 {
+			t.Fatalf("region %d witness %v", i, reg.Witness)
+		}
+	}
+	// Parallel partitioning returns the identical result.
+	par := do(t, s.Handler(), "POST", "/query/oru",
+		`{"dataset":"main","w":[0.3,0.3,0.4],"k":2,"m":10,"workers":4}`)
+	if par.Code != http.StatusOK {
+		t.Fatalf("parallel status %d", par.Code)
+	}
+	if par.Header().Get("X-Cache") != "HIT" {
+		// workers is excluded from the cache key on purpose.
+		t.Fatal("parallel run with same (w,k,m) should hit the cache")
+	}
+}
+
+func TestQueryBadRequests(t *testing.T) {
+	s := testServer(t, Config{}, 100)
+	cases := []struct {
+		name string
+		path string
+		body string
+		want int
+	}{
+		{"malformed JSON", "/query/ord", `{"dataset":`, 400},
+		{"missing dataset", "/query/ord", `{"w":[0.5,0.5],"k":1,"m":2}`, 400},
+		{"missing w", "/query/ord", `{"dataset":"main","k":1,"m":2}`, 400},
+		{"unknown dataset", "/query/ord", `{"dataset":"nope","w":[0.4,0.3,0.3],"k":1,"m":2}`, 404},
+		{"wrong dimension", "/query/ord", `{"dataset":"main","w":[0.5,0.5],"k":1,"m":2}`, 400},
+		{"off simplex", "/query/ord", `{"dataset":"main","w":[0.9,0.9,0.9],"k":1,"m":2}`, 400},
+		{"negative component", "/query/oru", `{"dataset":"main","w":[-0.2,0.6,0.6],"k":1,"m":2}`, 400},
+		{"k zero", "/query/oru", `{"dataset":"main","w":[0.4,0.3,0.3],"k":0,"m":2}`, 400},
+		{"m below k", "/query/ord", `{"dataset":"main","w":[0.4,0.3,0.3],"k":5,"m":2}`, 400},
+		{"m beyond dataset", "/query/ord", `{"dataset":"main","w":[0.4,0.3,0.3],"k":1,"m":500}`, 422},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := do(t, s.Handler(), "POST", tc.path, tc.body)
+			if rec.Code != tc.want {
+				t.Fatalf("status %d, want %d: %s", rec.Code, tc.want, rec.Body.String())
+			}
+			if e := decode[ErrorResponse](t, rec); e.Error == "" {
+				t.Fatal("empty error message")
+			}
+		})
+	}
+	// Wrong method on a query route.
+	if rec := do(t, s.Handler(), "GET", "/query/ord", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /query/ord = %d, want 405", rec.Code)
+	}
+}
+
+func TestOverloadReturns429(t *testing.T) {
+	s := testServer(t, Config{Workers: 1, QueueDepth: -1}, 100)
+	// Occupy the only worker slot; the queue has zero depth, so the next
+	// request must be shed immediately.
+	release, err := s.pool.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := do(t, s.Handler(), "POST", "/query/ord",
+		`{"dataset":"main","w":[0.4,0.3,0.3],"k":2,"m":5}`)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	release()
+	rec = do(t, s.Handler(), "POST", "/query/ord",
+		`{"dataset":"main","w":[0.4,0.3,0.3],"k":2,"m":5}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status after release %d: %s", rec.Code, rec.Body.String())
+	}
+	snap := s.Snapshot()
+	if snap.Responses["429"] != 1 {
+		t.Fatalf("429 counter = %d", snap.Responses["429"])
+	}
+}
+
+func TestDeadlineWhileQueuedReturns504(t *testing.T) {
+	s := testServer(t, Config{Workers: 1, QueueDepth: 1}, 100)
+	release, err := s.pool.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	// Admitted into the queue, but the worker never frees up within the
+	// 1ms deadline.
+	rec := do(t, s.Handler(), "POST", "/query/ord",
+		`{"dataset":"main","w":[0.4,0.3,0.3],"k":2,"m":5,"timeout_ms":1}`)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestDeadlineCancelsInFlightQuery(t *testing.T) {
+	// A big anticorrelated ORU query takes far longer than 1ms; the
+	// cooperative checks inside internal/core must abort it.
+	s := testServer(t, Config{}, 20000)
+	rec := do(t, s.Handler(), "POST", "/query/oru",
+		`{"dataset":"main","w":[0.4,0.3,0.3],"k":5,"m":60,"timeout_ms":1}`)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", rec.Code, rec.Body.String())
+	}
+	if e := decode[ErrorResponse](t, rec); !strings.Contains(e.Error, "deadline") {
+		t.Fatalf("error %q does not mention the deadline", e.Error)
+	}
+}
+
+func TestCacheHitReturnsIdenticalBody(t *testing.T) {
+	s := testServer(t, Config{}, 300)
+	body := `{"dataset":"main","w":[0.5,0.3,0.2],"k":3,"m":12}`
+	first := do(t, s.Handler(), "POST", "/query/ord", body)
+	if first.Code != 200 || first.Header().Get("X-Cache") != "MISS" {
+		t.Fatalf("first: code %d cache %q", first.Code, first.Header().Get("X-Cache"))
+	}
+	second := do(t, s.Handler(), "POST", "/query/ord", body)
+	if second.Code != 200 || second.Header().Get("X-Cache") != "HIT" {
+		t.Fatalf("second: code %d cache %q", second.Code, second.Header().Get("X-Cache"))
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Fatal("cache hit body differs from original")
+	}
+	// A seed inside the same quantisation cell shares the entry.
+	near := do(t, s.Handler(), "POST", "/query/ord",
+		`{"dataset":"main","w":[0.500000001,0.299999999,0.2],"k":3,"m":12}`)
+	if near.Header().Get("X-Cache") != "HIT" {
+		t.Fatal("quantised seed missed the cache")
+	}
+	// A different m is a different entry.
+	other := do(t, s.Handler(), "POST", "/query/ord",
+		`{"dataset":"main","w":[0.5,0.3,0.2],"k":3,"m":13}`)
+	if other.Header().Get("X-Cache") != "MISS" {
+		t.Fatal("different m hit the cache")
+	}
+	hits, misses := s.cache.Stats()
+	if hits != 2 || misses != 2 {
+		t.Fatalf("hits=%d misses=%d, want 2/2", hits, misses)
+	}
+}
+
+func TestCacheInvalidatedByDatasetReplacement(t *testing.T) {
+	s := testServer(t, Config{}, 200)
+	body := `{"dataset":"main","w":[0.4,0.3,0.3],"k":2,"m":8}`
+	do(t, s.Handler(), "POST", "/query/ord", body)
+	s.AddDataset("main", testDataset(t, 250)) // replace: new generation
+	rec := do(t, s.Handler(), "POST", "/query/ord", body)
+	if rec.Header().Get("X-Cache") != "MISS" {
+		t.Fatal("stale cache entry served after dataset replacement")
+	}
+}
+
+func TestLRUCacheEviction(t *testing.T) {
+	c := newLRUCache(2)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	c.Get("a")              // refresh a
+	c.Put("c", []byte("C")) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if v, ok := c.Get("a"); !ok || string(v) != "A" {
+		t.Fatal("a evicted despite refresh")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	// Disabled cache never stores.
+	d := newLRUCache(0)
+	d.Put("x", []byte("X"))
+	if _, ok := d.Get("x"); ok {
+		t.Fatal("disabled cache stored an entry")
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	s := testServer(t, Config{Workers: 3}, 200)
+	rec := do(t, s.Handler(), "GET", "/healthz", "")
+	if rec.Code != 200 {
+		t.Fatalf("healthz %d", rec.Code)
+	}
+	h := decode[Health](t, rec)
+	if h.Status != "ok" || h.Datasets != 1 {
+		t.Fatalf("health %+v", h)
+	}
+
+	do(t, s.Handler(), "POST", "/query/ord", `{"dataset":"main","w":[0.4,0.3,0.3],"k":2,"m":6}`)
+	do(t, s.Handler(), "POST", "/query/ord", `{"dataset":"main","w":[0.4,0.3,0.3],"k":2,"m":6}`)
+	do(t, s.Handler(), "POST", "/query/oru", `{"dataset":"main","w":[0.4,0.3,0.3],"k":0,"m":6}`)
+
+	rec = do(t, s.Handler(), "GET", "/metrics", "")
+	if rec.Code != 200 {
+		t.Fatalf("metrics %d", rec.Code)
+	}
+	m := decode[Metrics](t, rec)
+	if m.Requests["ord"] != 2 || m.Requests["oru"] != 1 {
+		t.Fatalf("requests %v", m.Requests)
+	}
+	if m.Responses["200"] != 3 || m.Responses["400"] != 1 { // healthz counted too
+		t.Fatalf("responses %v", m.Responses)
+	}
+	if m.Queue.Workers != 3 || m.Queue.Capacity != 9 {
+		t.Fatalf("queue %+v", m.Queue)
+	}
+	if m.Cache.Hits != 1 || m.Cache.Misses != 1 || m.Cache.HitRate != 0.5 {
+		t.Fatalf("cache %+v", m.Cache)
+	}
+	last := m.LatencyMS[len(m.LatencyMS)-1]
+	if last.LEMilliseconds != "+Inf" || last.Count < 3 {
+		t.Fatalf("latency tail %+v", last)
+	}
+	for i := 1; i < len(m.LatencyMS); i++ {
+		if m.LatencyMS[i].Count < m.LatencyMS[i-1].Count {
+			t.Fatal("latency buckets not cumulative")
+		}
+	}
+}
+
+func TestDatasetEndpoints(t *testing.T) {
+	s := New(Config{})
+	// Generator-backed registration.
+	rec := do(t, s.Handler(), "POST", "/datasets",
+		`{"name":"synth","generator":{"dist":"COR","n":120,"d":3,"seed":7}}`)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	info := decode[DatasetInfo](t, rec)
+	if info.Records != 120 || info.Dims != 3 {
+		t.Fatalf("info %+v", info)
+	}
+	// CSV-backed registration.
+	path := filepath.Join(t.TempDir(), "recs.csv")
+	var sb strings.Builder
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&sb, "%d,%d\n", i%7, (i*3)%11)
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec = do(t, s.Handler(), "POST", "/datasets",
+		fmt.Sprintf(`{"name":"csv","csv_path":%q}`, path))
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("csv status %d: %s", rec.Code, rec.Body.String())
+	}
+	// Both are listed and queryable.
+	list := decode[[]DatasetInfo](t, do(t, s.Handler(), "GET", "/datasets", ""))
+	if len(list) != 2 || list[0].Name != "csv" || list[1].Name != "synth" {
+		t.Fatalf("list %+v", list)
+	}
+	q := do(t, s.Handler(), "POST", "/query/ord", `{"dataset":"synth","w":[0.4,0.3,0.3],"k":2,"m":5}`)
+	if q.Code != 200 {
+		t.Fatalf("query on synth: %d %s", q.Code, q.Body.String())
+	}
+	// Bad registrations.
+	for _, body := range []string{
+		`{"csv_path":"x.csv"}`, // no name
+		`{"name":"x"}`,         // no source
+		`{"name":"x","generator":{"dist":"WAT","n":10,"d":2}}`,
+		`{"name":"x","csv_path":"/definitely/missing.csv"}`,
+		fmt.Sprintf(`{"name":"x","csv_path":%q,"generator":{"dist":"IND","n":10,"d":2}}`, path),
+	} {
+		if rec := do(t, s.Handler(), "POST", "/datasets", body); rec.Code != 400 {
+			t.Fatalf("body %s: status %d, want 400", body, rec.Code)
+		}
+	}
+}
+
+// TestConcurrentQueries drives >= 8 concurrent queries through one dataset;
+// run under -race (make test does) it checks the whole serving surface for
+// data races.
+func TestConcurrentQueries(t *testing.T) {
+	s := testServer(t, Config{Workers: 4, QueueDepth: 64}, 600)
+	seeds := [][3]float64{
+		{0.4, 0.3, 0.3}, {0.2, 0.5, 0.3}, {0.6, 0.2, 0.2}, {0.33, 0.33, 0.34},
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			w := seeds[g%len(seeds)]
+			op := "ord"
+			if g%2 == 1 {
+				op = "oru"
+			}
+			body := fmt.Sprintf(`{"dataset":"main","w":[%g,%g,%g],"k":2,"m":8,"workers":2}`,
+				w[0], w[1], w[2])
+			for i := 0; i < 3; i++ {
+				rec := do(t, s.Handler(), "POST", "/query/"+op, body)
+				if rec.Code != 200 {
+					errs <- fmt.Sprintf("goroutine %d: status %d: %s", g, rec.Code, rec.Body.String())
+					return
+				}
+			}
+			do(t, s.Handler(), "GET", "/metrics", "")
+			do(t, s.Handler(), "GET", "/healthz", "")
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	snap := s.Snapshot()
+	if snap.Responses["200"] == 0 || snap.Cache.Hits == 0 {
+		t.Fatalf("suspicious snapshot: %+v", snap.Responses)
+	}
+}

@@ -2,6 +2,8 @@ package skyband
 
 import (
 	"container/heap"
+	"context"
+	"fmt"
 	"math"
 
 	"ordu/internal/geom"
@@ -192,15 +194,31 @@ func (ird *IRD) fetch() bool {
 // Next releases the rho-skyband member with the smallest remaining
 // inflection radius. ok is false once the entire k-skyband is exhausted.
 func (ird *IRD) Next() (Released, bool) {
-	for {
+	r, ok, _ := ird.NextCtx(context.Background())
+	return r, ok
+}
+
+// NextCtx is Next with cooperative cancellation. A single release can
+// internally fetch thousands of k-skyband records (each an O(|T|)
+// inflection computation), so the fetch loop itself polls ctx every few
+// iterations and aborts with an error wrapping ctx.Err().
+func (ird *IRD) NextCtx(ctx context.Context) (Released, bool, error) {
+	for i := 0; ; i++ {
+		if i%64 == 0 {
+			select {
+			case <-ctx.Done():
+				return Released{}, false, fmt.Errorf("skyband: retrieval cancelled: %w", ctx.Err())
+			default:
+			}
+		}
 		if ird.pending.Len() > 0 {
 			if ird.exhausted || ird.boundsClear(ird.pending[0].rho) {
 				it := heap.Pop(&ird.pending).(pendItem)
-				return Released{ID: it.rec.ID, Point: it.rec.Point, Radius: it.rho}, true
+				return Released{ID: it.rec.ID, Point: it.rec.Point, Radius: it.rho}, true, nil
 			}
 		}
 		if ird.exhausted {
-			return Released{}, false
+			return Released{}, false, nil
 		}
 		ird.fetch()
 	}

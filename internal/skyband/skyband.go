@@ -1,6 +1,9 @@
 package skyband
 
 import (
+	"context"
+	"fmt"
+
 	"ordu/internal/geom"
 	"ordu/internal/rtree"
 )
@@ -53,14 +56,31 @@ func Skyline(tree *rtree.Tree) []Member {
 // It is the building block the complete ORD algorithm improves upon, and
 // the reference the tests validate ORD against.
 func RhoSkyband(tree *rtree.Tree, w geom.Vector, k int, rho float64) []Member {
+	out, _ := RhoSkybandCtx(context.Background(), tree, w, k, rho)
+	return out
+}
+
+// RhoSkybandCtx is RhoSkyband with cooperative cancellation: the retrieval
+// polls ctx every few fetches and aborts with an error wrapping ctx.Err()
+// once the context is done. The rho-skyband can hold a large fraction of an
+// anticorrelated dataset, making this the longest single phase of ORU — the
+// polling keeps per-request deadlines responsive.
+func RhoSkybandCtx(ctx context.Context, tree *rtree.Tree, w geom.Vector, k int, rho float64) ([]Member, error) {
 	sc := NewScanner(tree, w)
 	pr := NewRhoPruner(w, k)
 	pr.Rho = rho
 	var out []Member
-	for {
+	for i := 0; ; i++ {
+		if i%64 == 0 {
+			select {
+			case <-ctx.Done():
+				return nil, fmt.Errorf("skyband: retrieval cancelled: %w", ctx.Err())
+			default:
+			}
+		}
 		id, p, ok := sc.Next(pr)
 		if !ok {
-			return out
+			return out, nil
 		}
 		pr.Add(p)
 		out = append(out, Member{ID: id, Point: p})

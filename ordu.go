@@ -29,6 +29,7 @@
 package ordu
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -168,13 +169,52 @@ func (ds *Dataset) Delete(id int) bool {
 	return true
 }
 
-// prepW validates and copies a preference vector.
+// ErrBadSeed reports an invalid preference seed vector w: wrong dimension,
+// non-finite components, or off the unit simplex. Callers serving remote
+// input (e.g. internal/server) match it with errors.Is to map the failure
+// to a 4xx response.
+var ErrBadSeed = errors.New("ordu: bad seed vector")
+
+// ErrBadParams reports invalid query parameters: k < 1, m < 1, or m < k.
+var ErrBadParams = errors.New("ordu: bad query parameters")
+
+// prepW validates and copies a preference vector. Failures wrap ErrBadSeed.
 func (ds *Dataset) prepW(w []float64) (geom.Vector, error) {
+	if len(w) != ds.Dim() {
+		return nil, fmt.Errorf("%w: dimension %d, want %d", ErrBadSeed, len(w), ds.Dim())
+	}
+	for j, x := range w {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, fmt.Errorf("%w: component %d is not finite", ErrBadSeed, j)
+		}
+	}
 	v := geom.Vector(w)
 	if err := geom.ValidatePreference(v, ds.Dim()); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrBadSeed, err)
 	}
 	return v.Clone(), nil
+}
+
+// checkK validates a rank parameter; failures wrap ErrBadParams.
+func checkK(k int) error {
+	if k < 1 {
+		return fmt.Errorf("%w: k = %d, want k >= 1", ErrBadParams, k)
+	}
+	return nil
+}
+
+// checkKM validates an ORD/ORU parameter pair; failures wrap ErrBadParams.
+func checkKM(k, m int) error {
+	if err := checkK(k); err != nil {
+		return err
+	}
+	if m < 1 {
+		return fmt.Errorf("%w: m = %d, want m >= 1", ErrBadParams, m)
+	}
+	if m < k {
+		return fmt.Errorf("%w: m = %d < k = %d; the smallest ORD/ORU output is the top-k itself", ErrBadParams, m, k)
+	}
+	return nil
 }
 
 // TopK returns the k records with the highest utility for w, best first
@@ -184,8 +224,8 @@ func (ds *Dataset) TopK(w []float64, k int) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if k < 1 {
-		return nil, fmt.Errorf("ordu: k = %d, want k >= 1", k)
+	if err := checkK(k); err != nil {
+		return nil, err
 	}
 	rs := topk.TopK(ds.tree, v, k)
 	out := make([]Result, len(rs))
@@ -207,8 +247,8 @@ func (ds *Dataset) Skyline() []Result {
 
 // KSkyband returns the records dominated by fewer than k others (BBS).
 func (ds *Dataset) KSkyband(k int) ([]Result, error) {
-	if k < 1 {
-		return nil, fmt.Errorf("ordu: k = %d, want k >= 1", k)
+	if err := checkK(k); err != nil {
+		return nil, err
 	}
 	ms := skyband.KSkyband(ds.tree, k)
 	out := make([]Result, len(ms))
@@ -232,11 +272,22 @@ func (ds *Dataset) OSSkyline(m int) []Result {
 
 // ORD runs the paper's dominance-flavoured operator (Definition 1).
 func (ds *Dataset) ORD(w []float64, k, m int) (*ORDResult, error) {
+	return ds.ORDCtx(context.Background(), w, k, m)
+}
+
+// ORDCtx is ORD with a context: the retrieval polls ctx cooperatively and
+// aborts with an error wrapping ctx.Err() once the context is cancelled or
+// its deadline passes — the hook the serving layer uses for per-request
+// deadlines.
+func (ds *Dataset) ORDCtx(ctx context.Context, w []float64, k, m int) (*ORDResult, error) {
 	v, err := ds.prepW(w)
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.ORD(ds.tree, v, k, m)
+	if err := checkKM(k, m); err != nil {
+		return nil, err
+	}
+	res, err := core.ORDCtx(ctx, ds.tree, v, k, m)
 	if err != nil {
 		return nil, err
 	}
@@ -249,29 +300,12 @@ func (ds *Dataset) ORD(w []float64, k, m int) (*ORDResult, error) {
 
 // ORU runs the paper's ranking-flavoured operator (Definition 2).
 func (ds *Dataset) ORU(w []float64, k, m int) (*ORUResult, error) {
-	v, err := ds.prepW(w)
-	if err != nil {
-		return nil, err
-	}
-	res, err := core.ORU(ds.tree, v, k, m)
-	if err != nil {
-		return nil, err
-	}
-	out := &ORUResult{Rho: res.Rho}
-	for _, r := range res.Records {
-		out.Records = append(out.Records, Result{ID: r.ID, Record: r.Point, Score: v.Dot(r.Point)})
-	}
-	for _, reg := range res.Regions {
-		rt := RegionTopK{MinDist: reg.MinDist}
-		for _, r := range reg.TopK {
-			rt.TopK = append(rt.TopK, Result{ID: r.ID, Record: r.Point})
-		}
-		if wit, ok := reg.Region.FeasiblePoint(); ok {
-			rt.Witness = wit
-		}
-		out.Regions = append(out.Regions, rt)
-	}
-	return out, nil
+	return ds.ORUCtx(context.Background(), w, k, m)
+}
+
+// ORUCtx is ORU with a context (see ORDCtx).
+func (ds *Dataset) ORUCtx(ctx context.Context, w []float64, k, m int) (*ORUResult, error) {
+	return ds.oruCtx(ctx, w, k, m, 0)
 }
 
 // ORUParallel is ORU with concurrent region partitioning — the
@@ -279,11 +313,24 @@ func (ds *Dataset) ORU(w []float64, k, m int) (*ORUResult, error) {
 // is identical to ORU; only wall-clock changes. workers <= 1 falls back to
 // the sequential algorithm.
 func (ds *Dataset) ORUParallel(w []float64, k, m, workers int) (*ORUResult, error) {
+	return ds.ORUParallelCtx(context.Background(), w, k, m, workers)
+}
+
+// ORUParallelCtx is ORUParallel with a context (see ORDCtx).
+func (ds *Dataset) ORUParallelCtx(ctx context.Context, w []float64, k, m, workers int) (*ORUResult, error) {
+	return ds.oruCtx(ctx, w, k, m, workers)
+}
+
+// oruCtx validates, runs the core ORU and converts the result.
+func (ds *Dataset) oruCtx(ctx context.Context, w []float64, k, m, workers int) (*ORUResult, error) {
 	v, err := ds.prepW(w)
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.ORUWith(ds.tree, v, k, m, core.ORUOptions{Workers: workers})
+	if err := checkKM(k, m); err != nil {
+		return nil, err
+	}
+	res, err := core.ORUWithCtx(ctx, ds.tree, v, k, m, core.ORUOptions{Workers: workers})
 	if err != nil {
 		return nil, err
 	}

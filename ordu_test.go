@@ -1,6 +1,8 @@
 package ordu
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -246,6 +248,92 @@ func TestPreferenceHelper(t *testing.T) {
 	}
 	if _, err := Preference([]float64{0, 0}); err == nil {
 		t.Fatal("zero weights accepted")
+	}
+}
+
+func TestFacadeValidationSentinels(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	ds, err := NewDataset(randRecords(rng, 50, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := []float64{0.4, 0.3, 0.3}
+	cases := []struct {
+		name string
+		w    []float64
+		k, m int
+		want error
+	}{
+		{"NaN component", []float64{math.NaN(), 0.5, 0.5}, 2, 4, ErrBadSeed},
+		{"+Inf component", []float64{math.Inf(1), 0.3, 0.3}, 2, 4, ErrBadSeed},
+		{"-Inf component", []float64{math.Inf(-1), 0.3, 0.3}, 2, 4, ErrBadSeed},
+		{"dimension too small", []float64{0.5, 0.5}, 2, 4, ErrBadSeed},
+		{"dimension too large", []float64{0.25, 0.25, 0.25, 0.25}, 2, 4, ErrBadSeed},
+		{"off simplex", []float64{0.9, 0.9, 0.9}, 2, 4, ErrBadSeed},
+		{"negative component", []float64{-0.2, 0.6, 0.6}, 2, 4, ErrBadSeed},
+		{"k zero", good, 0, 4, ErrBadParams},
+		{"k negative", good, -3, 4, ErrBadParams},
+		{"m zero", good, 1, 0, ErrBadParams},
+		{"m negative", good, 1, -2, ErrBadParams},
+		{"m below k", good, 5, 3, ErrBadParams},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ds.ORD(tc.w, tc.k, tc.m); !errors.Is(err, tc.want) {
+				t.Errorf("ORD err = %v, want %v", err, tc.want)
+			}
+			if _, err := ds.ORU(tc.w, tc.k, tc.m); !errors.Is(err, tc.want) {
+				t.Errorf("ORU err = %v, want %v", err, tc.want)
+			}
+			if _, err := ds.ORUParallel(tc.w, tc.k, tc.m, 2); !errors.Is(err, tc.want) {
+				t.Errorf("ORUParallel err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+	// The two sentinels stay distinct.
+	_, seedErr := ds.ORD([]float64{math.NaN(), 0.5, 0.5}, 2, 4)
+	if errors.Is(seedErr, ErrBadParams) {
+		t.Error("seed error matches ErrBadParams")
+	}
+	_, paramErr := ds.ORD(good, 0, 4)
+	if errors.Is(paramErr, ErrBadSeed) {
+		t.Error("param error matches ErrBadSeed")
+	}
+	// TopK and KSkyband share the k sentinel.
+	if _, err := ds.TopK(good, 0); !errors.Is(err, ErrBadParams) {
+		t.Errorf("TopK err = %v", err)
+	}
+	if _, err := ds.KSkyband(-1); !errors.Is(err, ErrBadParams) {
+		t.Errorf("KSkyband err = %v", err)
+	}
+}
+
+func TestFacadeCtxCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	ds, err := NewDataset(antiRecords(rng, 300, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := []float64{0.4, 0.3, 0.3}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ds.ORDCtx(ctx, w, 2, 8); !errors.Is(err, context.Canceled) {
+		t.Errorf("ORDCtx err = %v", err)
+	}
+	if _, err := ds.ORUCtx(ctx, w, 2, 8); !errors.Is(err, context.Canceled) {
+		t.Errorf("ORUCtx err = %v", err)
+	}
+	if _, err := ds.ORUParallelCtx(ctx, w, 2, 8, 2); !errors.Is(err, context.Canceled) {
+		t.Errorf("ORUParallelCtx err = %v", err)
+	}
+	// A live context reproduces the plain results.
+	got, err := ds.ORDCtx(context.Background(), w, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ds.ORD(w, 2, 8)
+	if got.Rho != want.Rho || len(got.Records) != len(want.Records) {
+		t.Fatal("ORDCtx diverges from ORD")
 	}
 }
 
