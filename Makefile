@@ -1,16 +1,22 @@
 GO ?= go
 
-.PHONY: all build test race cover bench serve experiments examples clean
+.PHONY: all build lint test race cover bench fuzz serve experiments examples clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 
+# Project-specific static analysis (floatcmp, ctxpoll, senterr, nopanic,
+# printguard); exits non-zero on any finding.
+lint:
+	$(GO) run ./cmd/ordlint ./...
+
 test:
 	$(GO) vet ./...
+	$(GO) run ./cmd/ordlint ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/server ./internal/core
+	$(GO) test -race ./...
 
 race:
 	$(GO) test -race ./...
@@ -20,6 +26,11 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Exercise the property-based fuzz targets beyond their seed corpora.
+fuzz:
+	$(GO) test ./internal/geom -fuzz FuzzDominates -fuzztime 30s
+	$(GO) test ./internal/lp -fuzz FuzzSimplexLP -fuzztime 30s
 
 # Start the query server on :8375 with a generated demo dataset.
 serve:

@@ -313,10 +313,14 @@ func runDiscussion(e *env) {
 		tree := e.cache.Synthetic(data.IND, n, s.DefaultD)
 		seeds := expr.Seeds(s.DefaultD, s.Seeds)
 		ordAvg, _ := e.measureCell(seeds, func(w geom.Vector) {
-			core.ORD(tree, w, s.DefaultK, s.DefaultM)
+			if _, err := core.ORD(tree, w, s.DefaultK, s.DefaultM); err != nil {
+				fmt.Fprintf(e.out, "(ORD failed at |D|=%s: %v)\n", fmtCard(n), err)
+			}
 		})
 		oruAvg, _ := e.measureCell(seeds, func(w geom.Vector) {
-			core.ORU(tree, w, s.DefaultK, s.DefaultM)
+			if _, err := core.ORU(tree, w, s.DefaultK, s.DefaultM); err != nil {
+				fmt.Fprintf(e.out, "(ORU failed at |D|=%s: %v)\n", fmtCard(n), err)
+			}
 		})
 		fmt.Fprintf(e.out, "|D|=%-8s ORD %-10s ORU %-10s\n", fmtCard(n), expr.Dur(ordAvg), expr.Dur(oruAvg))
 	}

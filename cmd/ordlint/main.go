@@ -1,0 +1,120 @@
+// Command ordlint runs the project's static-analysis suite
+// (internal/analysis) over the module and reports file:line diagnostics,
+// exiting non-zero on findings. It needs no tooling beyond the standard
+// library: packages are loaded by walking the module, parsing with build-tag
+// awareness, and type-checking with an importer that chains module-internal
+// packages with the standard library from source.
+//
+// Usage:
+//
+//	go run ./cmd/ordlint ./...            # whole module (the CI invocation)
+//	go run ./cmd/ordlint ./internal/lp    # one package
+//	go run ./cmd/ordlint -checks floatcmp,ctxpoll ./...
+//
+// Findings are suppressed with `//ordlint:allow <check> — reason` comments;
+// see the package documentation of internal/analysis.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ordu/internal/analysis"
+)
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := flag.Bool("list", false, "list the available checks and exit")
+	flag.Parse()
+
+	root, modulePath, err := analysis.FindModule(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ordlint:", err)
+		os.Exit(2)
+	}
+	suite := analysis.NewSuite(analysis.DefaultConfig(modulePath))
+	if *list {
+		for _, a := range suite.Analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *checks != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*checks, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var kept []*analysis.Analyzer
+		for _, a := range suite.Analyzers {
+			if keep[a.Name] {
+				kept = append(kept, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			fmt.Fprintf(os.Stderr, "ordlint: unknown check %q (try -list)\n", name)
+			os.Exit(2)
+		}
+		suite.Analyzers = kept
+	}
+
+	loader := analysis.NewLoader(modulePath, root)
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ordlint:", err)
+		os.Exit(2)
+	}
+	pkgs = selectPackages(pkgs, root, flag.Args())
+
+	diags := suite.Run(pkgs)
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(root, pos.Filename); err == nil {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s: [%s] %s\n", pos, d.Check, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ordlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// selectPackages filters the loaded module packages by the command-line
+// patterns: "./..." (or no argument) keeps everything, "./dir/..." keeps the
+// subtree, and "./dir" keeps the single package. Patterns are relative to
+// the module root, matching how the tool is invoked from it.
+func selectPackages(pkgs []*analysis.Package, root string, patterns []string) []*analysis.Package {
+	if len(patterns) == 0 {
+		return pkgs
+	}
+	var out []*analysis.Package
+	for _, pkg := range pkgs {
+		rel, err := filepath.Rel(root, pkg.Dir)
+		if err != nil {
+			continue
+		}
+		rel = filepath.ToSlash(rel)
+		for _, pat := range patterns {
+			pat = strings.TrimPrefix(filepath.ToSlash(pat), "./")
+			if matchPattern(rel, pat) {
+				out = append(out, pkg)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func matchPattern(rel, pat string) bool {
+	if pat == "..." || pat == "" || pat == "." {
+		return true
+	}
+	if sub, ok := strings.CutSuffix(pat, "/..."); ok {
+		return rel == sub || strings.HasPrefix(rel, sub+"/")
+	}
+	return rel == pat
+}

@@ -37,7 +37,10 @@ func main() {
 
 	// The booking history suggests this user cares mostly about location
 	// and rating — but the estimate is rough, so we relax it with ORU.
-	w, _ := ordu.Preference([]float64{4, 2, 3, 1})
+	w, err := ordu.Preference([]float64{4, 2, 3, 1})
+	if err != nil {
+		log.Fatal(err)
+	}
 	const k, m = 5, 12
 
 	oru, err := ds.ORU(w, k, m)
@@ -51,7 +54,10 @@ func main() {
 	}
 
 	// Compare with a plain top-m: the records serving only the exact w.
-	top, _ := ds.TopK(w, m)
+	top, err := ds.TopK(w, m)
+	if err != nil {
+		log.Fatal(err)
+	}
 	onlyORU := diff(oru.Records, top)
 	fmt.Printf("\n%d hotels in the ORU shortlist are invisible to a plain top-%d:\n", len(onlyORU), m)
 	for _, id := range onlyORU {

@@ -44,7 +44,10 @@ func scenario(players []data.Player, attrs []string, dims [2]int, w []float64) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	topRes, _ := ds.TopK(w, m)
+	topRes, err := ds.TopK(w, m)
+	if err != nil {
+		log.Fatal(err)
+	}
 	ossRes := ds.OSSkyline(m)
 
 	print1 := func(label string, ids []int) {

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// NewCtxpoll builds the ctxpoll analyzer, machine-checking the cooperative
+// cancellation contract introduced with the query server: inside the scoped
+// packages, any loop that advances a progressive scan (calls one of the
+// scan-advancing methods — Scanner.Next, IRD.Next/NextCtx, the internal
+// fetch helpers) can run for a long time and must poll its context somewhere
+// in the loop body. A poll is either a direct `ctx.Err()`/`ctx.Done()` call
+// or a call that forwards a context.Context argument (delegating the polling
+// to a Ctx-aware callee). Code inside nested function literals neither
+// triggers nor satisfies the requirement: a closure runs on its own
+// schedule.
+func NewCtxpoll(packages, scanCalls map[string]bool) *Analyzer {
+	a := &Analyzer{
+		Name: "ctxpoll",
+		Doc:  "flag scan-advancing loops in the scoped packages that never poll their context",
+	}
+	a.Run = func(pass *Pass) {
+		if !packages[pass.PkgPath] {
+			return
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var body *ast.BlockStmt
+				var pos = n
+				switch loop := n.(type) {
+				case *ast.ForStmt:
+					body = loop.Body
+				case *ast.RangeStmt:
+					body = loop.Body
+				default:
+					return true
+				}
+				scan := ""
+				polled := false
+				inspectShallow(body, func(m ast.Node) bool {
+					call, ok := m.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+						name := sel.Sel.Name
+						if scanCalls[name] && scan == "" {
+							scan = exprString(sel)
+						}
+						if name == "Err" || name == "Done" {
+							if tv, ok := pass.TypesInfo.Types[sel.X]; ok && tv.Type != nil && isContextType(tv.Type) {
+								polled = true
+							}
+						}
+					}
+					for _, arg := range call.Args {
+						if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Type != nil && isContextType(tv.Type) {
+							polled = true
+						}
+					}
+					return true
+				})
+				if scan != "" && !polled {
+					pass.Report(pos.Pos(), "loop advances a scan via %s but never polls a context; add a ctx.Err()/ctx.Done() check or forward ctx to a Ctx-aware callee", scan)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// exprString renders a selector chain like "sc.Next" for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if base := exprString(e.X); base != "" {
+			return base + "." + e.Sel.Name
+		}
+		return e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "()"
+	}
+	return strings.TrimSpace("…")
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewFloatcmp builds the floatcmp analyzer: it flags `==`/`!=` and `switch`
+// dispatch on floating-point values, which silently misbehave near the
+// region boundaries the ORD/ORU geometry lives on. Exact comparison is legal
+// only inside the approved epsilon/dominance helpers (qualified names like
+// "ordu/internal/geom.Vector.Equal") or under an
+// `//ordlint:allow floatcmp — reason` escape comment, e.g. for comparing a
+// value against a stored copy of itself (tie-breaking on previously computed
+// keys).
+func NewFloatcmp(approved map[string]bool) *Analyzer {
+	a := &Analyzer{
+		Name: "floatcmp",
+		Doc:  "flag ==, != and switch on floating-point expressions outside approved epsilon helpers",
+	}
+	a.Run = func(pass *Pass) {
+		check := func(owner string, root ast.Node) {
+			if approved[owner] {
+				return
+			}
+			ast.Inspect(root, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					if n.Op != token.EQL && n.Op != token.NEQ {
+						return true
+					}
+					if t := operandType(pass.TypesInfo, n.X, n.Y); t != nil {
+						kind := "floating-point"
+						if !isFloat(t) {
+							kind = "float-containing " + t.String()
+						}
+						pass.Report(n.OpPos, "%s %s comparison on %s values; use an epsilon helper from internal/geom or internal/linalg", n.Op, kind, t)
+					}
+				case *ast.SwitchStmt:
+					if n.Tag == nil {
+						return true
+					}
+					if tv, ok := pass.TypesInfo.Types[n.Tag]; ok && tv.Type != nil && containsFloat(tv.Type) {
+						pass.Report(n.Switch, "switch on floating-point value of type %s; float case dispatch is an exact comparison in disguise", tv.Type)
+					}
+				}
+				return true
+			})
+		}
+		funcDecls(pass, func(name string, decl *ast.FuncDecl) {
+			check(name, decl.Body)
+		})
+		// Package-level initializers are still library code: check them under
+		// the package's own name (never approved).
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if gd, ok := d.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+					check(pass.PkgPath, gd)
+				}
+			}
+		}
+	}
+	return a
+}
+
+// operandType returns the comparison's float-bearing operand type, or nil
+// when the comparison involves no floating-point component. Untyped constant
+// operands take the type of the other side, so `x == 0` on a float x is
+// still caught.
+func operandType(info *types.Info, x, y ast.Expr) types.Type {
+	for _, e := range [2]ast.Expr{x, y} {
+		tv, ok := info.Types[e]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if containsFloat(tv.Type) {
+			return tv.Type
+		}
+	}
+	return nil
+}

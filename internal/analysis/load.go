@@ -1,0 +1,258 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package as produced by the Loader: the parsed
+// files, the type information, and enough identity (import path, directory)
+// for analyzers to scope themselves.
+type Package struct {
+	// Path is the import path ("ordu/internal/geom"). For packages loaded
+	// from a bare directory (test fixtures) it is the caller-chosen name.
+	Path string
+	// Fset is the loader's shared fileset, which resolves all positions in
+	// Files.
+	Fset *token.FileSet
+	// Dir is the absolute directory the sources were read from.
+	Dir string
+	// Files are the parsed source files, with comments.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the use/def/type maps for Files.
+	Info *types.Info
+	// InModule reports whether the package belongs to the module under
+	// analysis (as opposed to a dependency pulled in for type information).
+	InModule bool
+	// TypeErrors collects type-checker complaints. A build that passes
+	// `go build` produces none for module packages; anything here points at
+	// a loader limitation and is surfaced by the driver.
+	TypeErrors []error
+}
+
+// Loader loads and type-checks packages without the go toolchain: module
+// packages are located under the module root by import-path suffix, and all
+// other imports (the standard library, including its vendored dependencies)
+// are resolved through go/build and type-checked from source. Packages are
+// cached by directory, so the import graph is checked once.
+type Loader struct {
+	Fset *token.FileSet
+	// ModulePath and ModuleDir anchor intra-module import resolution.
+	ModulePath string
+	ModuleDir  string
+
+	ctxt build.Context
+	pkgs map[string]*Package // keyed by absolute directory
+}
+
+// NewLoader returns a loader for the module rooted at dir, whose go.mod must
+// declare the given module path. Cgo is disabled in the build context so the
+// standard library type-checks from pure-Go sources.
+func NewLoader(modulePath, dir string) *Loader {
+	ctxt := build.Default
+	ctxt.CgoEnabled = false
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		abs = dir
+	}
+	return &Loader{
+		Fset:       token.NewFileSet(),
+		ModulePath: modulePath,
+		ModuleDir:  abs,
+		ctxt:       ctxt,
+		pkgs:       make(map[string]*Package),
+	}
+}
+
+// FindModule locates the enclosing module of dir by walking up to the first
+// go.mod and returns its root directory and module path.
+func FindModule(dir string) (root, modulePath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// LoadModule walks the module tree and loads every buildable package under
+// it, skipping testdata, vendor, and hidden or underscore directories. The
+// returned slice is sorted by import path.
+func (l *Loader) LoadModule() ([]*Package, error) {
+	var pkgs []*Package
+	err := filepath.WalkDir(l.ModuleDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.ModuleDir && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		pkg, err := l.loadDir(path, l.importPathFor(path))
+		if err != nil {
+			var noGo *build.NoGoError
+			if errors.As(err, &noGo) {
+				return nil // directory without buildable Go files
+			}
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// LoadDir loads the single package in dir under the given import path. It is
+// the entry point used for golden-file fixtures, which live outside the
+// module's buildable tree.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.loadDir(abs, path)
+}
+
+// importPathFor maps a module-internal directory to its import path.
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.ModuleDir, dir)
+	if err != nil || rel == "." {
+		return l.ModulePath
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
+// inProgress marks a directory whose load has started, to break cycles.
+var inProgress = &Package{}
+
+// loadDir parses and type-checks the package in dir, memoized.
+func (l *Loader) loadDir(dir, path string) (*Package, error) {
+	if pkg, ok := l.pkgs[dir]; ok {
+		if pkg == inProgress {
+			return nil, fmt.Errorf("analysis: import cycle through %s", path)
+		}
+		return pkg, nil
+	}
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[dir] = inProgress
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			delete(l.pkgs, dir)
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{
+		Path:     path,
+		Dir:      dir,
+		Fset:     l.Fset,
+		Files:    files,
+		InModule: l.inModule(path) || strings.HasPrefix(dir, l.ModuleDir+string(filepath.Separator)),
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		},
+	}
+	conf := types.Config{
+		Importer: &chainImporter{l: l},
+		Sizes:    types.SizesFor("gc", l.ctxt.GOARCH),
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	// The checker reports every error through conf.Error and additionally
+	// returns the first one; module packages surface them via TypeErrors.
+	tpkg, _ := conf.Check(path, l.Fset, files, pkg.Info)
+	pkg.Types = tpkg
+	l.pkgs[dir] = pkg
+	return pkg, nil
+}
+
+// inModule reports whether an import path belongs to the analyzed module.
+func (l *Loader) inModule(path string) bool {
+	return path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/")
+}
+
+// chainImporter resolves imports during type-checking: module paths map to
+// directories under the module root; everything else goes through go/build,
+// which finds GOROOT packages and their vendored dependencies. Implementing
+// ImporterFrom lets go/types supply the importing directory, which go/build
+// needs for vendor resolution.
+type chainImporter struct {
+	l *Loader
+}
+
+func (ci *chainImporter) Import(path string) (*types.Package, error) {
+	return ci.ImportFrom(path, ci.l.ModuleDir, 0)
+}
+
+func (ci *chainImporter) ImportFrom(path, srcDir string, _ types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	l := ci.l
+	var dir string
+	if l.inModule(path) {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+		dir = filepath.Join(l.ModuleDir, filepath.FromSlash(rel))
+	} else {
+		bp, err := l.ctxt.Import(path, srcDir, 0)
+		if err != nil {
+			return nil, err
+		}
+		dir = bp.Dir
+	}
+	pkg, err := l.loadDir(dir, path)
+	if err != nil {
+		return nil, err
+	}
+	if pkg.Types == nil {
+		return nil, fmt.Errorf("analysis: no type information for %s", path)
+	}
+	return pkg.Types, nil
+}

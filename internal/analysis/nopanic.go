@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewNopanic builds the nopanic analyzer: library packages (by default
+// everything under internal/) must report failures as errors, not by tearing
+// the process down — the query server runs these code paths on behalf of
+// remote callers. Calls to panic, log.Fatal*, and os.Exit are flagged,
+// except inside `func init()` bodies, where configuration validation at
+// process start is legitimate. Precondition panics that encode documented
+// API contracts (dimension mismatches and the like) are kept, but must carry
+// an `//ordlint:allow nopanic — reason` annotation.
+func NewNopanic(include func(pkgPath string) bool) *Analyzer {
+	a := &Analyzer{
+		Name: "nopanic",
+		Doc:  "flag panic/log.Fatal/os.Exit in library packages outside init-time validation",
+	}
+	fatal := map[string]map[string]bool{
+		"os":  {"Exit": true},
+		"log": {"Fatal": true, "Fatalf": true, "Fatalln": true, "Panic": true, "Panicf": true, "Panicln": true},
+	}
+	a.Run = func(pass *Pass) {
+		if !include(pass.PkgPath) {
+			return
+		}
+		funcDecls(pass, func(name string, decl *ast.FuncDecl) {
+			if decl.Recv == nil && decl.Name.Name == "init" {
+				return // init-time validation may abort the process
+			}
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := ast.Unparen(call.Fun).(type) {
+				case *ast.Ident:
+					if obj, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok && obj.Name() == "panic" {
+						pass.Report(call.Pos(), "panic in library package %s; return an error instead", pass.PkgPath)
+					}
+				case *ast.SelectorExpr:
+					obj := pass.TypesInfo.Uses[fun.Sel]
+					if obj == nil || obj.Pkg() == nil {
+						return true
+					}
+					if names, ok := fatal[obj.Pkg().Path()]; ok && names[obj.Name()] {
+						pass.Report(call.Pos(), "%s.%s in library package %s; return an error instead", obj.Pkg().Name(), obj.Name(), pass.PkgPath)
+					}
+				}
+				return true
+			})
+		})
+	}
+	return a
+}

@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewPrintguard builds the printguard analyzer: library packages (by default
+// everything under internal/; cmd/ and examples/ are user-facing and exempt
+// by path) must not write to standard output. Diagnostics belong in returned
+// errors or in the server's metrics; fmt.Fprint* to a caller-supplied writer
+// remains fine. Flagged: fmt.Print/Printf/Println and the built-in
+// print/println.
+func NewPrintguard(include func(pkgPath string) bool) *Analyzer {
+	a := &Analyzer{
+		Name: "printguard",
+		Doc:  "flag fmt.Print* and builtin print/println in library packages",
+	}
+	fmtFuncs := map[string]bool{"Print": true, "Printf": true, "Println": true}
+	a.Run = func(pass *Pass) {
+		if !include(pass.PkgPath) {
+			return
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := ast.Unparen(call.Fun).(type) {
+				case *ast.Ident:
+					if obj, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok &&
+						(obj.Name() == "print" || obj.Name() == "println") {
+						pass.Report(call.Pos(), "builtin %s in library package %s; route diagnostics through errors or metrics", obj.Name(), pass.PkgPath)
+					}
+				case *ast.SelectorExpr:
+					obj := pass.TypesInfo.Uses[fun.Sel]
+					if obj == nil || obj.Pkg() == nil {
+						return true
+					}
+					if obj.Pkg().Path() == "fmt" && fmtFuncs[obj.Name()] {
+						pass.Report(call.Pos(), "fmt.%s writes to stdout from library package %s; route diagnostics through errors or metrics", obj.Name(), pass.PkgPath)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NewSenterr builds the senterr analyzer. Packages that export sentinel
+// error values (variables named Err* of type error, like the facade's
+// ErrBadSeed/ErrBadParams) establish an error contract: callers dispatch on
+// errors.Is, so silently discarding such a call's error result swallows
+// invalid-input and cancellation signals. The analyzer flags any call to a
+// function from such a package (restricted by include to the module's own
+// packages) whose error result is dropped — used as a bare statement, passed
+// to go/defer, or assigned to the blank identifier.
+func NewSenterr(include func(pkgPath string) bool) *Analyzer {
+	a := &Analyzer{
+		Name: "senterr",
+		Doc:  "flag discarded error results from functions of sentinel-error packages",
+	}
+	sentinelPkg := make(map[*types.Package]bool)
+	declares := func(pkg *types.Package) bool {
+		if pkg == nil || !include(pkg.Path()) {
+			return false
+		}
+		if v, ok := sentinelPkg[pkg]; ok {
+			return v
+		}
+		found := false
+		scope := pkg.Scope()
+		for _, name := range scope.Names() {
+			if !strings.HasPrefix(name, "Err") {
+				continue
+			}
+			if v, ok := scope.Lookup(name).(*types.Var); ok && isErrorType(v.Type()) {
+				found = true
+				break
+			}
+		}
+		sentinelPkg[pkg] = found
+		return found
+	}
+
+	// errPositions returns the indices of error results of the call's
+	// callee, when the callee belongs to a sentinel package.
+	errPositions := func(pass *Pass, call *ast.CallExpr) (callee string, idx []int) {
+		obj := calleeObject(pass.TypesInfo, call)
+		if obj == nil || !declares(obj.Pkg()) {
+			return "", nil
+		}
+		sig, ok := obj.Type().(*types.Signature)
+		if !ok {
+			return "", nil
+		}
+		res := sig.Results()
+		for i := 0; i < res.Len(); i++ {
+			if isErrorType(res.At(i).Type()) {
+				idx = append(idx, i)
+			}
+		}
+		return obj.Pkg().Name() + "." + obj.Name(), idx
+	}
+
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var call *ast.CallExpr
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					call, _ = n.X.(*ast.CallExpr)
+				case *ast.GoStmt:
+					call = n.Call
+				case *ast.DeferStmt:
+					call = n.Call
+				case *ast.AssignStmt:
+					if len(n.Rhs) != 1 {
+						return true
+					}
+					c, ok := n.Rhs[0].(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee, idx := errPositions(pass, c)
+					for _, i := range idx {
+						if i < len(n.Lhs) {
+							if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+								pass.Report(id.Pos(), "error result of %s assigned to _; its package defines sentinel errors callers must check", callee)
+							}
+						}
+					}
+					return true
+				default:
+					return true
+				}
+				if call == nil {
+					return true
+				}
+				if callee, idx := errPositions(pass, call); len(idx) > 0 {
+					pass.Report(call.Pos(), "error result of %s discarded; its package defines sentinel errors callers must check", callee)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}

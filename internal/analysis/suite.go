@@ -1,0 +1,85 @@
+package analysis
+
+import "strings"
+
+// Config scopes the analyzers. The zero value disables every path-scoped
+// check; DefaultConfig returns the configuration enforced on this module.
+type Config struct {
+	// FloatcmpApproved lists qualified function names
+	// ("pkgpath.Recv.Method" or "pkgpath.Func") whose bodies may compare
+	// floats exactly — the vetted epsilon/dominance primitives.
+	FloatcmpApproved map[string]bool
+	// CtxPollPackages are the package paths whose scan loops must poll a
+	// context.
+	CtxPollPackages map[string]bool
+	// CtxPollScanCalls are the method names that advance a progressive scan.
+	CtxPollScanCalls map[string]bool
+	// SenterrCallee restricts senterr to calls into matching packages.
+	SenterrCallee func(pkgPath string) bool
+	// NopanicPackage selects the library packages where nopanic applies.
+	NopanicPackage func(pkgPath string) bool
+	// PrintguardPackage selects the library packages where printguard
+	// applies.
+	PrintguardPackage func(pkgPath string) bool
+}
+
+// DefaultConfig is the configuration `cmd/ordlint` enforces on this module:
+//
+//   - floatcmp approves the exact-comparison primitives of internal/geom and
+//     internal/linalg (Vector.Equal; the pivot-skip zero tests inside the
+//     eliminators, which compare against values that are exactly zero by
+//     construction);
+//   - ctxpoll guards internal/core and internal/skyband, the packages that
+//     host the potentially unbounded scan loops;
+//   - senterr applies to calls into any module package that exports Err*
+//     sentinels (the facade's ErrBadSeed/ErrBadParams contract and friends);
+//   - nopanic/printguard cover every internal/* library package, leaving
+//     cmd/ and examples/ free to print and exit.
+func DefaultConfig(modulePath string) Config {
+	internal := func(pkgPath string) bool {
+		return strings.HasPrefix(pkgPath, modulePath+"/internal/")
+	}
+	return Config{
+		FloatcmpApproved: map[string]bool{
+			modulePath + "/internal/geom.Vector.Equal": true,
+			modulePath + "/internal/linalg.Solve":      true,
+			modulePath + "/internal/linalg.NullVector": true,
+		},
+		CtxPollPackages: map[string]bool{
+			modulePath + "/internal/core":    true,
+			modulePath + "/internal/skyband": true,
+		},
+		CtxPollScanCalls: map[string]bool{
+			"Next":    true,
+			"NextCtx": true,
+			"fetch":   true,
+		},
+		SenterrCallee: func(pkgPath string) bool {
+			return pkgPath == modulePath || strings.HasPrefix(pkgPath, modulePath+"/")
+		},
+		NopanicPackage:    internal,
+		PrintguardPackage: internal,
+	}
+}
+
+// NewSuite assembles the full analyzer suite for a configuration.
+func NewSuite(cfg Config) *Suite {
+	nope := func(string) bool { return false }
+	senterr, nopanic, printguard := cfg.SenterrCallee, cfg.NopanicPackage, cfg.PrintguardPackage
+	if senterr == nil {
+		senterr = nope
+	}
+	if nopanic == nil {
+		nopanic = nope
+	}
+	if printguard == nil {
+		printguard = nope
+	}
+	return &Suite{Analyzers: []*Analyzer{
+		NewFloatcmp(cfg.FloatcmpApproved),
+		NewCtxpoll(cfg.CtxPollPackages, cfg.CtxPollScanCalls),
+		NewSenterr(senterr),
+		NewNopanic(nopanic),
+		NewPrintguard(printguard),
+	}}
+}

@@ -1,0 +1,95 @@
+// Package ctxpoll is a golden-file fixture for the ctxpoll analyzer. The
+// test scopes the analyzer to this package with the default scan-call names.
+package ctxpoll
+
+import "context"
+
+type scanner struct{ n int }
+
+// Next mimics a progressive scan step (the name is what the analyzer keys
+// on).
+func (s *scanner) Next() (int, bool) {
+	s.n++
+	return s.n, s.n < 100
+}
+
+func helper(ctx context.Context) error { return ctx.Err() }
+
+func bad(s *scanner) int {
+	sum := 0
+	for { // want "advances a scan via s.Next but never polls"
+		v, ok := s.Next()
+		if !ok {
+			return sum
+		}
+		sum += v
+	}
+}
+
+func badRange(s *scanner, xs []int) int {
+	sum := 0
+	for range xs { // want "never polls"
+		v, _ := s.Next()
+		sum += v
+	}
+	return sum
+}
+
+func badClosurePoll(ctx context.Context, s *scanner) {
+	for { // want "never polls"
+		if _, ok := s.Next(); !ok {
+			break
+		}
+		// A poll inside a nested closure runs on the closure's schedule and
+		// must not satisfy the loop's obligation.
+		_ = func() error { return ctx.Err() }
+	}
+}
+
+func goodDirect(ctx context.Context, s *scanner) (int, error) {
+	sum := 0
+	for i := 0; ; i++ {
+		if i%64 == 0 {
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			default:
+			}
+		}
+		v, ok := s.Next()
+		if !ok {
+			return sum, nil
+		}
+		sum += v
+	}
+}
+
+func goodDelegated(ctx context.Context, s *scanner) (int, error) {
+	sum := 0
+	for {
+		if err := helper(ctx); err != nil {
+			return 0, err
+		}
+		v, ok := s.Next()
+		if !ok {
+			return sum, nil
+		}
+		sum += v
+	}
+}
+
+func allowedBounded(s *scanner) int {
+	for { //ordlint:allow ctxpoll — warm-up loop, bounded at 100 steps by construction
+		if _, ok := s.Next(); !ok {
+			return s.n
+		}
+	}
+}
+
+func noScan(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

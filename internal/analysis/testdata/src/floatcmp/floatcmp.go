@@ -1,0 +1,44 @@
+// Package floatcmp is a golden-file fixture for the floatcmp analyzer. The
+// test configures approxEq as an approved epsilon helper.
+package floatcmp
+
+type celsius float64
+
+type reading struct {
+	val float64
+	n   int
+}
+
+// approxEq stands in for the vetted comparison primitives of
+// internal/geom — the test marks it approved, so its body is exempt.
+func approxEq(a, b float64) bool {
+	return a == b
+}
+
+var threshold = 1.5
+var atBoundary = threshold == 1.5 // want "== floating-point comparison"
+
+func bad(a, b float64, r1, r2 reading, c celsius) bool {
+	if a == b { // want "== floating-point comparison"
+		return true
+	}
+	if c != 0 { // want "!= floating-point comparison"
+		return false
+	}
+	switch a { // want "switch on floating-point value"
+	case 1:
+		return true
+	}
+	return r1 == r2 // want "float-containing"
+}
+
+func allowedCopy(a float64) bool {
+	b := a
+	return a == b //ordlint:allow floatcmp — comparing a stored copy of the same value
+}
+
+func ints(a, b int) bool { return a == b }
+
+func viaHelper(a, b float64) bool { return approxEq(a, b) }
+
+func ordered(a, b float64) bool { return a < b }

@@ -1,0 +1,43 @@
+// Package nopanic is a golden-file fixture for the nopanic analyzer. The
+// test scopes the analyzer to this package.
+package nopanic
+
+import (
+	"errors"
+	"log"
+	"os"
+)
+
+// init-time validation may abort the process: exempt by rule.
+func init() {
+	if os.Getenv("NOPANIC_FIXTURE") == "corrupt" {
+		panic("bad configuration")
+	}
+}
+
+func bad(x int) int {
+	if x < 0 {
+		panic("negative") // want "panic in library package"
+	}
+	if x == 0 {
+		log.Fatal("zero") // want "log.Fatal in library package"
+	}
+	if x == 1 {
+		os.Exit(2) // want "os.Exit in library package"
+	}
+	return x
+}
+
+func good(x int) (int, error) {
+	if x < 0 {
+		return 0, errors.New("negative")
+	}
+	return x, nil
+}
+
+func allowedPrecondition(xs []int, i int) int {
+	if i >= len(xs) {
+		panic("index beyond documented range") //ordlint:allow nopanic — documented precondition
+	}
+	return xs[i]
+}

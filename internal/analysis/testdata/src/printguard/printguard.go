@@ -1,0 +1,27 @@
+// Package printguard is a golden-file fixture for the printguard analyzer.
+// The test scopes the analyzer to this package.
+package printguard
+
+import (
+	"fmt"
+	"io"
+)
+
+func bad(x int) {
+	fmt.Println("value", x)     // want "fmt.Println writes to stdout"
+	fmt.Printf("value %d\n", x) // want "fmt.Printf writes to stdout"
+	println("debug", x)         // want "builtin println"
+}
+
+func goodWriter(w io.Writer, x int) error {
+	if _, err := fmt.Fprintf(w, "value %d\n", x); err != nil {
+		return err
+	}
+	return nil
+}
+
+func goodError(x int) error { return fmt.Errorf("bad value %d", x) }
+
+func allowedBanner() {
+	fmt.Println("startup banner") //ordlint:allow printguard — fixture-sanctioned banner
+}

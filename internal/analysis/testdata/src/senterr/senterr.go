@@ -1,0 +1,39 @@
+// Package senterr is a golden-file fixture for the senterr analyzer: it
+// exports a sentinel error, which puts every error-returning function of the
+// package under the must-check contract.
+package senterr
+
+import "errors"
+
+// ErrBad is the sentinel establishing the contract.
+var ErrBad = errors.New("senterr: bad input")
+
+func compute(x int) (int, error) {
+	if x < 0 {
+		return 0, ErrBad
+	}
+	return 2 * x, nil
+}
+
+func fire() error { return nil }
+
+func bad() int {
+	compute(1)         // want "error result of senterr.compute discarded"
+	go compute(2)      // want "discarded"
+	defer fire()       // want "discarded"
+	v, _ := compute(3) // want "assigned to _"
+	return v
+}
+
+func good() (int, error) {
+	v, err := compute(4)
+	if err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+func allowedDiscard() {
+	v, _ := compute(5) //ordlint:allow senterr — constant input; validation cannot fail
+	_ = v
+}

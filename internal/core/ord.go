@@ -25,10 +25,13 @@ type candHeap []cand
 
 func (h candHeap) Len() int { return len(h) }
 func (h candHeap) Less(i, j int) bool {
-	if h[i].rho != h[j].rho {
+	// Exact comparisons of stored sort keys: both sides are previously
+	// computed values, so bitwise (in)equality is the deterministic
+	// tie-break, not a numeric boundary test.
+	if h[i].rho != h[j].rho { //ordlint:allow floatcmp — tie-break on stored keys
 		return h[i].rho > h[j].rho
 	}
-	if h[i].score != h[j].score {
+	if h[i].score != h[j].score { //ordlint:allow floatcmp — tie-break on stored keys
 		return h[i].score < h[j].score
 	}
 	return h[i].rec.ID > h[j].rec.ID
@@ -100,10 +103,10 @@ func ORDCtx(ctx context.Context, tree *rtree.Tree, w geom.Vector, k, m int) (*OR
 	out := make([]cand, cands.Len())
 	copy(out, cands)
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].rho != out[j].rho {
+		if out[i].rho != out[j].rho { //ordlint:allow floatcmp — tie-break on stored keys
 			return out[i].rho < out[j].rho
 		}
-		if out[i].score != out[j].score {
+		if out[i].score != out[j].score { //ordlint:allow floatcmp — tie-break on stored keys
 			return out[i].score > out[j].score
 		}
 		return out[i].rec.ID < out[j].rec.ID
@@ -164,10 +167,10 @@ func ORDBSL(tree *rtree.Tree, w geom.Vector, k, m int) (*ORDResult, error) {
 		return nil, ErrInsufficientData
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].rho != out[j].rho {
+		if out[i].rho != out[j].rho { //ordlint:allow floatcmp — tie-break on stored keys
 			return out[i].rho < out[j].rho
 		}
-		if out[i].score != out[j].score {
+		if out[i].score != out[j].score { //ordlint:allow floatcmp — tie-break on stored keys
 			return out[i].score > out[j].score
 		}
 		return out[i].rec.ID < out[j].rec.ID

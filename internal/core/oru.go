@@ -34,7 +34,7 @@ type nodeHeap []*regionNode
 
 func (h nodeHeap) Len() int { return len(h) }
 func (h nodeHeap) Less(i, j int) bool {
-	if h[i].mindist != h[j].mindist {
+	if h[i].mindist != h[j].mindist { //ordlint:allow floatcmp — tie-break on stored keys
 		return h[i].mindist < h[j].mindist
 	}
 	return h[i].seq < h[j].seq

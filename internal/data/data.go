@@ -91,7 +91,7 @@ func Synthetic(dist Distribution, n, d int, seed int64) []geom.Vector {
 				p[j] = clip01(p[j] * f)
 			}
 		default:
-			panic(fmt.Sprintf("data: unknown distribution %q", dist))
+			panic(fmt.Sprintf("data: unknown distribution %q", dist)) //ordlint:allow nopanic — exhaustive switch over the package-defined enum
 		}
 		pts[i] = p
 	}

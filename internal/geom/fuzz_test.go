@@ -1,0 +1,58 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDominates checks the order-theoretic laws the ORD/ORU pruning logic
+// relies on: Dominates is a strict partial order (irreflexive, antisymmetric,
+// transitive), WeakDominates is its reflexive closure, and the two agree
+// through Equal. Non-finite coordinates are skipped — NaN genuinely breaks
+// transitivity (a=(0,5) ⊁ b=(NaN,4) ⊁ c=(1,3) yet a ⊁ c fails), which is why
+// the data loaders reject it before points reach the index.
+func FuzzDominates(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0, 1.0, 2.0, 3.0, 0.0, 0.0, 0.0)
+	f.Add(5.0, 1.0, 0.5, 4.0, 1.0, 0.5, 3.0, 0.9, 0.4)
+	f.Add(0.0, 5.0, 0.0, 0.0, 4.0, 0.0, 1.0, 3.0, 0.0)
+	f.Add(-1.0, -2.0, -3.0, -4.0, -5.0, -6.0, -7.0, -8.0, -9.0)
+	f.Add(0.0, 0.0, 0.0, math.Copysign(0, -1), 0.0, 0.0, 0.0, 0.0, 0.0)
+	f.Fuzz(func(t *testing.T, a0, a1, a2, b0, b1, b2, c0, c1, c2 float64) {
+		vecs := [3]Vector{{a0, a1, a2}, {b0, b1, b2}, {c0, c1, c2}}
+		for _, v := range vecs {
+			for _, x := range v {
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					t.Skip("dominance laws are stated for finite coordinates")
+				}
+			}
+		}
+		a, b, c := vecs[0], vecs[1], vecs[2]
+		for _, v := range vecs {
+			if v.Dominates(v) {
+				t.Fatalf("Dominates not irreflexive: %v", v)
+			}
+			if !v.WeakDominates(v) {
+				t.Fatalf("WeakDominates not reflexive: %v", v)
+			}
+		}
+		for _, pair := range [...][2]Vector{{a, b}, {b, c}, {a, c}} {
+			u, v := pair[0], pair[1]
+			ud := u.Dominates(v)
+			if ud && v.Dominates(u) {
+				t.Fatalf("Dominates not antisymmetric: %v vs %v", u, v)
+			}
+			if want := u.WeakDominates(v) && !u.Equal(v); ud != want {
+				t.Fatalf("Dominates(%v, %v) = %v, want (WeakDominates && !Equal) = %v", u, v, ud, want)
+			}
+			if u.WeakDominates(v) && v.WeakDominates(u) && !u.Equal(v) {
+				t.Fatalf("mutual weak dominance without equality: %v vs %v", u, v)
+			}
+		}
+		if a.Dominates(b) && b.Dominates(c) && !a.Dominates(c) {
+			t.Fatalf("Dominates not transitive: %v > %v > %v", a, b, c)
+		}
+		if a.WeakDominates(b) && b.WeakDominates(c) && !a.WeakDominates(c) {
+			t.Fatalf("WeakDominates not transitive: %v >= %v >= %v", a, b, c)
+		}
+	})
+}

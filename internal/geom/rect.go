@@ -13,11 +13,11 @@ type Rect struct {
 // so malformed input is a programming error.
 func NewRect(lo, hi Vector) Rect {
 	if len(lo) != len(hi) {
-		panic(fmt.Sprintf("geom: rect corners of dims %d and %d", len(lo), len(hi)))
+		panic(fmt.Sprintf("geom: rect corners of dims %d and %d", len(lo), len(hi))) //ordlint:allow nopanic — documented precondition; caller bug, not data-dependent
 	}
 	for i := range lo {
 		if lo[i] > hi[i] {
-			panic(fmt.Sprintf("geom: rect lo[%d]=%g > hi[%d]=%g", i, lo[i], i, hi[i]))
+			panic(fmt.Sprintf("geom: rect lo[%d]=%g > hi[%d]=%g", i, lo[i], i, hi[i])) //ordlint:allow nopanic — documented precondition; caller bug, not data-dependent
 		}
 	}
 	return Rect{Lo: lo, Hi: hi}

@@ -26,7 +26,7 @@ func (v Vector) Clone() Vector {
 // Dot returns the inner product of v and u. It panics if dimensions differ.
 func (v Vector) Dot(u Vector) float64 {
 	if len(v) != len(u) {
-		panic(fmt.Sprintf("geom: dot of mismatched dims %d and %d", len(v), len(u)))
+		panic(fmt.Sprintf("geom: dot of mismatched dims %d and %d", len(v), len(u))) //ordlint:allow nopanic — documented precondition; caller bug, not data-dependent
 	}
 	s := 0.0
 	for i := range v {

@@ -81,7 +81,7 @@ type Builder struct {
 // NewBuilder returns a hull builder for d-dimensional points, d >= 2.
 func NewBuilder(d int) *Builder {
 	if d < 2 {
-		panic(fmt.Sprintf("hull: dimension %d < 2", d))
+		panic(fmt.Sprintf("hull: dimension %d < 2", d)) //ordlint:allow nopanic — documented precondition; caller bug, not data-dependent
 	}
 	return &Builder{dim: d}
 }
@@ -114,7 +114,7 @@ func jitter(p geom.Vector, j int) float64 {
 // order; duplicates (by jittered coordinates) simply land inside the hull.
 func (b *Builder) Add(id int, p geom.Vector) {
 	if len(p) != b.dim {
-		panic(fmt.Sprintf("hull: point dim %d, builder dim %d", len(p), b.dim))
+		panic(fmt.Sprintf("hull: point dim %d, builder dim %d", len(p), b.dim)) //ordlint:allow nopanic — documented precondition; caller bug, not data-dependent
 	}
 	w := make([]float64, b.dim)
 	for j := range w {
@@ -176,7 +176,7 @@ func (b *Builder) bootstrap(first []float64) {
 		}
 		f, err := b.newFacet(verts)
 		if err != nil {
-			panic("hull: degenerate sentinel simplex: " + err.Error())
+			panic("hull: degenerate sentinel simplex: " + err.Error()) //ordlint:allow nopanic — unreachable invariant: sentinels are constructed in general position
 		}
 		fs = append(fs, f)
 	}
@@ -588,7 +588,7 @@ func (b *Builder) VertexCount() int {
 // ids and points run in parallel.
 func ComputeUpper(ids []int, points []geom.Vector) *Upper {
 	if len(ids) != len(points) {
-		panic("hull: ids and points length mismatch")
+		panic("hull: ids and points length mismatch") //ordlint:allow nopanic — documented precondition; caller bug, not data-dependent
 	}
 	if len(ids) == 0 {
 		return &Upper{Adj: map[int][]int{}, FacetsOf: map[int][]int{}}

@@ -23,7 +23,7 @@ type Layers struct {
 // NewLayers prepares lazy layer computation over the given records.
 func NewLayers(ids []int, points []geom.Vector) *Layers {
 	if len(ids) != len(points) {
-		panic("hull: ids and points length mismatch")
+		panic("hull: ids and points length mismatch") //ordlint:allow nopanic — documented precondition; caller bug, not data-dependent
 	}
 	ls := &Layers{
 		points:    make(map[int]geom.Vector, len(ids)),
@@ -32,7 +32,7 @@ func NewLayers(ids []int, points []geom.Vector) *Layers {
 	}
 	for i, id := range ids {
 		if _, dup := ls.points[id]; dup {
-			panic(fmt.Sprintf("hull: duplicate id %d", id))
+			panic(fmt.Sprintf("hull: duplicate id %d", id)) //ordlint:allow nopanic — documented precondition; caller bug, not data-dependent
 		}
 		ls.points[id] = points[i]
 		ls.remaining[id] = true
@@ -63,7 +63,7 @@ func (ls *Layers) Layer(t int) *Upper {
 		if len(u.MemberIDs) == 0 {
 			// Cannot happen for non-empty input (the degenerate fallback
 			// returns maximal points), but guard against infinite loops.
-			panic("hull: empty layer over non-empty remainder")
+			panic("hull: empty layer over non-empty remainder") //ordlint:allow nopanic — unreachable-invariant guard against infinite loop
 		}
 		li := len(ls.layers)
 		for _, id := range u.MemberIDs {

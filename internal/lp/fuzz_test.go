@@ -1,0 +1,138 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+const fuzzEps = 1e-6
+
+// decodeProblem builds a small LP from fuzz bytes. The first byte picks the
+// shape (n in [1,4], mEq in [0,2], mIn in [0,3]); each following byte becomes
+// one coefficient on the eighth-step grid [-16, 15.875] via int8/8, so the
+// fuzzer explores degenerate, redundant, and infeasible programs without
+// producing astronomically scaled tableaus.
+func decodeProblem(data []byte) (*Problem, bool) {
+	if len(data) == 0 {
+		return nil, false
+	}
+	n := int(data[0]&3) + 1
+	mEq := int(data[0]>>2&3) % 3
+	mIn := int(data[0] >> 4 & 3)
+	data = data[1:]
+	next := func() (float64, bool) {
+		if len(data) == 0 {
+			return 0, false
+		}
+		v := float64(int8(data[0])) / 8
+		data = data[1:]
+		return v, true
+	}
+	row := func(w int) ([]float64, bool) {
+		r := make([]float64, w)
+		for i := range r {
+			var ok bool
+			if r[i], ok = next(); !ok {
+				return nil, false
+			}
+		}
+		return r, true
+	}
+	pr := &Problem{}
+	var ok bool
+	if pr.C, ok = row(n); !ok {
+		return nil, false
+	}
+	for i := 0; i < mEq; i++ {
+		r, ok := row(n)
+		if !ok {
+			return nil, false
+		}
+		b, ok := next()
+		if !ok {
+			return nil, false
+		}
+		pr.EqA = append(pr.EqA, r)
+		pr.EqB = append(pr.EqB, b)
+	}
+	for i := 0; i < mIn; i++ {
+		r, ok := row(n)
+		if !ok {
+			return nil, false
+		}
+		b, ok := next()
+		if !ok {
+			return nil, false
+		}
+		pr.InA = append(pr.InA, r)
+		pr.InB = append(pr.InB, b)
+	}
+	return pr, true
+}
+
+// FuzzSimplexLP feeds random small programs to the two-phase solver and
+// checks the Optimal certificate: x must be non-negative, satisfy every
+// equality and inequality row within a scale-aware tolerance, and reproduce
+// the reported objective value. Non-Optimal outcomes are legitimate for
+// random programs; only a wrong certificate is a bug.
+func FuzzSimplexLP(f *testing.F) {
+	// min -x1+x2 s.t. x1+x2 = 1, x1 <= 1: optimum at (1, 0).
+	f.Add([]byte{21, 248, 8, 8, 8, 8, 8, 0, 8})
+	// min x, no constraints: optimum at 0.
+	f.Add([]byte{0, 8})
+	// min -x, no constraints: unbounded.
+	f.Add([]byte{0, 248})
+	// 0*x = 1: infeasible.
+	f.Add([]byte{4, 8, 0, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pr, ok := decodeProblem(data)
+		if !ok {
+			t.Skip("not enough bytes for a complete program")
+		}
+		x, val, st, err := Solve(pr)
+		if err != nil {
+			if errors.Is(err, ErrIteration) {
+				return // the iteration cap is a documented outcome, not a wrong answer
+			}
+			t.Fatalf("Solve(%+v): unexpected error %v", pr, err)
+		}
+		if st != Optimal {
+			if x != nil {
+				t.Fatalf("Solve(%+v): non-nil x with status %v", pr, st)
+			}
+			return
+		}
+		if len(x) != len(pr.C) {
+			t.Fatalf("Solve(%+v): len(x) = %d, want %d", pr, len(x), len(pr.C))
+		}
+		for i, xi := range x {
+			if math.IsNaN(xi) || xi < -fuzzEps {
+				t.Fatalf("Solve(%+v): x[%d] = %v violates x >= 0", pr, i, xi)
+			}
+		}
+		// tol grows with the magnitudes entering the dot product, so a large
+		// but correct certificate is not rejected for accumulated rounding.
+		residual := func(row []float64) (dot, tol float64) {
+			tol = 1
+			for j := range row {
+				dot += row[j] * x[j]
+				tol += math.Abs(row[j] * x[j])
+			}
+			return dot, fuzzEps * tol
+		}
+		for i, rw := range pr.EqA {
+			if got, tol := residual(rw); math.Abs(got-pr.EqB[i]) > tol+fuzzEps*math.Abs(pr.EqB[i]) {
+				t.Fatalf("Solve(%+v): eq row %d gives %v, want %v", pr, i, got, pr.EqB[i])
+			}
+		}
+		for i, rw := range pr.InA {
+			if got, tol := residual(rw); got > pr.InB[i]+tol+fuzzEps*math.Abs(pr.InB[i]) {
+				t.Fatalf("Solve(%+v): ineq row %d gives %v > bound %v", pr, i, got, pr.InB[i])
+			}
+		}
+		if got, tol := residual(pr.C); math.Abs(got-val) > tol+fuzzEps*math.Abs(val) {
+			t.Fatalf("Solve(%+v): objective %v does not match c.x = %v", pr, val, got)
+		}
+	})
+}

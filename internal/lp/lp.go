@@ -112,7 +112,9 @@ func Solve(pr *Problem) (x []float64, val float64, status Status, err error) {
 				continue
 			}
 			f := A[i][col]
-			if f == 0 {
+			// Skipping only exactly-zero multipliers is a pure optimisation:
+			// any nonzero f, however small, must still be eliminated.
+			if f == 0 { //ordlint:allow floatcmp — exact-zero fast path, not a tolerance decision
 				continue
 			}
 			for j := 0; j < total; j++ {

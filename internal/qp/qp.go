@@ -205,7 +205,10 @@ func Solve(pr *Problem) (x []float64, dist float64, err error) {
 					x[j] += t * z[j]
 				}
 			}
-			if t == t2 && !math.IsInf(t2, 1) {
+			// t is math.Min(t1, t2): comparing against the stored copy asks
+			// which branch produced it, not whether two computed quantities
+			// coincide numerically.
+			if t == t2 && !math.IsInf(t2, 1) { //ordlint:allow floatcmp — branch discrimination on a stored copy
 				active = append(active, activeEntry{idx: q, sgn: sgn, u: uq})
 				return nil
 			}

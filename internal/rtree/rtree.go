@@ -234,7 +234,10 @@ func (t *Tree) insert(n *Node, e Entry, level int) *Node {
 	for i := range n.Entries {
 		enl := n.Entries[i].Rect.Enlargement(e.Rect)
 		area := n.Entries[i].Rect.Area()
-		if best < 0 || enl < bestEnl || (enl == bestEnl && area < bestArea) {
+		// The equality arm is a heuristic tie-break (least area among equal
+		// enlargements, typically both exactly zero for containment); either
+		// outcome yields a correct, merely differently balanced tree.
+		if best < 0 || enl < bestEnl || (enl == bestEnl && area < bestArea) { //ordlint:allow floatcmp — heuristic tie-break, both outcomes valid
 			best, bestEnl, bestArea = i, enl, area
 		}
 	}

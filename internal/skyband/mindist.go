@@ -119,7 +119,12 @@ func RhoDominates(w, rj, ri geom.Vector, rho float64) bool {
 	if sj < si {
 		return false
 	}
-	if sj == si && !rj.Dominates(ri) {
+	// Exact equality here only defends the definitional corner: two scores
+	// computed by the same Dot over coincident (or permuted-equal) records
+	// are bit-identical, and such genuine ties must not count as dominance
+	// unless rj dominates ri outright. A near-tie from distinct records
+	// falls through, which is the intended strict comparison.
+	if sj == si && !rj.Dominates(ri) { //ordlint:allow floatcmp — definitional tie guard on identically computed scores
 		return false
 	}
 	return Mindist(w, ri, rj) >= rho

@@ -31,7 +31,7 @@ type scanHeap []scanEntry
 
 func (h scanHeap) Len() int { return len(h) }
 func (h scanHeap) Less(i, j int) bool {
-	if h[i].score != h[j].score {
+	if h[i].score != h[j].score { //ordlint:allow floatcmp — tie-break on stored keys
 		return h[i].score > h[j].score
 	}
 	return h[i].sum > h[j].sum

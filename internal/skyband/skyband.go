@@ -33,13 +33,30 @@ func KSkyband(tree *rtree.Tree, k int) []Member {
 // emission order follows it. The seed's zero components are handled by the
 // scanner's coordinate-sum tie-break.
 func KSkybandFor(tree *rtree.Tree, w geom.Vector, k int) []Member {
+	out, _ := KSkybandForCtx(context.Background(), tree, w, k)
+	return out
+}
+
+// KSkybandForCtx is KSkybandFor with cooperative cancellation: the retrieval
+// polls ctx every few fetches and aborts with an error wrapping ctx.Err()
+// once the context is done. A k-skyband scan visits the whole index in the
+// worst case, so baselines driving it on behalf of a server request need the
+// same deadline responsiveness as the rho-skyband retrieval.
+func KSkybandForCtx(ctx context.Context, tree *rtree.Tree, w geom.Vector, k int) ([]Member, error) {
 	sc := NewScanner(tree, w)
 	pr := NewSkybandPruner(k)
 	var out []Member
-	for {
+	for i := 0; ; i++ {
+		if i%64 == 0 {
+			select {
+			case <-ctx.Done():
+				return nil, fmt.Errorf("skyband: retrieval cancelled: %w", ctx.Err())
+			default:
+			}
+		}
 		id, p, ok := sc.Next(pr)
 		if !ok {
-			return out
+			return out, nil
 		}
 		pr.Add(p)
 		out = append(out, Member{ID: id, Point: p})
