@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build lint test race cover bench fuzz serve experiments examples clean
+.PHONY: all build lint test race cover bench benchdiff fuzz serve experiments examples clean
 
 all: build test
 
@@ -24,8 +24,18 @@ race:
 cover:
 	$(GO) test -cover ./...
 
+# Run the full benchmark suite and snapshot it as BENCH_$(TAG).json (e.g.
+# `make bench TAG=pr3`). The raw output lands in BENCH_$(TAG).txt; the JSON
+# snapshot is what gets committed and fed to cmd/benchdiff.
+TAG ?= local
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchmem . | tee BENCH_$(TAG).txt
+	$(GO) run ./cmd/benchdiff -dump BENCH_$(TAG).txt > BENCH_$(TAG).json
+
+# Compare two bench snapshots (raw .txt or .json); fails on threshold
+# regressions. Usage: make benchdiff OLD=BENCH_pr3.json NEW=BENCH_local.json
+benchdiff:
+	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)
 
 # Exercise the property-based fuzz targets beyond their seed corpora.
 fuzz:

@@ -17,6 +17,8 @@ import (
 	"ordu/internal/geom"
 	"ordu/internal/hull"
 	"ordu/internal/osskyline"
+	"ordu/internal/qp"
+	"ordu/internal/region"
 	"ordu/internal/rtree"
 	"ordu/internal/skyband"
 	"ordu/internal/topk"
@@ -35,10 +37,13 @@ var benchCache = expr.NewCache()
 
 func benchSeeds(d int) []geom.Vector { return expr.Seeds(d, 16) }
 
-// runOp cycles through seed vectors, one query per iteration.
+// runOp cycles through seed vectors, one query per iteration. Every
+// benchmark family reports allocations: allocs/op is a tracked regression
+// axis alongside ns/op (see cmd/benchdiff).
 func runOp(b *testing.B, d int, fn func(w geom.Vector)) {
 	b.Helper()
 	seeds := benchSeeds(d)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fn(seeds[i%len(seeds)])
@@ -78,6 +83,7 @@ func BenchmarkFig6CaseStudy(b *testing.B) {
 	}
 	for _, op := range ops {
 		b.Run(op.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				op.fn()
 			}
@@ -90,6 +96,7 @@ func BenchmarkFig6CaseStudy(b *testing.B) {
 func BenchmarkFig7FixedRegionTopK(b *testing.B) {
 	tree := benchCache.Synthetic(data.IND, benchN, benchD)
 	seeds := benchSeeds(benchD)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		w := seeds[i%len(seeds)]
@@ -293,6 +300,7 @@ func BenchmarkAblationORUGradual(b *testing.B) {
 func BenchmarkSubstrateMindist(b *testing.B) {
 	seeds := benchSeeds(benchD)
 	pts := data.Synthetic(data.IND, 1000, benchD, 3)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		w := seeds[i%len(seeds)]
@@ -302,6 +310,7 @@ func BenchmarkSubstrateMindist(b *testing.B) {
 
 func BenchmarkSubstrateKSkyband(b *testing.B) {
 	tree := benchCache.Synthetic(data.IND, benchN, benchD)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		skyband.KSkyband(tree, benchK)
 	}
@@ -314,6 +323,7 @@ func BenchmarkSubstrateTopK(b *testing.B) {
 
 func BenchmarkSubstrateRTreeBuild(b *testing.B) {
 	pts := data.Synthetic(data.IND, benchN, benchD, 3)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rtree.BulkLoad(pts)
@@ -326,9 +336,80 @@ func BenchmarkSubstrateUpperHull(b *testing.B) {
 	for i := range ids {
 		ids[i] = i
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		hull.ComputeUpper(ids, pts)
+	}
+}
+
+// --- Hot-path micro-benchmarks: the workspace-reuse contract in numbers ---
+
+// BenchmarkMindist measures the rho-dominance mindist kernel with a warmed
+// workspace (the pruner/IRD steady state): closed-form fast path and exact
+// QP fallback separately.
+func BenchmarkMindist(b *testing.B) {
+	b.Run("fast-path", func(b *testing.B) {
+		w := geom.Vector{0.4, 0.3, 0.3}
+		ri := geom.Vector{0.5, 0.5, 0.2}
+		rj := geom.Vector{0.6, 0.4, 0.3}
+		var ws skyband.Workspace
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			skyband.MindistWS(w, ri, rj, &ws)
+		}
+	})
+	b.Run("qp-fallback", func(b *testing.B) {
+		// Perpendicular foot outside the simplex: exact projection QP.
+		w := geom.Vector{0.01, 0.01, 0.98}
+		ri := geom.Vector{0.9, 0.1, 0.3}
+		rj := geom.Vector{0.4, 0.6, 0.4}
+		var ws skyband.Workspace
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			skyband.MindistWS(w, ri, rj, &ws)
+		}
+	})
+}
+
+// BenchmarkRegionMinDist measures the region mindist QP with a warmed
+// workspace (the explorer's push steady state).
+func BenchmarkRegionMinDist(b *testing.B) {
+	r := region.Full(benchD).With(
+		region.Beat(geom.Vector{0.9, 0.2, 0.1, 0.3}, geom.Vector{0.3, 0.8, 0.2, 0.2}),
+		region.Beat(geom.Vector{0.9, 0.2, 0.1, 0.3}, geom.Vector{0.2, 0.3, 0.9, 0.1}),
+		region.Beat(geom.Vector{0.9, 0.2, 0.1, 0.3}, geom.Vector{0.1, 0.4, 0.2, 0.8}),
+	)
+	w := geom.Vector{0.1, 0.2, 0.3, 0.4}
+	var ws region.Workspace
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := r.MinDistWS(w, &ws); !ok {
+			b.Fatal("region unexpectedly empty")
+		}
+	}
+}
+
+// BenchmarkQPSolve measures the Goldfarb-Idnani solver itself with a warmed
+// workspace, on a simplex projection with active inequality constraints.
+func BenchmarkQPSolve(b *testing.B) {
+	pr := &qp.Problem{
+		P:   []float64{1.2, -0.3, 0.1, 0.2},
+		EqA: [][]float64{{1, 1, 1, 1}},
+		EqB: []float64{1},
+		InA: [][]float64{{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}, {0, 0, 0, 1}},
+		InB: []float64{0, 0, 0, 0},
+	}
+	var ws qp.Workspace
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ws.Solve(pr); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,0 +1,231 @@
+// Command benchdiff compares two `go test -bench` runs and fails when a
+// benchmark regressed beyond a threshold, in wall-clock time (ns/op) or in
+// allocations (allocs/op). It also converts a bench run to a stable JSON
+// snapshot, the format committed as BENCH_<tag>.json by `make bench`.
+//
+// Usage:
+//
+//	benchdiff -dump bench.txt                  # emit JSON snapshot on stdout
+//	benchdiff old.{txt,json} new.{txt,json}    # diff; exit 1 on regression
+//
+// Inputs may be raw `go test -bench` output or a JSON snapshot produced by
+// -dump; the format is auto-detected. Benchmarks present in only one input
+// are reported but never fail the diff (suites grow and shrink).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measured costs.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Snapshot is the committed JSON form of a bench run.
+type Snapshot struct {
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dump := fs.Bool("dump", false, "parse one bench output and print a JSON snapshot")
+	timeThresh := fs.Float64("time-threshold", 1.30, "fail when new ns/op exceeds old by this factor")
+	allocThresh := fs.Float64("alloc-threshold", 1.10, "fail when new allocs/op exceeds old by this factor")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: benchdiff [-dump] [-time-threshold F] [-alloc-threshold F] old [new]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *dump {
+		if fs.NArg() != 1 {
+			fmt.Fprintln(stderr, "benchdiff: -dump takes exactly one input file")
+			return 2
+		}
+		snap, err := loadFile(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+			return 2
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+			return 2
+		}
+		return 0
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	oldSnap, err := loadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	newSnap, err := loadFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	regressions := diff(oldSnap, newSnap, *timeThresh, *allocThresh, stdout)
+	if regressions > 0 {
+		fmt.Fprintf(stdout, "\n%d regression(s) beyond thresholds (time ×%.2f, allocs ×%.2f)\n",
+			regressions, *timeThresh, *allocThresh)
+		return 1
+	}
+	fmt.Fprintln(stdout, "no regressions beyond thresholds")
+	return 0
+}
+
+// diff prints a comparison table and returns the number of regressions.
+func diff(oldSnap, newSnap *Snapshot, timeThresh, allocThresh float64, out io.Writer) int {
+	oldBy := byName(oldSnap)
+	newBy := byName(newSnap)
+	names := make([]string, 0, len(oldBy))
+	for name := range oldBy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regressions := 0
+	for _, name := range names {
+		o := oldBy[name]
+		n, ok := newBy[name]
+		if !ok {
+			fmt.Fprintf(out, "%-60s only in old run\n", name)
+			continue
+		}
+		bad := ""
+		if o.NsPerOp > 0 && n.NsPerOp > o.NsPerOp*timeThresh {
+			bad += " TIME-REGRESSION"
+		}
+		if o.AllocsPerOp > 0 && n.AllocsPerOp > o.AllocsPerOp*allocThresh {
+			bad += " ALLOC-REGRESSION"
+		}
+		// A benchmark that was allocation-free must stay allocation-free:
+		// ratios cannot express a 0 -> N change.
+		if o.AllocsPerOp == 0 && n.AllocsPerOp > 0 { //ordlint:allow floatcmp — exact zero is the recorded "allocation-free" state
+			bad += " ALLOC-REGRESSION(was 0)"
+		}
+		if bad != "" {
+			regressions++
+		}
+		fmt.Fprintf(out, "%-60s %12.1f -> %12.1f ns/op  %10.1f -> %10.1f allocs/op%s\n",
+			name, o.NsPerOp, n.NsPerOp, o.AllocsPerOp, n.AllocsPerOp, bad)
+	}
+	for name := range newBy {
+		if _, ok := oldBy[name]; !ok {
+			fmt.Fprintf(out, "%-60s only in new run\n", name)
+		}
+	}
+	return regressions
+}
+
+func byName(s *Snapshot) map[string]Result {
+	m := make(map[string]Result, len(s.Benchmarks))
+	for _, r := range s.Benchmarks {
+		m[r.Name] = r
+	}
+	return m
+}
+
+// loadFile reads a bench input, auto-detecting JSON snapshots versus raw
+// `go test -bench` text output.
+func loadFile(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "{") {
+		var snap Snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &snap, nil
+	}
+	return parseBench(strings.NewReader(trimmed))
+}
+
+// parseBench parses `go test -bench` text output. Repeated runs of the
+// same benchmark (e.g. -count>1) keep the last measurement.
+func parseBench(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{}
+	seen := make(map[string]int) // name -> index in snap.Benchmarks
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		// Strip the GOMAXPROCS suffix: BenchmarkName-8 -> BenchmarkName.
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Name: name, Iterations: iters}
+		// Remaining fields come in "<value> <unit>" pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		if res.NsPerOp == 0 { //ordlint:allow floatcmp — unparsed sentinel, never computed
+			continue
+		}
+		if i, dup := seen[name]; dup {
+			snap.Benchmarks[i] = res
+		} else {
+			seen[name] = len(snap.Benchmarks)
+			snap.Benchmarks = append(snap.Benchmarks, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}

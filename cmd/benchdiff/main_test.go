@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOld = `goos: linux
+goarch: amd64
+pkg: ordu
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkDefaultsORD-8   	     189	   6092370 ns/op	 3838665 B/op	  109243 allocs/op
+BenchmarkDefaultsORU-8   	       1	2280484720 ns/op	1411272720 B/op	24670649 allocs/op
+BenchmarkSubstrateMindist-8  	 1304828	       915.2 ns/op	     591 B/op	      17 allocs/op
+PASS
+ok  	ordu	610.983s
+`
+
+const sampleNewOK = `BenchmarkDefaultsORD-8   	     250	   4000000 ns/op	 1000000 B/op	   50000 allocs/op
+BenchmarkDefaultsORU-8   	       1	1500000000 ns/op	 400000000 B/op	 9000000 allocs/op
+BenchmarkSubstrateMindist-8  	 9000000	       12.0 ns/op	       0 B/op	       0 allocs/op
+`
+
+const sampleNewBad = `BenchmarkDefaultsORD-8   	     100	  12000000 ns/op	 8000000 B/op	  300000 allocs/op
+BenchmarkDefaultsORU-8   	       1	1500000000 ns/op	 400000000 B/op	 9000000 allocs/op
+BenchmarkSubstrateMindist-8  	 9000000	       12.0 ns/op	       0 B/op	       0 allocs/op
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseBench(t *testing.T) {
+	snap, err := parseBench(strings.NewReader(sampleOld))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(snap.Benchmarks))
+	}
+	by := byName(snap)
+	ord := by["BenchmarkDefaultsORD"]
+	if ord.NsPerOp != 6092370 || ord.AllocsPerOp != 109243 || ord.BytesPerOp != 3838665 {
+		t.Fatalf("ORD parsed wrong: %+v", ord)
+	}
+	md := by["BenchmarkSubstrateMindist"]
+	if md.NsPerOp != 915.2 || md.Iterations != 1304828 {
+		t.Fatalf("Mindist parsed wrong: %+v", md)
+	}
+}
+
+func TestDumpRoundTrip(t *testing.T) {
+	in := writeTemp(t, "old.txt", sampleOld)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-dump", in}, &out, &errOut); code != 0 {
+		t.Fatalf("dump exited %d: %s", code, errOut.String())
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(out.Bytes(), &snap); err != nil {
+		t.Fatalf("dump output not JSON: %v", err)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("round-trip lost benchmarks: %d", len(snap.Benchmarks))
+	}
+	// A JSON snapshot must itself be accepted as a diff input.
+	jsonPath := writeTemp(t, "old.json", out.String())
+	newPath := writeTemp(t, "new.txt", sampleNewOK)
+	var out2, err2 bytes.Buffer
+	if code := run([]string{jsonPath, newPath}, &out2, &err2); code != 0 {
+		t.Fatalf("diff with JSON old exited %d: %s%s", code, out2.String(), err2.String())
+	}
+}
+
+func TestDiffPassesOnImprovement(t *testing.T) {
+	oldP := writeTemp(t, "old.txt", sampleOld)
+	newP := writeTemp(t, "new.txt", sampleNewOK)
+	var out, errOut bytes.Buffer
+	if code := run([]string{oldP, newP}, &out, &errOut); code != 0 {
+		t.Fatalf("improvement flagged as regression (exit %d):\n%s", code, out.String())
+	}
+}
+
+func TestDiffFailsOnRegression(t *testing.T) {
+	oldP := writeTemp(t, "old.txt", sampleOld)
+	newP := writeTemp(t, "new.txt", sampleNewBad)
+	var out, errOut bytes.Buffer
+	if code := run([]string{oldP, newP}, &out, &errOut); code != 1 {
+		t.Fatalf("regression not flagged (exit %d):\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "TIME-REGRESSION") || !strings.Contains(out.String(), "ALLOC-REGRESSION") {
+		t.Fatalf("missing regression markers:\n%s", out.String())
+	}
+}
+
+func TestZeroAllocStateIsProtected(t *testing.T) {
+	oldP := writeTemp(t, "old.txt", "BenchmarkX-8 100 50.0 ns/op 0 B/op 0 allocs/op\n")
+	newP := writeTemp(t, "new.txt", "BenchmarkX-8 100 50.0 ns/op 16 B/op 1 allocs/op\n")
+	var out, errOut bytes.Buffer
+	if code := run([]string{oldP, newP}, &out, &errOut); code != 1 {
+		t.Fatalf("0 -> 1 allocs/op not flagged (exit %d):\n%s", code, out.String())
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-help"}, &out, &errOut); code != 0 {
+		t.Fatalf("-help exited %d, want 0", code)
+	}
+}
+
+func TestMissingBenchmarksNeverFail(t *testing.T) {
+	oldP := writeTemp(t, "old.txt", "BenchmarkGone-8 100 50.0 ns/op\n")
+	newP := writeTemp(t, "new.txt", "BenchmarkNew-8 100 50.0 ns/op\n")
+	var out, errOut bytes.Buffer
+	if code := run([]string{oldP, newP}, &out, &errOut); code != 0 {
+		t.Fatalf("disjoint suites flagged as regression (exit %d):\n%s", code, out.String())
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -47,6 +48,7 @@ func main() {
 		cacheSize  = flag.Int("cache", 256, "LRU result-cache entries (negative disables)")
 		timeout    = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
 		maxTimeout = flag.Duration("max-timeout", 60*time.Second, "cap on request-supplied deadlines")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	)
 	flag.Var(&dataFlags, "data", "dataset from CSV: name=path.csv (repeatable)")
 	flag.Var(&genFlags, "gen", "generated dataset: name=DIST:n:d[:seed] (repeatable)")
@@ -92,6 +94,24 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *pprofAddr != "" {
+		// Profiling stays off the query listener: a dedicated mux on a
+		// dedicated (typically loopback-only) address, so pprof is never
+		// reachable through the public API surface.
+		pprofSrv := &http.Server{Addr: *pprofAddr, Handler: pprofMux()}
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+		go func() {
+			<-ctx.Done()
+			shutCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			pprofSrv.Shutdown(shutCtx)
+		}()
+	}
 	go func() {
 		<-ctx.Done()
 		log.Printf("shutting down")
@@ -105,6 +125,18 @@ func main() {
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
+}
+
+// pprofMux registers the net/http/pprof handlers on a fresh mux instead of
+// http.DefaultServeMux, keeping profiling isolated to the -pprof listener.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // parseGenSpec parses name=DIST:n:d[:seed] (synthetic) or

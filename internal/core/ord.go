@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"context"
 	"math"
 	"sort"
@@ -9,6 +8,7 @@ import (
 	"ordu/internal/geom"
 	"ordu/internal/rtree"
 	"ordu/internal/skyband"
+	"ordu/internal/xheap"
 )
 
 // cand is a candidate record with its inflection radius.
@@ -18,32 +18,20 @@ type cand struct {
 	score float64
 }
 
-// candHeap is a max-heap by inflection radius: the root is the eviction
-// victim. Ties break towards evicting the lower-scoring record, then the
-// larger id, keeping ORD and ORD-BSL deterministic and mutually consistent.
-type candHeap []cand
-
-func (h candHeap) Len() int { return len(h) }
-func (h candHeap) Less(i, j int) bool {
-	// Exact comparisons of stored sort keys: both sides are previously
-	// computed values, so bitwise (in)equality is the deterministic
-	// tie-break, not a numeric boundary test.
-	if h[i].rho != h[j].rho { //ordlint:allow floatcmp — tie-break on stored keys
-		return h[i].rho > h[j].rho
+// Less orders the candidate max-heap by inflection radius: the root is the
+// eviction victim. Ties break towards evicting the lower-scoring record,
+// then the larger id, keeping ORD and ORD-BSL deterministic and mutually
+// consistent. Exact comparisons of stored sort keys: both sides are
+// previously computed values, so bitwise (in)equality is the deterministic
+// tie-break, not a numeric boundary test.
+func (c cand) Less(o cand) bool {
+	if c.rho != o.rho { //ordlint:allow floatcmp — tie-break on stored keys
+		return c.rho > o.rho
 	}
-	if h[i].score != h[j].score { //ordlint:allow floatcmp — tie-break on stored keys
-		return h[i].score < h[j].score
+	if c.score != o.score { //ordlint:allow floatcmp — tie-break on stored keys
+		return c.score < o.score
 	}
-	return h[i].rec.ID > h[j].rec.ID
-}
-func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(cand)) }
-func (h *candHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return c.rec.ID > o.rec.ID
 }
 
 // ORD computes the paper's first operator (Definition 1): the records
@@ -69,7 +57,11 @@ func ORDCtx(ctx context.Context, tree *rtree.Tree, w geom.Vector, k, m int) (*OR
 	}
 	sc := skyband.NewScanner(tree, w)
 	pruner := skyband.NewRhoPruner(w, k)
-	var cands candHeap
+	var cands xheap.Heap[cand]
+	// Single-goroutine scratch: one mindist workspace and one reusable
+	// per-candidate mindist buffer for the whole retrieval.
+	var ws skyband.Workspace
+	var mds []float64
 
 	for i := 0; ; i++ {
 		if i%cancelEvery == 0 {
@@ -83,17 +75,18 @@ func ORDCtx(ctx context.Context, tree *rtree.Tree, w geom.Vector, k, m int) (*OR
 		}
 		// Exact inflection radius: all already-fetched records (and only
 		// they) score at least as high as p.
-		rho := inflectionAgainst(w, p, pruner, k)
+		var rho float64
+		rho, mds = inflectionAgainst(w, p, pruner, k, &ws, mds)
 		pruner.Add(p)
 		if math.IsInf(rho, 1) || rho >= pruner.Rho {
 			// Cannot enter the current rho-bar-skyband (possible on the
 			// exact boundary); it still remains a registered dominator.
 			continue
 		}
-		heap.Push(&cands, cand{rec: Record{ID: id, Point: p}, rho: rho, score: p.Dot(w)})
+		cands.Push(cand{rec: Record{ID: id, Point: p}, rho: rho, score: p.Dot(w)})
 		if cands.Len() > m {
-			heap.Pop(&cands) // evict the largest inflection radius
-			pruner.Rho = cands[0].rho
+			cands.Pop() // evict the largest inflection radius
+			pruner.Rho = cands.Peek().rho
 		}
 	}
 	if cands.Len() < m {
@@ -101,7 +94,7 @@ func ORDCtx(ctx context.Context, tree *rtree.Tree, w geom.Vector, k, m int) (*OR
 	}
 	res := &ORDResult{Stats: Stats{HeapPops: sc.Visited(), Fetched: pruner.Size()}}
 	out := make([]cand, cands.Len())
-	copy(out, cands)
+	copy(out, cands.Items())
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].rho != out[j].rho { //ordlint:allow floatcmp — tie-break on stored keys
 			return out[i].rho < out[j].rho
@@ -120,17 +113,19 @@ func ORDCtx(ctx context.Context, tree *rtree.Tree, w geom.Vector, k, m int) (*OR
 }
 
 // inflectionAgainst computes the inflection radius of p against the records
-// registered in the pruner (exactly the higher-scoring fetched records).
-func inflectionAgainst(w geom.Vector, p geom.Vector, pruner *skyband.RhoPruner, k int) float64 {
+// registered in the pruner (exactly the higher-scoring fetched records). It
+// reuses the caller's mindist buffer (returned grown) and workspace, so the
+// per-record cost is allocation-free after warm-up.
+func inflectionAgainst(w geom.Vector, p geom.Vector, pruner *skyband.RhoPruner, k int, ws *skyband.Workspace, mds []float64) (float64, []float64) {
 	recs := pruner.Records()
 	if len(recs) < k {
-		return 0
+		return 0, mds
 	}
-	mds := make([]float64, len(recs))
-	for i, r := range recs {
-		mds[i] = skyband.Mindist(w, p, r)
+	mds = mds[:0]
+	for _, r := range recs {
+		mds = append(mds, skyband.MindistWS(w, p, r, ws))
 	}
-	return skyband.InflectionRadius(mds, k)
+	return skyband.InflectionRadiusInPlace(mds, k), mds
 }
 
 // ORDBSL is the preliminary approach of Section 4.1: compute the entire
@@ -146,14 +141,16 @@ func ORDBSL(tree *rtree.Tree, w geom.Vector, k, m int) (*ORDResult, error) {
 		return nil, ErrInsufficientData
 	}
 	out := make([]cand, 0, len(members))
+	var ws skyband.Workspace
+	var mds []float64
 	for i, mem := range members {
 		// Members arrive in decreasing score order: competitors are the
 		// earlier ones.
-		mds := make([]float64, 0, i)
+		mds = mds[:0]
 		for j := 0; j < i; j++ {
-			mds = append(mds, skyband.Mindist(w, mem.Point, members[j].Point))
+			mds = append(mds, skyband.MindistWS(w, mem.Point, members[j].Point, &ws))
 		}
-		rho := skyband.InflectionRadius(mds, k)
+		rho := skyband.InflectionRadiusInPlace(mds, k)
 		if math.IsInf(rho, 1) {
 			continue
 		}

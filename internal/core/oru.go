@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"context"
 	"errors"
 	"math"
@@ -12,6 +11,7 @@ import (
 	"ordu/internal/region"
 	"ordu/internal/rtree"
 	"ordu/internal/skyband"
+	"ordu/internal/xheap"
 )
 
 // ErrBudgetExceeded is returned by budgeted baselines (ORU-BSL) when the
@@ -30,23 +30,50 @@ type regionNode struct {
 	seq     int         // FIFO tie-break for deterministic exploration
 }
 
-type nodeHeap []*regionNode
-
-func (h nodeHeap) Len() int { return len(h) }
-func (h nodeHeap) Less(i, j int) bool {
-	if h[i].mindist != h[j].mindist { //ordlint:allow floatcmp — tie-break on stored keys
-		return h[i].mindist < h[j].mindist
+// Less orders the exploration min-heap by mindist, with the FIFO sequence
+// number as a deterministic tie-break (exact comparison of stored keys).
+func (n *regionNode) Less(o *regionNode) bool {
+	if n.mindist != o.mindist { //ordlint:allow floatcmp — tie-break on stored keys
+		return n.mindist < o.mindist
 	}
-	return h[i].seq < h[j].seq
+	return n.seq < o.seq
 }
-func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*regionNode)) }
-func (h *nodeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// exploreWS is the per-worker scratch of the region search: the QP-backed
+// region workspace, the partition candidate/visited sets and buffers, and a
+// regionNode free list. One exploreWS per goroutine; partition only ever
+// touches the workspace it is handed.
+type exploreWS struct {
+	reg     region.Workspace
+	inTop   map[int]bool
+	cand    map[int]bool
+	visited map[int]bool
+	queue   []int
+	ids     []int
+	others  []int
+	hs      []region.Halfspace
+	free    []*regionNode
+}
+
+// node returns a recycled regionNode (fields reset, buffers retained) or a
+// fresh one.
+func (ws *exploreWS) node() *regionNode {
+	if n := len(ws.free); n > 0 {
+		nd := ws.free[n-1]
+		ws.free = ws.free[:n-1]
+		return nd
+	}
+	return &regionNode{}
+}
+
+// recycle returns a node to the free list. Callers must be done with every
+// field: the region value, top slice and witness buffer will be reused. The
+// retained outputs (TopKRegion, child regions) copy or re-derive everything
+// they keep, so recycling after finalize/partition is safe.
+func (ws *exploreWS) recycle(n *regionNode) {
+	n.reg = region.Region{}
+	n.top = n.top[:0]
+	ws.free = append(ws.free, n)
 }
 
 // explorer walks the implicit region tree best-first by mindist from the
@@ -58,11 +85,12 @@ type explorer struct {
 	w      geom.Vector
 	k      int
 	layers *hull.Layers
-	h      nodeHeap
+	h      xheap.Heap[*regionNode]
 	pushed map[int]bool   // layer-0 members whose top-region was pushed
 	clip   *region.Region // nil: unrestricted (ball mode)
 	seq    int
 	stats  Stats
+	ws     exploreWS // main-goroutine scratch (sequential partition, push)
 
 	outSet   map[int]bool
 	records  []Record
@@ -121,29 +149,39 @@ func (e *explorer) pushL1(id int) {
 	}
 	e.pushed[id] = true
 	l0 := e.layers.Layer(0)
-	reg := region.Full(len(e.w))
+	hs := e.ws.hs[:0]
+	p := e.layers.Point(id)
 	for _, a := range l0.Adj[id] {
-		reg.Hs = append(reg.Hs, region.Beat(e.layers.Point(id), e.layers.Point(a)))
+		hs = append(hs, region.Beat(p, e.layers.Point(a)))
 	}
-	e.push(&regionNode{reg: reg, top: []int{id}, deepest: 0})
+	e.ws.hs = hs
+	n := e.ws.node()
+	n.reg = region.Full(len(e.w)).With(hs...)
+	n.top = append(n.top, id)
+	n.deepest = 0
+	e.push(n)
 }
 
 // push computes the node's mindist (within the clip, when set) and enqueues
-// it; empty regions are dropped.
+// it; empty regions are dropped (and their nodes recycled). Only called
+// from the main goroutine.
 func (e *explorer) push(n *regionNode) {
 	reg := n.reg
 	if e.clip != nil {
 		reg = reg.With(e.clip.Hs...)
 	}
-	dist, closest, ok := reg.MinDist(e.w)
+	dist, closest, ok := reg.MinDistWS(e.w, &e.ws.reg)
 	if !ok {
+		e.ws.recycle(n)
 		return
 	}
 	n.mindist = dist
-	n.witness = closest
+	// closest aliases the workspace's solution buffer; copy it into the
+	// node's own (reused) witness buffer.
+	n.witness = append(n.witness[:0], closest...)
 	n.seq = e.seq
 	e.seq++
-	heap.Push(&e.h, n)
+	e.h.Push(n)
 }
 
 // explore runs the best-first loop. With targetM > 0 it stops as soon as
@@ -155,7 +193,7 @@ func (e *explorer) explore(ctx context.Context, targetM int) (complete bool, err
 		if err := ctxErr(ctx); err != nil {
 			return false, err
 		}
-		n := heap.Pop(&e.h).(*regionNode)
+		n := e.h.Pop()
 		if len(n.top) == 1 {
 			// Lazily extend the root level along layer-0 adjacency whenever
 			// a top-1 region is popped — including under k = 1, where the
@@ -176,7 +214,7 @@ func (e *explorer) explore(ctx context.Context, targetM int) (complete bool, err
 			return false, ErrBudgetExceeded
 		}
 		e.stats.RegionsPartitioned++
-		children := e.partition(n)
+		children := e.partition(n, &e.ws)
 		if children == nil {
 			// Candidates exhausted inside this region: the top list cannot
 			// grow further; finalize it short (only possible when the
@@ -187,6 +225,7 @@ func (e *explorer) explore(ctx context.Context, targetM int) (complete bool, err
 			}
 			continue
 		}
+		e.ws.recycle(n) // children re-derive everything they need
 		for _, c := range children {
 			e.push(c)
 		}
@@ -198,13 +237,21 @@ func (e *explorer) explore(ctx context.Context, targetM int) (complete bool, err
 // anywhere in it comes from Set (i) (records adjacent to a top member in
 // its own layer) or Set (ii) (next-layer records whose top-region overlaps
 // the region). It returns one child per possible next record, or nil when
-// no next record exists.
-func (e *explorer) partition(n *regionNode) []*regionNode {
-	inTop := make(map[int]bool, len(n.top))
+// no next record exists. All scratch state comes from ws (one per
+// goroutine); the layers structure is only read.
+func (e *explorer) partition(n *regionNode, ws *exploreWS) []*regionNode {
+	if ws.inTop == nil {
+		ws.inTop = make(map[int]bool)
+		ws.cand = make(map[int]bool)
+		ws.visited = make(map[int]bool)
+	}
+	inTop := ws.inTop
+	clear(inTop)
 	for _, id := range n.top {
 		inTop[id] = true
 	}
-	cand := make(map[int]bool)
+	cand := ws.cand
+	clear(cand)
 	// Set (i): adjacent records of each top member within its layer.
 	for _, id := range n.top {
 		li, ok := e.layers.LayerOf(id)
@@ -231,13 +278,15 @@ func (e *explorer) partition(n *regionNode) []*regionNode {
 				start, bestScore = id, s
 			}
 		}
-		visited := map[int]bool{start: true}
-		queue := []int{start}
+		visited := ws.visited
+		clear(visited)
+		visited[start] = true
+		queue := append(ws.queue[:0], start)
 		for len(queue) > 0 {
 			id := queue[0]
 			queue = queue[1:]
-			probe := n.reg.With(beatAll(e.layers, id, lnext.Adj[id])...)
-			if probe.Empty() {
+			ws.hs = beatAll(e.layers, id, lnext.Adj[id], ws.hs[:0])
+			if n.reg.ProbeEmpty(ws.hs, &ws.reg) {
 				continue
 			}
 			cand[id] = true
@@ -248,17 +297,19 @@ func (e *explorer) partition(n *regionNode) []*regionNode {
 				}
 			}
 		}
+		ws.queue = queue[:0]
 	}
 	if len(cand) == 0 {
 		return nil
 	}
 	// L_upd: the upper hull of the candidate union; its top-regions
 	// partition n.reg by the identity of the next-ranked record (Lemma 2).
-	ids := make([]int, 0, len(cand))
+	ids := ws.ids[:0]
 	for id := range cand {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
+	ws.ids = ids
 	var memberIDs []int
 	adjOf := func(id int) []int { return nil }
 	// Above d=4 the facet count of an upper hull grows so fast (Upper Bound
@@ -278,12 +329,13 @@ func (e *explorer) partition(n *regionNode) []*regionNode {
 		// the hull's membership tests would cost.
 		memberIDs = ids
 		adjOf = func(id int) []int {
-			others := make([]int, 0, len(ids)-1)
+			others := ws.others[:0]
 			for _, o := range ids {
 				if o != id {
 					others = append(others, o)
 				}
 			}
+			ws.others = others
 			return others
 		}
 	} else {
@@ -297,19 +349,22 @@ func (e *explorer) partition(n *regionNode) []*regionNode {
 	}
 	var children []*regionNode
 	for _, id := range memberIDs {
-		childReg := n.reg.With(beatAll(e.layers, id, adjOf(id))...)
-		deepest := n.deepest
-		if li, ok := e.layers.LayerOf(id); ok && li > deepest {
-			deepest = li
+		ws.hs = beatAll(e.layers, id, adjOf(id), ws.hs[:0])
+		child := ws.node()
+		child.reg = n.reg.With(ws.hs...)
+		child.deepest = n.deepest
+		if li, ok := e.layers.LayerOf(id); ok && li > child.deepest {
+			child.deepest = li
 		}
-		top := append(append([]int(nil), n.top...), id)
-		children = append(children, &regionNode{reg: childReg, top: top, deepest: deepest})
+		child.top = append(append(child.top, n.top...), id)
+		children = append(children, child)
 	}
 	return children
 }
 
-func beatAll(ls *hull.Layers, id int, others []int) []region.Halfspace {
-	hs := make([]region.Halfspace, 0, len(others))
+// beatAll appends the "id beats o" halfspaces for every o in others to hs
+// and returns it (scratch-buffer idiom: pass hs[:0] to reuse).
+func beatAll(ls *hull.Layers, id int, others []int, hs []region.Halfspace) []region.Halfspace {
 	p := ls.Point(id)
 	for _, o := range others {
 		hs = append(hs, region.Beat(p, ls.Point(o)))
@@ -317,7 +372,9 @@ func beatAll(ls *hull.Layers, id int, others []int) []region.Halfspace {
 	return hs
 }
 
-// finalize records a completed region and its newly confirmed records.
+// finalize records a completed region and its newly confirmed records, then
+// recycles the node (the retained TopKRegion copies the region value and
+// the top ids, so the node's buffers are free to reuse).
 func (e *explorer) finalize(n *regionNode) {
 	e.stats.RegionsFinalized++
 	tk := make([]Record, len(n.top))
@@ -329,6 +386,7 @@ func (e *explorer) finalize(n *regionNode) {
 		}
 	}
 	e.regions = append(e.regions, TopKRegion{Region: n.reg, TopK: tk, MinDist: n.mindist})
+	e.ws.recycle(n)
 }
 
 // estimateRhoBar produces the initial radius overestimate of Section 5.3:

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"context"
 	"sync"
 )
@@ -19,7 +18,16 @@ import (
 // before the next Case-2 node is popped. Second, lazy layer materialisation
 // is hoisted out of the parallel section: every layer a batched partition
 // may touch is computed up front, so workers only read shared state.
+//
+// Each batch slot owns an exploreWS, so concurrent partitions never share
+// scratch. Nodes recycled by the main goroutine (finalize, empty-region
+// drops, partitioned parents) accumulate in e.ws.free and are redistributed
+// to the slot workspaces between batches.
 func (e *explorer) exploreParallel(ctx context.Context, targetM, workers int) (complete bool, err error) {
+	wss := make([]*exploreWS, workers)
+	for i := range wss {
+		wss[i] = &exploreWS{}
+	}
 	for e.h.Len() > 0 {
 		if err := ctxErr(ctx); err != nil {
 			return false, err
@@ -28,8 +36,8 @@ func (e *explorer) exploreParallel(ctx context.Context, targetM, workers int) (c
 		// layer-0 regions pushed along the way are themselves Case-1 (for
 		// k > 1), and ordering among Case-1 partitions is free.
 		var batch []*regionNode
-		for len(batch) < workers && e.h.Len() > 0 && len(e.h[0].top) < e.k {
-			n := heap.Pop(&e.h).(*regionNode)
+		for len(batch) < workers && e.h.Len() > 0 && len((*e.h.Peek()).top) < e.k {
+			n := e.h.Pop()
 			if len(n.top) == 1 {
 				l0 := e.layers.Layer(0)
 				for _, a := range l0.Adj[n.top[0]] {
@@ -51,13 +59,20 @@ func (e *explorer) exploreParallel(ctx context.Context, targetM, workers int) (c
 				}
 			}
 			e.layers.Layer(maxDeepest + 1) // may be nil; that is fine
+			// Hand the main free list out to the slot workspaces so the
+			// workers' child nodes come from the pool.
+			for i := 0; len(e.ws.free) > 0; i = (i + 1) % len(batch) {
+				last := len(e.ws.free) - 1
+				wss[i].free = append(wss[i].free, e.ws.free[last])
+				e.ws.free = e.ws.free[:last]
+			}
 			children := make([][]*regionNode, len(batch))
 			var wg sync.WaitGroup
 			for i, n := range batch {
 				wg.Add(1)
 				go func(i int, n *regionNode) {
 					defer wg.Done()
-					children[i] = e.partition(n)
+					children[i] = e.partition(n, wss[i])
 				}(i, n)
 			}
 			wg.Wait()
@@ -70,6 +85,7 @@ func (e *explorer) exploreParallel(ctx context.Context, targetM, workers int) (c
 					}
 					continue
 				}
+				e.ws.recycle(n)
 				for _, c := range children[i] {
 					e.push(c)
 				}
@@ -77,7 +93,7 @@ func (e *explorer) exploreParallel(ctx context.Context, targetM, workers int) (c
 			continue
 		}
 		// Heap top is a finalized-depth region: handle sequentially.
-		n := heap.Pop(&e.h).(*regionNode)
+		n := e.h.Pop()
 		if len(n.top) == 1 {
 			l0 := e.layers.Layer(0)
 			for _, a := range l0.Adj[n.top[0]] {

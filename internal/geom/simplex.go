@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // SimplexTol is the tolerance used when validating that a vector lies on the
@@ -116,6 +117,57 @@ func gammaSample(rng *rand.Rand, shape float64) float64 {
 		}
 	}
 }
+
+// simplexConsts caches, per dimension, the constant constraint rows that
+// every simplex-restricted QP in the library shares: the all-ones equality
+// row (sum v = 1), the d axis rows e_i (v_i >= 0), and the barycentre.
+// The cached slices are shared and MUST be treated as read-only; qp.Solve
+// only reads constraint rows, so sharing them across goroutines is safe.
+type simplexConsts struct {
+	ones       []float64
+	axes       [][]float64
+	axesZeros  []float64 // d zeros: the right-hand sides of the axis rows
+	barycentre Vector
+}
+
+var simplexCache sync.Map // dim -> *simplexConsts
+
+func simplexFor(d int) *simplexConsts {
+	if c, ok := simplexCache.Load(d); ok {
+		return c.(*simplexConsts)
+	}
+	c := &simplexConsts{
+		ones:       make([]float64, d),
+		axes:       make([][]float64, d),
+		axesZeros:  make([]float64, d),
+		barycentre: make(Vector, d),
+	}
+	for i := 0; i < d; i++ {
+		c.ones[i] = 1
+		e := make([]float64, d)
+		e[i] = 1
+		c.axes[i] = e
+		c.barycentre[i] = 1 / float64(d)
+	}
+	actual, _ := simplexCache.LoadOrStore(d, c)
+	return actual.(*simplexConsts)
+}
+
+// SimplexOnes returns the cached all-ones row of dimension d (the normal of
+// the constraint sum v = 1). Shared storage: read-only.
+func SimplexOnes(d int) []float64 { return simplexFor(d).ones }
+
+// SimplexAxes returns the cached axis rows e_0..e_{d-1} (the normals of the
+// non-negativity constraints v_i >= 0). Shared storage: read-only.
+func SimplexAxes(d int) [][]float64 { return simplexFor(d).axes }
+
+// SimplexZeros returns a cached slice of d zeros (the right-hand sides of
+// the non-negativity constraints). Shared storage: read-only.
+func SimplexZeros(d int) []float64 { return simplexFor(d).axesZeros }
+
+// SimplexBarycentre returns the cached barycentre (1/d, ..., 1/d). Shared
+// storage: read-only.
+func SimplexBarycentre(d int) Vector { return simplexFor(d).barycentre }
 
 // MaxSimplexDist returns the distance from w to the farthest point of the
 // simplex, i.e. the largest meaningful expansion radius: past it, the

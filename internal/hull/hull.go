@@ -65,7 +65,9 @@ type facet struct {
 // Builder incrementally constructs a convex hull and exposes upper-hull
 // snapshots. It is the engine behind both one-shot ComputeUpper calls and
 // the incremental hull maintenance of ORU's rho-bar estimation
-// (Section 5.3).
+// (Section 5.3). A Builder reuses its insertion scratch (visible/horizon
+// lists, ridge-matching map, facet structs from the free list) across Add
+// calls; it is not goroutine-safe.
 type Builder struct {
 	dim     int
 	pts     [][]float64 // jittered working coordinates; sentinels first
@@ -76,6 +78,38 @@ type Builder struct {
 	// interior is a point strictly inside the initial simplex, used to
 	// orient facet normals outward.
 	interior []float64
+
+	// Insertion scratch, reused across Add calls.
+	lin        linalg.Workspace
+	visible    []*facet
+	horizon    []ridge
+	newFacets  []*facet
+	pending    map[string]facetSlot
+	keyBuf     []byte
+	fpts       [][]float64
+	ridgeVerts []int // backing storage for the current horizon's ridge verts
+	vertBuf    []int
+	freeFacets []*facet
+
+	// Membership-test scratch (canTop), reused across Upper calls.
+	qpws     qp.Workspace
+	qppr     qp.Problem
+	diffFlat []float64
+}
+
+// ridge is one horizon ridge during insertion: d-1 vertices (sorted),
+// stored as a range into the builder's flat ridgeVerts buffer (offsets stay
+// valid across buffer growth), shared with a non-visible facet.
+type ridge struct {
+	lo, hi  int
+	outside *facet
+}
+
+// facetSlot identifies a neighbor slot of a facet awaiting its partner
+// while wiring new facets along sub-ridges.
+type facetSlot struct {
+	f *facet
+	i int
 }
 
 // NewBuilder returns a hull builder for d-dimensional points, d >= 2.
@@ -193,18 +227,52 @@ func (b *Builder) bootstrap(first []float64) {
 	b.started = true
 }
 
+// allocFacet returns a facet from the free list (buffers retained, fields
+// reset) or a fresh one.
+func (b *Builder) allocFacet() *facet {
+	if n := len(b.freeFacets); n > 0 {
+		f := b.freeFacets[n-1]
+		b.freeFacets = b.freeFacets[:n-1]
+		f.dead = false
+		f.visitTag = 0
+		return f
+	}
+	return &facet{}
+}
+
+// freeFacet recycles a facet. The caller must guarantee nothing still
+// points to it (see the compaction pass in insert).
+func (b *Builder) freeFacet(f *facet) {
+	for i := range f.neighbors {
+		f.neighbors[i] = nil
+	}
+	f.dead = true
+	b.freeFacets = append(b.freeFacets, f)
+}
+
 // newFacet builds a facet through the given vertex indices, oriented away
-// from the interior point.
+// from the interior point. The facet struct and its buffers come from the
+// builder's free list when available.
 func (b *Builder) newFacet(verts []int) (*facet, error) {
 	d := b.dim
-	pts := make([][]float64, d)
-	sorted := append([]int(nil), verts...)
-	sort.Ints(sorted)
-	for i, v := range sorted {
+	f := b.allocFacet()
+	f.verts = append(f.verts[:0], verts...)
+	sort.Ints(f.verts)
+	if cap(b.fpts) < d {
+		b.fpts = make([][]float64, d)
+	}
+	pts := b.fpts[:d]
+	for i, v := range f.verts {
 		pts[i] = b.pts[v]
 	}
-	n, c, err := linalg.HyperplaneThrough(pts)
+	if cap(f.normal) < d {
+		f.normal = make([]float64, d)
+	}
+	n := f.normal[:d]
+	f.normal = n
+	c, err := b.lin.HyperplaneThrough(pts, n)
 	if err != nil {
+		b.freeFacet(f)
 		return nil, err
 	}
 	// Orient outward.
@@ -225,18 +293,21 @@ func (b *Builder) newFacet(verts []int) (*facet, error) {
 	}
 	mag = math.Sqrt(mag)
 	if mag < 1e-300 {
+		b.freeFacet(f)
 		return nil, linalg.ErrSingular
 	}
 	for j := range n {
 		n[j] /= mag
 	}
-	c /= mag
-	return &facet{
-		verts:     sorted,
-		normal:    n,
-		offset:    c,
-		neighbors: make([]*facet, d),
-	}, nil
+	f.offset = c / mag
+	if cap(f.neighbors) < d {
+		f.neighbors = make([]*facet, d)
+	}
+	f.neighbors = f.neighbors[:d]
+	for i := range f.neighbors {
+		f.neighbors[i] = nil
+	}
+	return f, nil
 }
 
 // insert adds internal point index pi to the hull.
@@ -244,7 +315,7 @@ func (b *Builder) insert(pi int) {
 	p := b.pts[pi]
 	// Collect visible facets by full scan (robust and fast enough at the
 	// candidate-set sizes ORU operates on).
-	var visible []*facet
+	visible := b.visible[:0]
 	b.tag++
 	for _, f := range b.facets {
 		if f.dead {
@@ -259,48 +330,43 @@ func (b *Builder) insert(pi int) {
 			visible = append(visible, f)
 		}
 	}
+	b.visible = visible
 	if len(visible) == 0 {
 		return // interior point
 	}
 	// Horizon ridges: (visible facet, vertex-opposite-index) pairs whose
 	// neighbor is not visible.
-	type ridge struct {
-		verts   []int // d-1 vertices, sorted
-		outside *facet
-	}
-	var horizon []ridge
+	horizon := b.horizon[:0]
+	rv := b.ridgeVerts[:0]
 	for _, f := range visible {
 		for i, nb := range f.neighbors {
 			if nb == nil || nb.visitTag == b.tag {
 				continue
 			}
-			rv := make([]int, 0, b.dim-1)
+			lo := len(rv)
 			for k, v := range f.verts {
 				if k != i {
 					rv = append(rv, v)
 				}
 			}
-			horizon = append(horizon, ridge{verts: rv, outside: nb})
+			horizon = append(horizon, ridge{lo: lo, hi: len(rv), outside: nb})
 		}
 	}
+	b.horizon = horizon
+	b.ridgeVerts = rv
 	// Build new facets: ridge + p.
-	newFacets := make([]*facet, 0, len(horizon))
+	newFacets := b.newFacets[:0]
 	// pending maps a sorted sub-ridge (d-1 vertices including p) to the
 	// facet+slot waiting for its partner.
-	type slot struct {
-		f *facet
-		i int
+	if b.pending == nil {
+		b.pending = make(map[string]facetSlot)
 	}
-	pending := make(map[string]slot)
-	keyOf := func(vs []int) string {
-		buf := make([]byte, 0, len(vs)*4)
-		for _, v := range vs {
-			buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-		}
-		return string(buf)
-	}
+	pending := b.pending
+	clear(pending)
+	keyOf := b.keyOf
 	for _, r := range horizon {
-		verts := append(append([]int(nil), r.verts...), pi)
+		verts := append(append(b.vertBuf[:0], rv[r.lo:r.hi]...), pi)
+		b.vertBuf = verts[:0]
 		nf, err := b.newFacet(verts)
 		if err != nil {
 			// Degenerate ridge (jitter should prevent this); skip the facet.
@@ -315,14 +381,8 @@ func (b *Builder) insert(pi int) {
 		// r.outside's slot that pointed to a visible facet now points to nf.
 		for i, nb := range r.outside.neighbors {
 			if nb != nil && nb.visitTag == b.tag {
-				// Check the shared ridge matches r.verts.
-				shared := make([]int, 0, b.dim-1)
-				for k, v := range r.outside.verts {
-					if k != i {
-						shared = append(shared, v)
-					}
-				}
-				if equalInts(shared, r.verts) {
+				// Check the shared ridge matches r's vertices.
+				if matchesExcept(r.outside.verts, i, rv[r.lo:r.hi]) {
 					r.outside.neighbors[i] = nf
 					break
 				}
@@ -333,19 +393,13 @@ func (b *Builder) insert(pi int) {
 			if v == pi {
 				continue
 			}
-			sub := make([]int, 0, b.dim-1)
-			for k, u := range nf.verts {
-				if k != i {
-					sub = append(sub, u)
-				}
-			}
-			key := keyOf(sub)
+			key := keyOf(nf.verts, i)
 			if other, ok := pending[key]; ok {
 				nf.neighbors[i] = other.f
 				other.f.neighbors[other.i] = nf
 				delete(pending, key)
 			} else {
-				pending[key] = slot{f: nf, i: i}
+				pending[key] = facetSlot{f: nf, i: i}
 			}
 		}
 		newFacets = append(newFacets, nf)
@@ -353,8 +407,13 @@ func (b *Builder) insert(pi int) {
 	for _, f := range visible {
 		f.dead = true
 	}
-	// Compact the facet list occasionally to keep scans cheap.
+	// Compact the facet list occasionally to keep scans cheap, returning
+	// dead facets that nothing references to the free list. A degenerate
+	// ridge (skipped above) can leave an alive facet pointing at a dead
+	// one, so dead facets referenced by alive neighbors are merely dropped
+	// from the list, never recycled.
 	b.facets = append(b.facets, newFacets...)
+	b.newFacets = newFacets[:0]
 	if len(b.facets) > 64 {
 		alive := 0
 		for _, f := range b.facets {
@@ -363,10 +422,23 @@ func (b *Builder) insert(pi int) {
 			}
 		}
 		if alive*2 < len(b.facets) {
+			b.tag++
+			for _, f := range b.facets {
+				if f.dead {
+					continue
+				}
+				for _, nb := range f.neighbors {
+					if nb != nil && nb.dead {
+						nb.visitTag = b.tag // referenced: keep out of the free list
+					}
+				}
+			}
 			kept := make([]*facet, 0, alive)
 			for _, f := range b.facets {
 				if !f.dead {
 					kept = append(kept, f)
+				} else if f.visitTag != b.tag {
+					b.freeFacet(f)
 				}
 			}
 			b.facets = kept
@@ -374,15 +446,36 @@ func (b *Builder) insert(pi int) {
 	}
 }
 
-func equalInts(a, b []int) bool {
-	if len(a) != len(b) {
+// keyOf builds the map key for the sub-ridge of verts that skips index
+// skip, reusing the builder's byte buffer (the map key string itself is
+// necessarily allocated on first insertion).
+func (b *Builder) keyOf(verts []int, skip int) string {
+	buf := b.keyBuf[:0]
+	for k, v := range verts {
+		if k == skip {
+			continue
+		}
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	b.keyBuf = buf
+	return string(buf)
+}
+
+// matchesExcept reports whether verts with index skip removed equals want
+// (both sorted).
+func matchesExcept(verts []int, skip int, want []int) bool {
+	if len(verts)-1 != len(want) {
 		return false
 	}
-	// Both sorted.
-	for i := range a {
-		if a[i] != b[i] {
+	wi := 0
+	for k, v := range verts {
+		if k == skip {
+			continue
+		}
+		if v != want[wi] {
 			return false
 		}
+		wi++
 	}
 	return true
 }
@@ -502,37 +595,36 @@ func (b *Builder) Upper() *Upper {
 }
 
 // canTop reports whether some preference vector makes p score at least as
-// high as all points in adj (and hence as the whole hull).
+// high as all points in adj (and hence as the whole hull). The constraint
+// system is assembled from the cached per-dimension simplex rows plus the
+// builder's flat difference buffer.
 func (b *Builder) canTop(p geom.Vector, adj map[int]bool, ptOf map[int]geom.Vector) bool {
 	d := b.dim
 	if len(adj) == 0 {
 		return true
 	}
-	ones := make([]float64, d)
-	for j := range ones {
-		ones[j] = 1
+	pr := &b.qppr
+	pr.P = geom.SimplexOnes(d) // any target; only feasibility matters
+	pr.EqA = append(pr.EqA[:0], geom.SimplexOnes(d))
+	pr.EqB = append(pr.EqB[:0], 1)
+	pr.InA = append(pr.InA[:0], geom.SimplexAxes(d)...)
+	pr.InB = append(pr.InB[:0], geom.SimplexZeros(d)...)
+	need := len(adj) * d
+	if cap(b.diffFlat) < need {
+		b.diffFlat = make([]float64, need)
 	}
-	pr := &qp.Problem{
-		P:   ones, // any target; only feasibility matters
-		EqA: [][]float64{ones},
-		EqB: []float64{1},
-	}
-	for j := 0; j < d; j++ {
-		e := make([]float64, d)
-		e[j] = 1
-		pr.InA = append(pr.InA, e)
-		pr.InB = append(pr.InB, 0)
-	}
+	flat := b.diffFlat[:0]
 	for o := range adj {
 		q := ptOf[o]
-		diff := make([]float64, d)
+		lo := len(flat)
 		for j := 0; j < d; j++ {
-			diff[j] = p[j] - q[j]
+			flat = append(flat, p[j]-q[j])
 		}
-		pr.InA = append(pr.InA, diff)
+		pr.InA = append(pr.InA, flat[lo:len(flat):len(flat)])
 		pr.InB = append(pr.InB, 0)
 	}
-	return qp.Feasible(pr)
+	b.diffFlat = flat[:0]
+	return b.qpws.Feasible(pr)
 }
 
 // isUpper reports whether f is an upper facet: all-real vertices and a

@@ -18,6 +18,11 @@ type Layers struct {
 	dim       int
 	layers    []*Upper
 	layerOf   map[int]int
+
+	// Peeling scratch, reused across Layer calls (ComputeUpper copies what
+	// it keeps, so the buffers are free to reuse).
+	idsBuf []int
+	ptsBuf []geom.Vector
 }
 
 // NewLayers prepares lazy layer computation over the given records.
@@ -50,15 +55,17 @@ func (ls *Layers) Layer(t int) *Upper {
 		if len(ls.remaining) == 0 {
 			return nil
 		}
-		ids := make([]int, 0, len(ls.remaining))
+		ids := ls.idsBuf[:0]
 		for id := range ls.remaining {
 			ids = append(ids, id)
 		}
 		sort.Ints(ids) // deterministic insertion order
-		pts := make([]geom.Vector, len(ids))
-		for i, id := range ids {
-			pts[i] = ls.points[id]
+		pts := ls.ptsBuf[:0]
+		for _, id := range ids {
+			pts = append(pts, ls.points[id])
 		}
+		ls.idsBuf = ids
+		ls.ptsBuf = pts
 		u := ComputeUpper(ids, pts)
 		if len(u.MemberIDs) == 0 {
 			// Cannot happen for non-empty input (the degenerate fallback

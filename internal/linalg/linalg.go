@@ -14,14 +14,58 @@ import (
 // working precision.
 var ErrSingular = errors.New("linalg: singular matrix")
 
+// Workspace holds the elimination scratch of the solvers so that repeated
+// solves of similarly sized systems perform no heap allocations after
+// warm-up. The zero value is ready for use. A Workspace is not
+// goroutine-safe; use one per worker.
+type Workspace struct {
+	flat    []float64   // backing storage for the augmented matrix
+	rows    [][]float64 // row headers into flat
+	pivCols []int
+	isPiv   []bool
+	x       []float64
+}
+
+// matrix returns an r x c scratch matrix backed by the workspace.
+func (ws *Workspace) matrix(r, c int) [][]float64 {
+	ws.flat = growFloats(ws.flat, r*c)
+	if cap(ws.rows) < r {
+		ws.rows = make([][]float64, r)
+	}
+	ws.rows = ws.rows[:r]
+	for i := 0; i < r; i++ {
+		ws.rows[i] = ws.flat[i*c : (i+1)*c]
+	}
+	return ws.rows
+}
+
+// growFloats returns a slice of length n reusing s's storage when possible.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
 // Solve solves the n x n system A x = b using Gaussian elimination with
 // partial pivoting. A and b are not modified.
 func Solve(A [][]float64, b []float64) ([]float64, error) {
+	var ws Workspace
+	x := make([]float64, len(A))
+	if err := ws.Solve(A, b, x); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// Solve is the workspace form of the package-level Solve: it writes the
+// solution into x (which must have length n) and reuses the receiver's
+// scratch, performing no allocations once the workspace is warm.
+func (ws *Workspace) Solve(A [][]float64, b []float64, x []float64) error {
 	n := len(A)
-	// Work on copies.
-	m := make([][]float64, n)
+	// Work on copies in the workspace's augmented-matrix scratch.
+	m := ws.matrix(n, n+1)
 	for i := range m {
-		m[i] = make([]float64, n+1)
 		copy(m[i], A[i])
 		m[i][n] = b[i]
 	}
@@ -34,13 +78,13 @@ func Solve(A [][]float64, b []float64) ([]float64, error) {
 			}
 		}
 		if best < 1e-13 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		m[col], m[piv] = m[piv], m[col]
 		inv := 1 / m[col][col]
 		for r := col + 1; r < n; r++ {
 			f := m[r][col] * inv
-			if f == 0 {
+			if f == 0 { //ordlint:allow floatcmp — exact zero needs no elimination; any nonzero must be eliminated
 				continue
 			}
 			for c := col; c <= n; c++ {
@@ -48,7 +92,6 @@ func Solve(A [][]float64, b []float64) ([]float64, error) {
 			}
 		}
 	}
-	x := make([]float64, n)
 	for i := n - 1; i >= 0; i-- {
 		s := m[i][n]
 		for j := i + 1; j < n; j++ {
@@ -56,7 +99,7 @@ func Solve(A [][]float64, b []float64) ([]float64, error) {
 		}
 		x[i] = s / m[i][i]
 	}
-	return x, nil
+	return nil
 }
 
 // HyperplaneThrough fits a hyperplane passing through the d points pts (each
@@ -65,28 +108,39 @@ func Solve(A [][]float64, b []float64) ([]float64, error) {
 // orientation is arbitrary. Returns ErrSingular if the points are affinely
 // dependent.
 func HyperplaneThrough(pts [][]float64) (normal []float64, offset float64, err error) {
-	d := len(pts[0])
-	if len(pts) != d {
-		return nil, 0, errors.New("linalg: hyperplane needs exactly d points")
-	}
-	// Rows: pts[i] - pts[0] for i = 1..d-1; find null vector via elimination
-	// of the (d-1) x d system M n = 0.
-	rows := make([][]float64, d-1)
-	for i := 1; i < d; i++ {
-		r := make([]float64, d)
-		for j := 0; j < d; j++ {
-			r[j] = pts[i][j] - pts[0][j]
-		}
-		rows[i-1] = r
-	}
-	normal, err = NullVector(rows, d)
+	var ws Workspace
+	normal = make([]float64, len(pts[0]))
+	offset, err = ws.HyperplaneThrough(pts, normal)
 	if err != nil {
 		return nil, 0, err
+	}
+	return normal, offset, nil
+}
+
+// HyperplaneThrough is the workspace form of the package-level
+// HyperplaneThrough: it writes the (unnormalised) normal into normal, which
+// must have length d, and reuses the receiver's scratch.
+func (ws *Workspace) HyperplaneThrough(pts [][]float64, normal []float64) (offset float64, err error) {
+	d := len(pts[0])
+	if len(pts) != d {
+		return 0, errors.New("linalg: hyperplane needs exactly d points")
+	}
+	// Rows: pts[i] - pts[0] for i = 1..d-1; find null vector via elimination
+	// of the (d-1) x d system M n = 0. The matrix scratch doubles as the
+	// difference rows (NullVectorInto row-reduces them in place).
+	rows := ws.matrix(d-1, d)
+	for i := 1; i < d; i++ {
+		for j := 0; j < d; j++ {
+			rows[i-1][j] = pts[i][j] - pts[0][j]
+		}
+	}
+	if err := ws.nullVectorDestructive(rows, d, normal); err != nil {
+		return 0, err
 	}
 	for j := 0; j < d; j++ {
 		offset += normal[j] * pts[0][j]
 	}
-	return normal, offset, nil
+	return offset, nil
 }
 
 // NullVector returns a non-zero vector in the null space of the given
@@ -94,16 +148,31 @@ func HyperplaneThrough(pts [][]float64) (normal []float64, offset float64, err e
 // len(rows) == d-1 (a one-dimensional null space). Returns ErrSingular when
 // the rows are dependent.
 func NullVector(rows [][]float64, d int) ([]float64, error) {
-	k := len(rows)
-	if k != d-1 {
-		return nil, errors.New("linalg: null vector requires d-1 rows")
-	}
-	// Row-reduce a copy, tracking pivot columns.
-	m := make([][]float64, k)
+	var ws Workspace
+	// Row-reduce a copy.
+	m := ws.matrix(len(rows), d)
 	for i := range m {
-		m[i] = append([]float64(nil), rows[i]...)
+		copy(m[i], rows[i])
 	}
-	pivCols := make([]int, 0, k)
+	n := make([]float64, d)
+	if err := ws.nullVectorDestructive(m, d, n); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// nullVectorDestructive computes a null vector of the (d-1) x d matrix m,
+// writing it into out (length d). m is destroyed. The pivot bookkeeping
+// lives in the workspace so warmed-up calls allocate nothing.
+func (ws *Workspace) nullVectorDestructive(m [][]float64, d int, out []float64) error {
+	k := len(m)
+	if k != d-1 {
+		return errors.New("linalg: null vector requires d-1 rows")
+	}
+	if cap(ws.pivCols) < k {
+		ws.pivCols = make([]int, 0, k)
+	}
+	pivCols := ws.pivCols[:0]
 	row := 0
 	for col := 0; col < d && row < k; col++ {
 		piv, best := -1, 1e-12
@@ -125,7 +194,7 @@ func NullVector(rows [][]float64, d int) ([]float64, error) {
 				continue
 			}
 			f := m[r][col]
-			if f == 0 {
+			if f == 0 { //ordlint:allow floatcmp — exact zero needs no elimination; any nonzero must be eliminated
 				continue
 			}
 			for c := col; c < d; c++ {
@@ -136,10 +205,16 @@ func NullVector(rows [][]float64, d int) ([]float64, error) {
 		row++
 	}
 	if row < k {
-		return nil, ErrSingular
+		return ErrSingular
 	}
 	// The single free column yields the null vector.
-	isPiv := make([]bool, d)
+	if cap(ws.isPiv) < d {
+		ws.isPiv = make([]bool, d)
+	}
+	isPiv := ws.isPiv[:d]
+	for c := range isPiv {
+		isPiv[c] = false
+	}
 	for _, c := range pivCols {
 		isPiv[c] = true
 	}
@@ -151,12 +226,14 @@ func NullVector(rows [][]float64, d int) ([]float64, error) {
 		}
 	}
 	if free < 0 {
-		return nil, ErrSingular
+		return ErrSingular
 	}
-	n := make([]float64, d)
-	n[free] = 1
+	for j := range out {
+		out[j] = 0
+	}
+	out[free] = 1
 	for i, c := range pivCols {
-		n[c] = -m[i][free]
+		out[c] = -m[i][free]
 	}
-	return n, nil
+	return nil
 }

@@ -1,0 +1,59 @@
+package qp
+
+import (
+	"testing"
+
+	"ordu/internal/raceflag"
+)
+
+// allocProblem returns a small projection QP with active inequality
+// constraints (the target sits outside the feasible region).
+func allocProblem() *Problem {
+	return &Problem{
+		P:   []float64{1.2, -0.3, 0.1},
+		EqA: [][]float64{{1, 1, 1}},
+		EqB: []float64{1},
+		InA: [][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}},
+		InB: []float64{0, 0, 0},
+	}
+}
+
+// TestSolveWSNoAllocs pins the workspace-reuse contract: once a Workspace
+// has solved a problem shape, further Solve calls perform zero heap
+// allocations.
+func TestSolveWSNoAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	pr := allocProblem()
+	var ws Workspace
+	if _, _, err := ws.Solve(pr); err != nil { // warm-up
+		t.Fatalf("warm-up Solve: %v", err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if _, _, err := ws.Solve(pr); err != nil {
+			t.Fatalf("Solve: %v", err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("warmed Workspace.Solve allocates %.1f times per call, want 0", avg)
+	}
+}
+
+// TestFeasibleWSNoAllocs is the same contract for the feasibility probe.
+func TestFeasibleWSNoAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	pr := allocProblem()
+	var ws Workspace
+	ws.Feasible(pr) // warm-up
+	avg := testing.AllocsPerRun(100, func() {
+		if !ws.Feasible(pr) {
+			t.Fatal("problem unexpectedly infeasible")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("warmed Workspace.Feasible allocates %.1f times per call, want 0", avg)
+	}
+}

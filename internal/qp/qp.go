@@ -18,6 +18,12 @@
 // violated constraints one at a time, it needs no feasible starting point
 // and detects infeasibility as a by-product; region-emptiness tests across
 // the library rely on that.
+//
+// The solver state (solution vector, active set, Gram scratch) lives in a
+// Workspace so that the QP-heavy callers — region mindists, hull membership
+// tests, rho-dominance — can run millions of solves without heap traffic: a
+// warmed-up Workspace.Solve performs zero allocations. A Workspace is NOT
+// goroutine-safe; give each worker its own.
 package qp
 
 import (
@@ -35,7 +41,8 @@ var ErrInfeasible = errors.New("qp: infeasible constraint system")
 var ErrNumeric = errors.New("qp: failed to converge")
 
 // Problem describes one projection QP. Rows of EqA/InA must all have the
-// same dimension as P.
+// same dimension as P. The solver only reads the rows, so callers may share
+// row slices across problems (and across goroutines).
 type Problem struct {
 	P   []float64   // target point to project
 	EqA [][]float64 // equality constraint normals
@@ -49,192 +56,81 @@ const (
 	maxIter = 10000
 )
 
+// activeEntry is one working constraint of the active set.
+type activeEntry struct {
+	idx int
+	sgn float64
+	u   float64 // dual variable (kept >= 0 for inequalities)
+}
+
+// Workspace holds every buffer of one Goldfarb-Idnani solve — solution
+// vector, active set, Gram-matrix scratch and the linear-algebra workspace —
+// so repeated solves allocate nothing once the buffers have grown to the
+// problem size. The zero value is ready for use.
+//
+// Not goroutine-safe: one Workspace per worker. The solution slice returned
+// by Solve aliases the workspace and is valid only until its next Solve;
+// callers that retain it must copy.
+type Workspace struct {
+	lin      linalg.Workspace
+	x        []float64
+	nq       []float64
+	z        []float64
+	r        []float64
+	gb       []float64
+	active   []activeEntry
+	cols     []float64   // flat k x d active-column buffer
+	gramFlat []float64   // flat k x k Gram matrix
+	gramRows [][]float64 // row headers into gramFlat
+
+	// Current problem, valid during one Solve call.
+	pr     *Problem
+	d      int
+	ne, ni int
+}
+
 // Solve returns the feasible point x closest to pr.P and its distance from
 // pr.P. It returns ErrInfeasible when the constraints admit no solution.
+// The returned x is freshly allocated; use Workspace.Solve on the hot path.
 func Solve(pr *Problem) (x []float64, dist float64, err error) {
+	var ws Workspace
+	return ws.Solve(pr)
+}
+
+// Feasible reports whether the constraint system of pr admits any solution,
+// ignoring the objective.
+func Feasible(pr *Problem) bool {
+	_, _, err := Solve(pr)
+	return err == nil
+}
+
+// Solve is the workspace form of the package-level Solve. The returned x
+// aliases the workspace's solution buffer: it is valid until the next Solve
+// on the same workspace and must be copied if retained.
+func (ws *Workspace) Solve(pr *Problem) (x []float64, dist float64, err error) {
 	d := len(pr.P)
-	x = append([]float64(nil), pr.P...)
-
-	// Constraints are indexed equalities first, then inequalities.
-	ne, ni := len(pr.EqA), len(pr.InA)
-	normal := func(i int) []float64 {
-		if i < ne {
-			return pr.EqA[i]
-		}
-		return pr.InA[i-ne]
-	}
-	rhs := func(i int) float64 {
-		if i < ne {
-			return pr.EqB[i]
-		}
-		return pr.InB[i-ne]
-	}
-	// sign[i] is -1 when an equality is being approached from above
-	// (n.x > b), so that the working constraint sign[i]*n.x >= sign[i]*b is
-	// violated in the standard direction.
-	slack := func(i int, sgn float64) float64 {
-		n := normal(i)
-		s := -rhs(i) * sgn
-		for j := 0; j < d; j++ {
-			s += sgn * n[j] * x[j]
-		}
-		return s
-	}
-
-	type activeEntry struct {
-		idx int
-		sgn float64
-		u   float64 // dual variable (kept >= 0 for inequalities)
-	}
-	var active []activeEntry
-
-	// solveGram computes r = (N^T N)^{-1} N^T nq and z = nq - N r for the
-	// current active normals N (columns sgn*normal).
-	solveGram := func(nq []float64) (r []float64, z []float64, ok bool) {
-		k := len(active)
-		z = append([]float64(nil), nq...)
-		if k == 0 {
-			return nil, z, true
-		}
-		G := make([][]float64, k)
-		b := make([]float64, k)
-		cols := make([][]float64, k)
-		for a := 0; a < k; a++ {
-			na := normal(active[a].idx)
-			col := make([]float64, d)
-			for j := 0; j < d; j++ {
-				col[j] = active[a].sgn * na[j]
-			}
-			cols[a] = col
-		}
-		for a := 0; a < k; a++ {
-			G[a] = make([]float64, k)
-			for bI := 0; bI < k; bI++ {
-				s := 0.0
-				for j := 0; j < d; j++ {
-					s += cols[a][j] * cols[bI][j]
-				}
-				G[a][bI] = s
-			}
-			s := 0.0
-			for j := 0; j < d; j++ {
-				s += cols[a][j] * nq[j]
-			}
-			b[a] = s
-		}
-		r, errS := linalg.Solve(G, b)
-		if errS != nil {
-			return nil, nil, false
-		}
-		for a := 0; a < k; a++ {
-			for j := 0; j < d; j++ {
-				z[j] -= r[a] * cols[a][j]
-			}
-		}
-		return r, z, true
-	}
-
-	// addConstraint runs the GI inner loop until constraint q (with working
-	// sign sgn) is satisfied or infeasibility is proven.
-	addConstraint := func(q int, sgn float64) error {
-		nq := make([]float64, d)
-		n := normal(q)
-		for j := 0; j < d; j++ {
-			nq[j] = sgn * n[j]
-		}
-		uq := 0.0 // dual variable of q, accumulated across partial steps
-		for iter := 0; iter < maxIter; iter++ {
-			s := slack(q, sgn)
-			if s >= -tol {
-				if q < ne {
-					// Equalities stay active so later steps preserve them,
-					// unless they are linearly dependent on the current
-					// active set (then they are already implied).
-					_, z, ok := solveGram(nq)
-					if !ok {
-						return ErrNumeric
-					}
-					zz := 0.0
-					for j := 0; j < d; j++ {
-						zz += z[j] * z[j]
-					}
-					if zz > tol {
-						active = append(active, activeEntry{idx: q, sgn: sgn, u: uq})
-					}
-				}
-				return nil
-			}
-			r, z, ok := solveGram(nq)
-			if !ok {
-				return ErrNumeric
-			}
-			zz := 0.0
-			for j := 0; j < d; j++ {
-				zz += z[j] * z[j]
-			}
-			t2 := math.Inf(1)
-			if zz > tol {
-				t2 = -s / zz
-			}
-			// Partial step bound from active inequality duals.
-			t1 := math.Inf(1)
-			drop := -1
-			for a := range active {
-				if active[a].idx < ne {
-					continue // equalities are never dropped
-				}
-				if r != nil && r[a] > tol {
-					if lim := active[a].u / r[a]; lim < t1 {
-						t1, drop = lim, a
-					}
-				}
-			}
-			t := math.Min(t1, t2)
-			if math.IsInf(t, 1) {
-				return ErrInfeasible
-			}
-			// Dual update (and primal when a step direction exists).
-			for a := range active {
-				if r != nil {
-					active[a].u -= t * r[a]
-				}
-			}
-			uq += t
-			if zz > tol {
-				for j := 0; j < d; j++ {
-					x[j] += t * z[j]
-				}
-			}
-			// t is math.Min(t1, t2): comparing against the stored copy asks
-			// which branch produced it, not whether two computed quantities
-			// coincide numerically.
-			if t == t2 && !math.IsInf(t2, 1) { //ordlint:allow floatcmp — branch discrimination on a stored copy
-				active = append(active, activeEntry{idx: q, sgn: sgn, u: uq})
-				return nil
-			}
-			// Partial step: drop the blocking constraint and retry q with
-			// the accumulated dual uq, exactly as in Goldfarb-Idnani.
-			active = append(active[:drop], active[drop+1:]...)
-		}
-		return ErrNumeric
-	}
+	ws.pr, ws.d, ws.ne, ws.ni = pr, d, len(pr.EqA), len(pr.InA)
+	ws.x = grow(ws.x, d)
+	copy(ws.x, pr.P)
+	ws.active = ws.active[:0]
 
 	// Install equalities first.
-	for i := 0; i < ne; i++ {
+	for i := 0; i < ws.ne; i++ {
 		sgn := 1.0
-		if slack(i, 1) > tol {
+		if ws.slack(i, 1) > tol {
 			sgn = -1
 		}
-		if err := addConstraint(i, sgn); err != nil {
+		if err := ws.addConstraint(i, sgn); err != nil {
+			ws.pr = nil
 			return nil, 0, err
 		}
 	}
 	// Then repeatedly add the most violated inequality.
 	for iter := 0; iter < maxIter; iter++ {
 		worst, q := -tol, -1
-		for i := ne; i < ne+ni; i++ {
+		for i := ws.ne; i < ws.ne+ws.ni; i++ {
 			inActive := false
-			for _, a := range active {
+			for _, a := range ws.active {
 				if a.idx == i {
 					inActive = true
 					break
@@ -243,28 +139,209 @@ func Solve(pr *Problem) (x []float64, dist float64, err error) {
 			if inActive {
 				continue
 			}
-			if s := slack(i, 1); s < worst {
+			if s := ws.slack(i, 1); s < worst {
 				worst, q = s, i
 			}
 		}
 		if q < 0 {
 			dist = 0.0
 			for j := 0; j < d; j++ {
-				dd := x[j] - pr.P[j]
+				dd := ws.x[j] - pr.P[j]
 				dist += dd * dd
 			}
-			return x, math.Sqrt(dist), nil
+			ws.pr = nil
+			return ws.x, math.Sqrt(dist), nil
 		}
-		if err := addConstraint(q, 1); err != nil {
+		if err := ws.addConstraint(q, 1); err != nil {
+			ws.pr = nil
 			return nil, 0, err
 		}
 	}
+	ws.pr = nil
 	return nil, 0, ErrNumeric
 }
 
-// Feasible reports whether the constraint system of pr admits any solution,
-// ignoring the objective.
-func Feasible(pr *Problem) bool {
-	_, _, err := Solve(pr)
+// Feasible is the workspace form of the package-level Feasible.
+func (ws *Workspace) Feasible(pr *Problem) bool {
+	_, _, err := ws.Solve(pr)
 	return err == nil
+}
+
+// grow returns a slice of length n reusing s's storage when possible.
+func grow(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// Constraints are indexed equalities first, then inequalities.
+func (ws *Workspace) normal(i int) []float64 {
+	if i < ws.ne {
+		return ws.pr.EqA[i]
+	}
+	return ws.pr.InA[i-ws.ne]
+}
+
+func (ws *Workspace) rhs(i int) float64 {
+	if i < ws.ne {
+		return ws.pr.EqB[i]
+	}
+	return ws.pr.InB[i-ws.ne]
+}
+
+// slack evaluates the working constraint sign*n.x >= sign*b at the current
+// x. sign is -1 when an equality is being approached from above (n.x > b),
+// so that the working constraint is violated in the standard direction.
+func (ws *Workspace) slack(i int, sgn float64) float64 {
+	n := ws.normal(i)
+	s := -ws.rhs(i) * sgn
+	for j := 0; j < ws.d; j++ {
+		s += sgn * n[j] * ws.x[j]
+	}
+	return s
+}
+
+// solveGram computes r = (N^T N)^{-1} N^T nq and z = nq - N r for the
+// current active normals N (columns sgn*normal). r is nil when the active
+// set is empty; both returned slices alias workspace buffers.
+func (ws *Workspace) solveGram(nq []float64) (r []float64, z []float64, ok bool) {
+	d, k := ws.d, len(ws.active)
+	ws.z = grow(ws.z, d)
+	z = ws.z
+	copy(z, nq)
+	if k == 0 {
+		return nil, z, true
+	}
+	ws.cols = grow(ws.cols, k*d)
+	for a := 0; a < k; a++ {
+		na := ws.normal(ws.active[a].idx)
+		sgn := ws.active[a].sgn
+		col := ws.cols[a*d : (a+1)*d]
+		for j := 0; j < d; j++ {
+			col[j] = sgn * na[j]
+		}
+	}
+	ws.gramFlat = grow(ws.gramFlat, k*k)
+	if cap(ws.gramRows) < k {
+		ws.gramRows = make([][]float64, k)
+	}
+	G := ws.gramRows[:k]
+	ws.gb = grow(ws.gb, k)
+	for a := 0; a < k; a++ {
+		G[a] = ws.gramFlat[a*k : (a+1)*k]
+		ca := ws.cols[a*d : (a+1)*d]
+		for bI := 0; bI < k; bI++ {
+			cb := ws.cols[bI*d : (bI+1)*d]
+			s := 0.0
+			for j := 0; j < d; j++ {
+				s += ca[j] * cb[j]
+			}
+			G[a][bI] = s
+		}
+		s := 0.0
+		for j := 0; j < d; j++ {
+			s += ca[j] * nq[j]
+		}
+		ws.gb[a] = s
+	}
+	ws.r = grow(ws.r, k)
+	if err := ws.lin.Solve(G, ws.gb, ws.r); err != nil {
+		return nil, nil, false
+	}
+	r = ws.r
+	for a := 0; a < k; a++ {
+		ca := ws.cols[a*d : (a+1)*d]
+		for j := 0; j < d; j++ {
+			z[j] -= r[a] * ca[j]
+		}
+	}
+	return r, z, true
+}
+
+// addConstraint runs the GI inner loop until constraint q (with working
+// sign sgn) is satisfied or infeasibility is proven.
+func (ws *Workspace) addConstraint(q int, sgn float64) error {
+	d := ws.d
+	ws.nq = grow(ws.nq, d)
+	nq := ws.nq
+	n := ws.normal(q)
+	for j := 0; j < d; j++ {
+		nq[j] = sgn * n[j]
+	}
+	uq := 0.0 // dual variable of q, accumulated across partial steps
+	for iter := 0; iter < maxIter; iter++ {
+		s := ws.slack(q, sgn)
+		if s >= -tol {
+			if q < ws.ne {
+				// Equalities stay active so later steps preserve them,
+				// unless they are linearly dependent on the current
+				// active set (then they are already implied).
+				_, z, ok := ws.solveGram(nq)
+				if !ok {
+					return ErrNumeric
+				}
+				zz := 0.0
+				for j := 0; j < d; j++ {
+					zz += z[j] * z[j]
+				}
+				if zz > tol {
+					ws.active = append(ws.active, activeEntry{idx: q, sgn: sgn, u: uq})
+				}
+			}
+			return nil
+		}
+		r, z, ok := ws.solveGram(nq)
+		if !ok {
+			return ErrNumeric
+		}
+		zz := 0.0
+		for j := 0; j < d; j++ {
+			zz += z[j] * z[j]
+		}
+		t2 := math.Inf(1)
+		if zz > tol {
+			t2 = -s / zz
+		}
+		// Partial step bound from active inequality duals.
+		t1 := math.Inf(1)
+		drop := -1
+		for a := range ws.active {
+			if ws.active[a].idx < ws.ne {
+				continue // equalities are never dropped
+			}
+			if r != nil && r[a] > tol {
+				if lim := ws.active[a].u / r[a]; lim < t1 {
+					t1, drop = lim, a
+				}
+			}
+		}
+		t := math.Min(t1, t2)
+		if math.IsInf(t, 1) {
+			return ErrInfeasible
+		}
+		// Dual update (and primal when a step direction exists).
+		for a := range ws.active {
+			if r != nil {
+				ws.active[a].u -= t * r[a]
+			}
+		}
+		uq += t
+		if zz > tol {
+			for j := 0; j < d; j++ {
+				ws.x[j] += t * z[j]
+			}
+		}
+		// t is math.Min(t1, t2): comparing against the stored copy asks
+		// which branch produced it, not whether two computed quantities
+		// coincide numerically.
+		if t == t2 && !math.IsInf(t2, 1) { //ordlint:allow floatcmp — branch discrimination on a stored copy
+			ws.active = append(ws.active, activeEntry{idx: q, sgn: sgn, u: uq})
+			return nil
+		}
+		// Partial step: drop the blocking constraint and retry q with
+		// the accumulated dual uq, exactly as in Goldfarb-Idnani.
+		ws.active = append(ws.active[:drop], ws.active[drop+1:]...)
+	}
+	return ErrNumeric
 }

@@ -1,0 +1,9 @@
+//go:build !race
+
+// Package raceflag reports whether the binary was built with the race
+// detector. Allocation-count regression tests skip themselves under -race,
+// where the instrumentation itself allocates.
+package raceflag
+
+// Enabled is true when the race detector is active.
+const Enabled = false

@@ -3,6 +3,13 @@
 // fixed preference polytopes R of the baseline techniques [20, 54]. A
 // region is the intersection of the unit simplex with a set of halfspaces;
 // emptiness tests and mindist computations reduce to projection QPs.
+//
+// Regions built through With carry their QP constraint matrix with them,
+// extended incrementally as halfspaces are appended, so mindist and
+// emptiness tests assemble the QP from cached rows instead of rebuilding
+// the matrices per call. Combined with a caller-supplied Workspace
+// (MinDistWS and friends) the whole mindist path is allocation-free after
+// warm-up. A Workspace is NOT goroutine-safe; use one per worker.
 package region
 
 import (
@@ -30,6 +37,13 @@ func Beat(r, q geom.Vector) Halfspace {
 type Region struct {
 	Dim int
 	Hs  []Halfspace
+
+	// inA/inB cache the QP rows of Hs (inA[i] aliases Hs[i].A). They are
+	// maintained incrementally by With/Box; regions whose Hs was mutated
+	// directly fall back to reading Hs row by row (same result, same
+	// allocation profile — the rows are slice headers either way).
+	inA [][]float64
+	inB []float64
 }
 
 // Full returns the whole preference domain (the unit simplex).
@@ -40,10 +54,22 @@ func Full(d int) Region {
 // With returns a new region additionally constrained by the given
 // halfspaces. The receiver is unchanged; the halfspace slice is copied so
 // regions can be extended independently along different search branches.
+// The cached constraint matrix is extended alongside (only slice headers
+// are copied; the normal vectors themselves are shared).
 func (r Region) With(hs ...Halfspace) Region {
-	out := Region{Dim: r.Dim, Hs: make([]Halfspace, 0, len(r.Hs)+len(hs))}
+	n := len(r.Hs) + len(hs)
+	out := Region{
+		Dim: r.Dim,
+		Hs:  make([]Halfspace, 0, n),
+		inA: make([][]float64, 0, n),
+		inB: make([]float64, 0, n),
+	}
 	out.Hs = append(out.Hs, r.Hs...)
 	out.Hs = append(out.Hs, hs...)
+	for _, h := range out.Hs {
+		out.inA = append(out.inA, h.A)
+		out.inB = append(out.inB, h.B)
+	}
 	return out
 }
 
@@ -60,36 +86,53 @@ func (r Region) Contains(v geom.Vector) bool {
 	return true
 }
 
-// problem assembles the QP constraint system for the region.
-func (r Region) problem(target geom.Vector) *qp.Problem {
+// Workspace carries the QP solver state and the assembled constraint
+// system of region queries, so repeated MinDistWS/EmptyWS calls perform no
+// heap allocations after warm-up. The zero value is ready for use. Not
+// goroutine-safe: one Workspace per worker.
+type Workspace struct {
+	qp qp.Workspace
+	pr qp.Problem
+}
+
+// problemWS assembles the QP constraint system for the region into the
+// workspace's reusable Problem: the cached simplex rows (shared, read-only)
+// followed by the region's halfspace rows (cached by With, or read from Hs
+// for hand-built regions).
+func (r Region) problemWS(target geom.Vector, ws *Workspace) *qp.Problem {
 	d := r.Dim
-	ones := make([]float64, d)
-	for i := range ones {
-		ones[i] = 1
-	}
-	pr := &qp.Problem{
-		P:   target,
-		EqA: [][]float64{ones},
-		EqB: []float64{1},
-	}
-	for i := 0; i < d; i++ {
-		e := make([]float64, d)
-		e[i] = 1
-		pr.InA = append(pr.InA, e)
-		pr.InB = append(pr.InB, 0)
-	}
-	for _, h := range r.Hs {
-		pr.InA = append(pr.InA, h.A)
-		pr.InB = append(pr.InB, h.B)
+	pr := &ws.pr
+	pr.P = target
+	pr.EqA = append(pr.EqA[:0], geom.SimplexOnes(d))
+	pr.EqB = append(pr.EqB[:0], 1)
+	pr.InA = append(pr.InA[:0], geom.SimplexAxes(d)...)
+	pr.InB = append(pr.InB[:0], geom.SimplexZeros(d)...)
+	if len(r.inA) == len(r.Hs) && len(r.Hs) > 0 {
+		pr.InA = append(pr.InA, r.inA...)
+		pr.InB = append(pr.InB, r.inB...)
+	} else {
+		for _, h := range r.Hs {
+			pr.InA = append(pr.InA, h.A)
+			pr.InB = append(pr.InB, h.B)
+		}
 	}
 	return pr
 }
 
 // MinDist returns the minimum distance from w to the region and the
 // closest point. ok is false when the region is empty. w must have the
-// region's dimensionality.
+// region's dimensionality. The returned point is freshly valid for the
+// caller to retain; use MinDistWS on the hot path.
 func (r Region) MinDist(w geom.Vector) (dist float64, closest geom.Vector, ok bool) {
-	x, d2, err := qp.Solve(r.problem(w))
+	var ws Workspace
+	return r.MinDistWS(w, &ws)
+}
+
+// MinDistWS is MinDist with a caller-supplied workspace. The returned
+// closest point aliases the workspace's solution buffer: it is valid until
+// the workspace's next use and must be copied if retained.
+func (r Region) MinDistWS(w geom.Vector, ws *Workspace) (dist float64, closest geom.Vector, ok bool) {
+	x, d2, err := ws.qp.Solve(r.problemWS(w, ws))
 	if err != nil {
 		return 0, nil, false
 	}
@@ -98,23 +141,44 @@ func (r Region) MinDist(w geom.Vector) (dist float64, closest geom.Vector, ok bo
 
 // Empty reports whether the region has no feasible point.
 func (r Region) Empty() bool {
-	_, _, ok := r.MinDist(barycentre(r.Dim))
+	var ws Workspace
+	return r.EmptyWS(&ws)
+}
+
+// EmptyWS is Empty with a caller-supplied workspace.
+func (r Region) EmptyWS(ws *Workspace) bool {
+	_, _, ok := r.MinDistWS(geom.SimplexBarycentre(r.Dim), ws)
 	return !ok
+}
+
+// ProbeEmpty reports whether r intersected with the extra halfspaces is
+// empty, without materialising the combined region: the extra rows are
+// appended to the workspace's assembled constraint system directly. It is
+// the allocation-free form of r.With(hs...).Empty() for probe-and-discard
+// overlap tests.
+func (r Region) ProbeEmpty(hs []Halfspace, ws *Workspace) bool {
+	pr := r.problemWS(geom.SimplexBarycentre(r.Dim), ws)
+	for _, h := range hs {
+		pr.InA = append(pr.InA, h.A)
+		pr.InB = append(pr.InB, h.B)
+	}
+	_, _, err := ws.qp.Solve(pr)
+	return err != nil
 }
 
 // FeasiblePoint returns a point of the region (the projection of the
 // simplex barycentre), or ok=false when the region is empty.
 func (r Region) FeasiblePoint() (geom.Vector, bool) {
-	_, x, ok := r.MinDist(barycentre(r.Dim))
-	return x, ok
+	var ws Workspace
+	v, ok := r.FeasiblePointWS(&ws)
+	return v, ok
 }
 
-func barycentre(d int) geom.Vector {
-	b := make(geom.Vector, d)
-	for i := range b {
-		b[i] = 1 / float64(d)
-	}
-	return b
+// FeasiblePointWS is FeasiblePoint with a caller-supplied workspace; the
+// returned point aliases the workspace and must be copied if retained.
+func (r Region) FeasiblePointWS(ws *Workspace) (geom.Vector, bool) {
+	_, x, ok := r.MinDistWS(geom.SimplexBarycentre(r.Dim), ws)
+	return x, ok
 }
 
 // Box returns the region |v_i - c_i| <= side/2 intersected with the
@@ -123,6 +187,7 @@ func barycentre(d int) geom.Vector {
 func Box(c geom.Vector, side float64) Region {
 	d := len(c)
 	r := Region{Dim: d}
+	var hs []Halfspace
 	for i := 0; i < d; i++ {
 		lo := c[i] - side/2
 		hi := c[i] + side/2
@@ -131,13 +196,13 @@ func Box(c geom.Vector, side float64) Region {
 		ne := make(geom.Vector, d)
 		ne[i] = -1
 		if lo > 0 {
-			r.Hs = append(r.Hs, Halfspace{A: e, B: lo})
+			hs = append(hs, Halfspace{A: e, B: lo})
 		}
 		if hi < 1 {
-			r.Hs = append(r.Hs, Halfspace{A: ne, B: -hi})
+			hs = append(hs, Halfspace{A: ne, B: -hi})
 		}
 	}
-	return r
+	return r.With(hs...)
 }
 
 // MaxDist returns an upper bound on the distance from w to any point of

@@ -410,24 +410,30 @@ func (t *Tree) remove(n *Node, id int, p geom.Vector, orphans *[]Entry) bool {
 
 // RangeQuery returns the ids of all points inside rect (borders included).
 func (t *Tree) RangeQuery(rect geom.Rect) []int {
-	var out []int
+	return t.RangeQueryAppend(rect, nil)
+}
+
+// RangeQueryAppend appends the ids of all points inside rect (borders
+// included) to out and returns it — the scratch-buffer form of RangeQuery
+// for callers that issue many queries and want to reuse one buffer.
+func (t *Tree) RangeQueryAppend(rect geom.Rect, out []int) []int {
 	if t.size == 0 {
 		return out
 	}
-	var walk func(n *Node)
-	walk = func(n *Node) {
-		for _, e := range n.Entries {
-			if !rect.Intersects(e.Rect) {
-				continue
-			}
-			if n.Level == 0 {
-				out = append(out, e.ID)
-			} else {
-				walk(e.Child)
-			}
+	return rangeWalk(t.root, rect, out)
+}
+
+func rangeWalk(n *Node, rect geom.Rect, out []int) []int {
+	for _, e := range n.Entries {
+		if !rect.Intersects(e.Rect) {
+			continue
+		}
+		if n.Level == 0 {
+			out = append(out, e.ID)
+		} else {
+			out = rangeWalk(e.Child, rect, out)
 		}
 	}
-	walk(t.root)
 	return out
 }
 

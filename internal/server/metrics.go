@@ -1,6 +1,7 @@
 package server
 
 import (
+	"runtime"
 	"sync/atomic"
 	"time"
 )
@@ -82,6 +83,36 @@ type Metrics struct {
 	LatencyMS     []LatencyBucket  `json:"latency_ms"`
 	Queue         QueueMetrics     `json:"queue"`
 	Cache         CacheMetrics     `json:"cache"`
+	Runtime       RuntimeMetrics   `json:"runtime"`
+}
+
+// RuntimeMetrics exposes the Go runtime's allocation and GC counters, the
+// observable side of the workspace-reuse work: steady-state query load
+// should barely move Mallocs and NumGC between scrapes.
+type RuntimeMetrics struct {
+	HeapAllocBytes  uint64  `json:"heap_alloc_bytes"`  // live heap
+	TotalAllocBytes uint64  `json:"total_alloc_bytes"` // cumulative
+	Mallocs         uint64  `json:"mallocs"`           // cumulative heap objects
+	Frees           uint64  `json:"frees"`
+	NumGC           uint32  `json:"num_gc"`
+	GCCPUFraction   float64 `json:"gc_cpu_fraction"`
+	Goroutines      int     `json:"goroutines"`
+}
+
+// readRuntimeMetrics snapshots runtime.MemStats. ReadMemStats stops the
+// world briefly, which is fine at /metrics scrape frequency.
+func readRuntimeMetrics() RuntimeMetrics {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return RuntimeMetrics{
+		HeapAllocBytes:  ms.HeapAlloc,
+		TotalAllocBytes: ms.TotalAlloc,
+		Mallocs:         ms.Mallocs,
+		Frees:           ms.Frees,
+		NumGC:           ms.NumGC,
+		GCCPUFraction:   ms.GCCPUFraction,
+		Goroutines:      runtime.NumGoroutine(),
+	}
 }
 
 // QueueMetrics describes the worker pool's instantaneous state.

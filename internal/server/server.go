@@ -382,6 +382,7 @@ func (s *Server) Snapshot() Metrics {
 			Entries:  s.cache.Len(),
 			Capacity: s.cfg.CacheSize,
 		},
+		Runtime: readRuntimeMetrics(),
 	}
 	for op, c := range s.met.requests {
 		m.Requests[op] = c.Load()

@@ -1,13 +1,13 @@
 package skyband
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math"
 
 	"ordu/internal/geom"
 	"ordu/internal/rtree"
+	"ordu/internal/xheap"
 )
 
 // IRD is the incremental rho-skyband module of Section 5.3.2. It serves
@@ -31,12 +31,16 @@ type IRD struct {
 	sc *Scanner
 	pr *SkybandPruner
 
-	t       []Member  // fetched k-skyband records, in decreasing score order
-	tRadii  []float64 // inflection radius of each t entry
-	pending pendHeap  // fetched but not yet released, keyed by inflection radius
+	t       []Member                 // fetched k-skyband records, in decreasing score order
+	tRadii  []float64                // inflection radius of each t entry
+	pending xheap.Heap[pendItem]     // fetched but not yet released, keyed by inflection radius
+	bounds  xheap.Heap[*boundEntry]
+	live    map[uint64]*boundEntry
 
-	bounds boundHeap
-	live   map[uint64]*boundEntry
+	// ws backs every mindist computation and the per-candidate mindist
+	// buffer; IRD is single-goroutine, so owning one workspace is safe and
+	// keeps the fetch loop allocation-free after warm-up.
+	ws Workspace
 
 	exhausted bool
 }
@@ -54,19 +58,8 @@ type pendItem struct {
 	rho float64
 }
 
-type pendHeap []pendItem
-
-func (h pendHeap) Len() int            { return len(h) }
-func (h pendHeap) Less(i, j int) bool  { return h[i].rho < h[j].rho }
-func (h pendHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *pendHeap) Push(x interface{}) { *h = append(*h, x.(pendItem)) }
-func (h *pendHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
+// Less orders the pending min-heap by inflection radius.
+func (p pendItem) Less(o pendItem) bool { return p.rho < o.rho }
 
 type boundEntry struct {
 	seq      uint64
@@ -76,19 +69,8 @@ type boundEntry struct {
 	dead     bool
 }
 
-type boundHeap []*boundEntry
-
-func (h boundHeap) Len() int            { return len(h) }
-func (h boundHeap) Less(i, j int) bool  { return h[i].bound < h[j].bound }
-func (h boundHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *boundHeap) Push(x interface{}) { *h = append(*h, x.(*boundEntry)) }
-func (h *boundHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
+// Less orders the bound min-heap by the stored lower bound.
+func (e *boundEntry) Less(o *boundEntry) bool { return e.bound < o.bound }
 
 // NewIRD starts an incremental rho-skyband computation around w.
 func NewIRD(tree *rtree.Tree, w geom.Vector, k int) *IRD {
@@ -102,7 +84,7 @@ func NewIRD(tree *rtree.Tree, w geom.Vector, k int) *IRD {
 	ird.sc.onPush = func(e *scanEntry) {
 		be := &boundEntry{seq: e.seq, pt: e.pt}
 		ird.live[e.seq] = be
-		heap.Push(&ird.bounds, be)
+		ird.bounds.Push(be)
 	}
 	ird.sc.onPop = func(e *scanEntry) {
 		if be, ok := ird.live[e.seq]; ok {
@@ -118,11 +100,12 @@ func (ird *IRD) inflectionOf(p geom.Vector) float64 {
 	if len(ird.t) < ird.k {
 		return 0
 	}
-	mindists := make([]float64, 0, len(ird.t))
+	mindists := ird.ws.mds[:0]
 	for _, t := range ird.t {
-		mindists = append(mindists, Mindist(ird.w, p, t.Point))
+		mindists = append(mindists, MindistWS(ird.w, p, t.Point, &ird.ws))
 	}
-	return InflectionRadius(mindists, ird.k)
+	ird.ws.mds = mindists
+	return InflectionRadiusInPlace(mindists, ird.k)
 }
 
 // boundAtLeast reports whether the inflection radius of p against the
@@ -131,7 +114,7 @@ func (ird *IRD) inflectionOf(p geom.Vector) float64 {
 func (ird *IRD) boundAtLeast(p geom.Vector, x float64) bool {
 	count := 0
 	for _, t := range ird.t {
-		if t.Point.Dominates(p) || Mindist(ird.w, p, t.Point) >= x {
+		if t.Point.Dominates(p) || MindistWS(ird.w, p, t.Point, &ird.ws) >= x {
 			count++
 			if count >= ird.k {
 				return true
@@ -149,9 +132,9 @@ func (ird *IRD) boundAtLeast(p geom.Vector, x float64) bool {
 // radius.
 func (ird *IRD) boundsClear(x float64) bool {
 	for ird.bounds.Len() > 0 {
-		top := ird.bounds[0]
+		top := *ird.bounds.Peek()
 		if top.dead {
-			heap.Pop(&ird.bounds)
+			ird.bounds.Pop()
 			continue
 		}
 		if top.bound >= x {
@@ -167,7 +150,7 @@ func (ird *IRD) boundsClear(x float64) bool {
 		}
 		top.bound = x // truthful lower bound, confirmed against current T
 		top.tVersion = len(ird.t)
-		heap.Fix(&ird.bounds, 0)
+		ird.bounds.Fix(0)
 	}
 	return true // S is empty: nothing unfetched remains
 }
@@ -186,7 +169,7 @@ func (ird *IRD) fetch() bool {
 	ird.t = append(ird.t, m)
 	ird.tRadii = append(ird.tRadii, rho)
 	if !math.IsInf(rho, 1) {
-		heap.Push(&ird.pending, pendItem{rec: m, rho: rho})
+		ird.pending.Push(pendItem{rec: m, rho: rho})
 	}
 	return true
 }
@@ -212,8 +195,8 @@ func (ird *IRD) NextCtx(ctx context.Context) (Released, bool, error) {
 			}
 		}
 		if ird.pending.Len() > 0 {
-			if ird.exhausted || ird.boundsClear(ird.pending[0].rho) {
-				it := heap.Pop(&ird.pending).(pendItem)
+			if ird.exhausted || ird.boundsClear(ird.pending.Peek().rho) {
+				it := ird.pending.Pop()
 				return Released{ID: it.rec.ID, Point: it.rec.Point, Radius: it.rho}, true, nil
 			}
 		}

@@ -7,11 +7,23 @@ package skyband
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"ordu/internal/geom"
 	"ordu/internal/qp"
 )
+
+// Workspace holds the QP solver state and scratch of the dominance-side
+// kernels (Mindist's exact-projection fallback, inflection-radius sorting),
+// so the pruners and IRD can run millions of rho-dominance tests without
+// heap allocations after warm-up. The zero value is ready for use. Not
+// goroutine-safe: one Workspace per worker.
+type Workspace struct {
+	qp  qp.Workspace
+	a   []float64
+	pr  qp.Problem
+	mds []float64 // inflection-radius scratch, used by IRD and core's ORD
+}
 
 // Mindist returns rho_{i,j}: the largest radius at which rj still
 // rho-dominates ri around the seed w, i.e. the minimum distance from w to
@@ -27,6 +39,15 @@ import (
 // foot leaves the simplex does it fall back to the QP solver, mirroring how
 // the paper uses QuadProg++ for the general case.
 func Mindist(w, ri, rj geom.Vector) float64 {
+	var ws Workspace
+	return MindistWS(w, ri, rj, &ws)
+}
+
+// MindistWS is Mindist with a caller-supplied workspace: the closed-form
+// fast path is allocation-free by construction, and the QP fallback reuses
+// the workspace's constraint system and solver buffers, so warmed-up calls
+// allocate nothing.
+func MindistWS(w, ri, rj geom.Vector, ws *Workspace) float64 {
 	d := len(w)
 	// Single allocation-free pass: dominance check, hyperplane coefficient
 	// aggregates (a = ri - rj), and a.w.
@@ -70,25 +91,23 @@ func Mindist(w, ri, rj geom.Vector) float64 {
 	if feasible {
 		return dist
 	}
-	// Foot outside the simplex: exact QP projection.
-	a := ri.Sub(rj)
-	ones := make([]float64, d)
-	ge := make([][]float64, d)
-	gb := make([]float64, d)
+	// Foot outside the simplex: exact QP projection. The constraint system
+	// is assembled from the cached per-dimension simplex rows plus the
+	// workspace's hyperplane-normal buffer — no per-call matrices.
+	if cap(ws.a) < d {
+		ws.a = make([]float64, d)
+	}
+	a := ws.a[:d]
 	for i := 0; i < d; i++ {
-		ones[i] = 1
-		e := make([]float64, d)
-		e[i] = 1
-		ge[i] = e
+		a[i] = ri[i] - rj[i]
 	}
-	pr := &qp.Problem{
-		P:   w,
-		EqA: [][]float64{ones, a},
-		EqB: []float64{1, 0},
-		InA: ge,
-		InB: gb,
-	}
-	_, qdist, err := qp.Solve(pr)
+	pr := &ws.pr
+	pr.P = w
+	pr.EqA = append(pr.EqA[:0], geom.SimplexOnes(d), a)
+	pr.EqB = append(pr.EqB[:0], 1, 0)
+	pr.InA = geom.SimplexAxes(d) // shared read-only rows
+	pr.InB = geom.SimplexZeros(d)
+	_, qdist, err := ws.qp.Solve(pr)
 	if err != nil {
 		// The hyperplane misses the simplex entirely: rj wins everywhere.
 		return math.Inf(1)
@@ -108,8 +127,19 @@ func InflectionRadius(mindists []float64, k int) float64 {
 		return 0
 	}
 	ds := append([]float64(nil), mindists...)
-	sort.Float64s(ds)
-	return ds[len(ds)-k]
+	return InflectionRadiusInPlace(ds, k)
+}
+
+// InflectionRadiusInPlace is InflectionRadius over a caller-owned buffer:
+// it sorts mindists in place (no copy, no allocation), which is what the
+// hot loops of ORD and IRD want — they rebuild the buffer per candidate
+// anyway.
+func InflectionRadiusInPlace(mindists []float64, k int) float64 {
+	if len(mindists) < k {
+		return 0
+	}
+	slices.Sort(mindists)
+	return mindists[len(mindists)-k]
 }
 
 // RhoDominates reports whether rj rho-dominates ri at radius rho around w.
@@ -128,4 +158,16 @@ func RhoDominates(w, rj, ri geom.Vector, rho float64) bool {
 		return false
 	}
 	return Mindist(w, ri, rj) >= rho
+}
+
+// RhoDominatesWS is RhoDominates with a caller-supplied workspace.
+func RhoDominatesWS(w, rj, ri geom.Vector, rho float64, ws *Workspace) bool {
+	sj, si := rj.Dot(w), ri.Dot(w)
+	if sj < si {
+		return false
+	}
+	if sj == si && !rj.Dominates(ri) { //ordlint:allow floatcmp — definitional tie guard on identically computed scores
+		return false
+	}
+	return MindistWS(w, ri, rj, ws) >= rho
 }

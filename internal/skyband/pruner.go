@@ -53,6 +53,10 @@ type RhoPruner struct {
 	// set stay here: rho-dominance is a pairwise notion, so an evicted
 	// record still disqualifies the points it rho-dominates.
 	recs []geom.Vector
+	// ws backs the pruner's mindist QPs; the pruner is single-goroutine by
+	// construction (it lives inside one scan), so owning the workspace is
+	// safe and keeps every Prune call allocation-free.
+	ws Workspace
 }
 
 // NewRhoPruner returns a rho-dominance pruner with radius +Inf (which makes
@@ -73,7 +77,7 @@ func (r *RhoPruner) Prune(p geom.Vector) bool {
 	for _, rec := range r.recs {
 		if rec.Dominates(p) {
 			count++
-		} else if !math.IsInf(r.Rho, 1) && Mindist(r.W, p, rec) >= r.Rho {
+		} else if !math.IsInf(r.Rho, 1) && MindistWS(r.W, p, rec, &r.ws) >= r.Rho {
 			count++
 		}
 		if count >= r.K {

@@ -1,10 +1,9 @@
 package skyband
 
 import (
-	"container/heap"
-
 	"ordu/internal/geom"
 	"ordu/internal/rtree"
+	"ordu/internal/xheap"
 )
 
 // Pruner decides whether a candidate point (a record, or the top corner of
@@ -27,23 +26,13 @@ type scanEntry struct {
 	seq  uint64
 }
 
-type scanHeap []scanEntry
-
-func (h scanHeap) Len() int { return len(h) }
-func (h scanHeap) Less(i, j int) bool {
-	if h[i].score != h[j].score { //ordlint:allow floatcmp — tie-break on stored keys
-		return h[i].score > h[j].score
+// Less orders the scan max-heap: higher score first, larger coordinate sum
+// on ties (typed xheap element, no per-push boxing).
+func (e scanEntry) Less(o scanEntry) bool {
+	if e.score != o.score { //ordlint:allow floatcmp — tie-break on stored keys
+		return e.score > o.score
 	}
-	return h[i].sum > h[j].sum
-}
-func (h scanHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *scanHeap) Push(x interface{}) { *h = append(*h, x.(scanEntry)) }
-func (h *scanHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return e.sum > o.sum
 }
 
 // Scanner is the paper's amended BBS (Sections 4.2, 5.3.2): it visits index
@@ -54,7 +43,7 @@ func (h *scanHeap) Pop() interface{} {
 // property BBS's correctness rests on.
 type Scanner struct {
 	w       geom.Vector
-	h       scanHeap
+	h       xheap.Heap[scanEntry]
 	seq     uint64
 	visited int // heap pops, for instrumentation
 
@@ -85,7 +74,7 @@ func rootRect(n *rtree.Node) geom.Vector {
 func (s *Scanner) push(e scanEntry) {
 	e.seq = s.seq
 	s.seq++
-	heap.Push(&s.h, e)
+	s.h.Push(e)
 	if s.onPush != nil {
 		s.onPush(&e)
 	}
@@ -103,8 +92,8 @@ func (s *Scanner) pushRecord(id int, p geom.Vector) {
 // pruner may be nil, in which case every record is emitted (that is BBR's
 // ranked retrieval). ok is false when the scan is exhausted.
 func (s *Scanner) Next(pruner Pruner) (id int, p geom.Vector, ok bool) {
-	for len(s.h) > 0 {
-		e := heap.Pop(&s.h).(scanEntry)
+	for s.h.Len() > 0 {
+		e := s.h.Pop()
 		s.visited++
 		if s.onPop != nil {
 			s.onPop(&e)
@@ -131,4 +120,4 @@ func (s *Scanner) Next(pruner Pruner) (id int, p geom.Vector, ok bool) {
 func (s *Scanner) Visited() int { return s.visited }
 
 // Exhausted reports whether the scan has no remaining entries.
-func (s *Scanner) Exhausted() bool { return len(s.h) == 0 }
+func (s *Scanner) Exhausted() bool { return s.h.Len() == 0 }

@@ -5,11 +5,11 @@
 package topk
 
 import (
-	"container/heap"
 	"sort"
 
 	"ordu/internal/geom"
 	"ordu/internal/rtree"
+	"ordu/internal/xheap"
 )
 
 // Result is one ranked record.
@@ -26,40 +26,37 @@ type entry struct {
 	pt    geom.Vector
 }
 
-type maxHeap []entry
+// Less orders the branch-and-bound max-heap by score upper bound.
+func (e entry) Less(o entry) bool { return e.score > o.score }
 
-func (h maxHeap) Len() int            { return len(h) }
-func (h maxHeap) Less(i, j int) bool  { return h[i].score > h[j].score }
-func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(entry)) }
-func (h *maxHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+// Searcher carries the branch-and-bound heap and result buffer across TopK
+// calls, so repeated queries (the server's steady state) reuse their
+// traversal state instead of reallocating it. The zero value is ready for
+// use. Not goroutine-safe: one Searcher per worker.
+type Searcher struct {
+	h   xheap.Heap[entry]
+	out []Result
 }
 
 // TopK returns the k records with the highest score for w, in decreasing
-// score order. Fewer records are returned when the dataset is smaller
-// than k.
-func TopK(tree *rtree.Tree, w geom.Vector, k int) []Result {
+// score order. Fewer records are returned when the dataset is smaller than
+// k. The returned slice aliases the searcher's buffer: it is valid until
+// the next TopK call and must be copied if retained.
+func (s *Searcher) TopK(tree *rtree.Tree, w geom.Vector, k int) []Result {
 	root := tree.Root()
 	if root == nil || k <= 0 {
 		return nil
 	}
-	var h maxHeap
-	pushNode := func(n *rtree.Node, top geom.Vector) {
-		heap.Push(&h, entry{score: w.Dot(top), node: n, pt: top})
-	}
+	s.h.Reset()
 	r := root.Entries[0].Rect.Clone()
 	for _, e := range root.Entries[1:] {
 		r.Extend(e.Rect)
 	}
-	pushNode(root, r.TopCorner())
-	out := make([]Result, 0, k)
-	for len(h) > 0 && len(out) < k {
-		e := heap.Pop(&h).(entry)
+	top := r.TopCorner()
+	s.h.Push(entry{score: w.Dot(top), node: root, pt: top})
+	out := s.out[:0]
+	for s.h.Len() > 0 && len(out) < k {
+		e := s.h.Pop()
 		if e.node == nil {
 			out = append(out, Result{ID: e.id, Point: e.pt, Score: e.score})
 			continue
@@ -67,13 +64,26 @@ func TopK(tree *rtree.Tree, w geom.Vector, k int) []Result {
 		for _, ent := range e.node.Entries {
 			if e.node.Level == 0 {
 				p := geom.Vector(ent.Rect.Lo)
-				heap.Push(&h, entry{score: w.Dot(p), id: ent.ID, pt: p})
+				s.h.Push(entry{score: w.Dot(p), id: ent.ID, pt: p})
 			} else {
-				pushNode(ent.Child, ent.Rect.TopCorner())
+				t := ent.Rect.TopCorner()
+				s.h.Push(entry{score: w.Dot(t), node: ent.Child, pt: t})
 			}
 		}
 	}
+	s.out = out
 	return out
+}
+
+// TopK is the one-shot form of Searcher.TopK; the returned slice is freshly
+// allocated and the caller may retain it.
+func TopK(tree *rtree.Tree, w geom.Vector, k int) []Result {
+	var s Searcher
+	res := s.TopK(tree, w, k)
+	if res == nil {
+		return nil
+	}
+	return append([]Result(nil), res...)
 }
 
 // BruteTopK is the linear-scan reference used in tests and small examples.
