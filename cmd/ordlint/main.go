@@ -10,12 +10,14 @@
 //	go run ./cmd/ordlint ./...            # whole module (the CI invocation)
 //	go run ./cmd/ordlint ./internal/lp    # one package
 //	go run ./cmd/ordlint -checks floatcmp,ctxpoll ./...
+//	go run ./cmd/ordlint -json ./...      # NDJSON findings, one object per line
 //
 // Findings are suppressed with `//ordlint:allow <check> — reason` comments;
 // see the package documentation of internal/analysis.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +30,7 @@ import (
 func main() {
 	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	list := flag.Bool("list", false, "list the available checks and exit")
+	asJSON := flag.Bool("json", false, "emit findings as NDJSON (one object per line) instead of file:line text")
 	flag.Parse()
 
 	root, modulePath, err := analysis.FindModule(".")
@@ -70,10 +73,24 @@ func main() {
 	pkgs = selectPackages(pkgs, root, flag.Args())
 
 	diags := suite.Run(pkgs)
+	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
 		pos := d.Pos
 		if rel, err := filepath.Rel(root, pos.Filename); err == nil {
 			pos.Filename = rel
+		}
+		if *asJSON {
+			if err := enc.Encode(jsonFinding{
+				File:    filepath.ToSlash(pos.Filename),
+				Line:    pos.Line,
+				Col:     pos.Column,
+				Check:   d.Check,
+				Message: d.Message,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "ordlint:", err)
+				os.Exit(2)
+			}
+			continue
 		}
 		fmt.Printf("%s: [%s] %s\n", pos, d.Check, d.Message)
 	}
@@ -81,6 +98,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ordlint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// jsonFinding is the -json output record: newline-delimited JSON, one object
+// per finding, consumed by the CI artifact upload and by editor integrations.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
 }
 
 // selectPackages filters the loaded module packages by the command-line
@@ -100,6 +127,7 @@ func selectPackages(pkgs []*analysis.Package, root string, patterns []string) []
 		rel = filepath.ToSlash(rel)
 		for _, pat := range patterns {
 			pat = strings.TrimPrefix(filepath.ToSlash(pat), "./")
+			pat = strings.TrimSuffix(pat, "/") // "./internal/qp/" means "./internal/qp"
 			if matchPattern(rel, pat) {
 				out = append(out, pkg)
 				break

@@ -51,6 +51,10 @@ type Pass struct {
 	TypesInfo *types.Info
 	PkgPath   string
 
+	// Facts carries module-wide context (workspace-contract types) computed
+	// once per Suite.Run over the whole analyzed package set.
+	Facts *Facts
+
 	// Report records a finding at pos. Findings suppressed by an
 	// //ordlint:allow comment are dropped by the suite after the run.
 	Report func(pos token.Pos, format string, args ...interface{})
@@ -75,6 +79,7 @@ type Suite struct {
 // `typecheck` diagnostics so a loader gap cannot silently pass.
 func (s *Suite) Run(pkgs []*Package) []Diagnostic {
 	var diags []Diagnostic
+	facts := computeFacts(pkgs)
 	for _, pkg := range pkgs {
 		allow := collectAllows(pkg)
 		fset := pkg.Fset
@@ -93,6 +98,7 @@ func (s *Suite) Run(pkgs []*Package) []Diagnostic {
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
 				PkgPath:   pkg.Path,
+				Facts:     facts,
 			}
 			pass.Report = func(pos token.Pos, format string, args ...interface{}) {
 				p := fset.Position(pos)

@@ -11,7 +11,10 @@ import (
 // fixtureNames lists the golden fixture packages under testdata/src. Each
 // exercises one analyzer with at least one positive, one negative, and one
 // allow-comment case.
-var fixtureNames = []string{"floatcmp", "ctxpoll", "senterr", "nopanic", "printguard"}
+var fixtureNames = []string{
+	"floatcmp", "ctxpoll", "senterr", "nopanic", "printguard",
+	"wsescape", "goroutinecap", "poolpair", "noalloc",
+}
 
 // fixtureConfig scopes the suite to the fixture package so path-based checks
 // fire there instead of on module paths.
@@ -31,6 +34,18 @@ func fixtureConfig(name string) Config {
 		return Config{NopanicPackage: only}
 	case "printguard":
 		return Config{PrintguardPackage: only}
+	case "wsescape":
+		return Config{WorkspacePackage: only}
+	case "goroutinecap":
+		return Config{
+			WorkspacePackage:     only,
+			GoroutineCapPackages: map[string]bool{"goroutinecap": true},
+			PooledTypes:          map[string]bool{"goroutinecap.node": true},
+		}
+	case "poolpair":
+		return Config{PoolPairs: []PoolPair{{Get: "poolpair.pool.get", Put: "poolpair.pool.put"}}}
+	case "noalloc":
+		return Config{} // annotation-driven; the convention fallback covers the fixture's Workspace
 	}
 	return Config{}
 }

@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewGoroutinecap builds the goroutinecap analyzer: inside the configured
+// packages, a goroutine must not share a non-synchronized workspace,
+// builder, or pooled node with other goroutines. Two patterns are flagged:
+//
+//   - a goroutine closure that captures a workspace/pooled variable (or
+//     reaches one through a captured selector chain), and
+//   - a go statement inside a loop whose call passes the same
+//     workspace/pooled value on every iteration.
+//
+// The sanctioned idioms stay quiet: passing per-iteration values as
+// arguments (go f(i, n) where n is the loop variable) and indexing into a
+// per-worker slice (wss[i]) both carry an index or loop-local root.
+func NewGoroutinecap(pkgs map[string]bool, pooled map[string]bool, wsPkg func(pkgPath string) bool) *Analyzer {
+	a := &Analyzer{
+		Name: "goroutinecap",
+		Doc:  "goroutines must not share non-synchronized workspaces, builders, or pooled nodes; use per-worker slots or per-iteration arguments",
+	}
+	a.Run = func(pass *Pass) {
+		if !pkgs[pass.PkgPath] {
+			return
+		}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				checkGoroutines(pass, pooled, wsPkg, fn)
+			}
+		}
+	}
+	return a
+}
+
+// hazardType reports whether t (possibly behind a pointer) is a workspace
+// or pooled type.
+func hazardType(tr *originTracker, pooled map[string]bool, t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if tr.isWS(t) {
+		return true
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return pooled[named.Obj().Pkg().Path()+"."+named.Obj().Name()]
+}
+
+// selectorRoot walks a pure selector chain to its base identifier. Chains
+// that pass through an index, slice, call, or dereference of an index are
+// treated as rootless (those are the per-worker-slot idioms).
+func selectorRoot(e ast.Expr) *ast.Ident {
+	for {
+		e = ast.Unparen(e)
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func checkGoroutines(pass *Pass, pooled map[string]bool, wsPkg func(string) bool, fn *ast.FuncDecl) {
+	tr := newOriginTracker(pass, pass.Facts, wsPkg, fn.Body)
+
+	// loopOf maps each go statement to its innermost enclosing for/range
+	// loop extent, if any.
+	type extent struct{ pos, end int }
+	var loops []extent
+	var gos []struct {
+		stmt *ast.GoStmt
+		loop extent
+	}
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch s := m.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				if m != n {
+					loops = append(loops, extent{int(m.Pos()), int(m.End())})
+					walk(m)
+					loops = loops[:len(loops)-1]
+					return false
+				}
+			case *ast.GoStmt:
+				g := struct {
+					stmt *ast.GoStmt
+					loop extent
+				}{stmt: s}
+				if len(loops) > 0 {
+					g.loop = loops[len(loops)-1]
+				}
+				gos = append(gos, g)
+			}
+			return true
+		})
+	}
+	walk(fn.Body)
+
+	for _, g := range gos {
+		call := g.stmt.Call
+		if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+			checkCapture(pass, tr, pooled, lit)
+		}
+		// Arguments (and a method receiver) are evaluated in the spawning
+		// goroutine; inside a loop, a loop-invariant workspace argument is
+		// the same object handed to every worker.
+		if g.loop.pos == 0 {
+			continue
+		}
+		args := call.Args
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			args = append([]ast.Expr{sel.X}, args...)
+		}
+		for _, arg := range args {
+			if !hazardType(tr, pooled, tr.typeOf(arg)) {
+				continue
+			}
+			root := selectorRoot(arg)
+			if root == nil {
+				continue // indexed per-worker slot
+			}
+			obj := tr.objOf(root)
+			if obj == nil {
+				continue
+			}
+			if int(obj.Pos()) >= g.loop.pos && int(obj.Pos()) < g.loop.end {
+				continue // per-iteration value (loop variable or loop-local)
+			}
+			pass.Report(arg.Pos(),
+				"go statement in a loop passes the same %s to every goroutine; give each worker its own (per-worker slice or per-iteration value)",
+				types.TypeString(tr.typeOf(arg), nil))
+		}
+	}
+}
+
+// checkCapture flags workspace/pooled values reached from inside a
+// goroutine closure through captured variables.
+func checkCapture(pass *Pass, tr *originTracker, pooled map[string]bool, lit *ast.FuncLit) {
+	captured := func(id *ast.Ident) bool {
+		obj := tr.objOf(id)
+		if obj == nil {
+			return false
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return false
+		}
+		return obj.Pos() < lit.Pos() || obj.Pos() >= lit.End()
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+		default:
+			return true
+		}
+		if !hazardType(tr, pooled, tr.typeOf(e)) {
+			return true
+		}
+		root := selectorRoot(e)
+		if root == nil || !captured(root) {
+			return true
+		}
+		if sel, ok := e.(*ast.SelectorExpr); ok {
+			// A method value on a captured root is only hazardous if some
+			// prefix is itself a workspace; the prefix walk below handles
+			// that case when inspecting the prefix expression.
+			if tr.pass.TypesInfo.Selections[sel] != nil && !hazardType(tr, pooled, tr.typeOf(sel.X)) {
+				if _, isSig := tr.typeOf(e).Underlying().(*types.Signature); isSig {
+					return true
+				}
+			}
+		}
+		pass.Report(e.Pos(),
+			"goroutine closure captures %s (type %s), which is not goroutine-safe; pass it as a parameter or use a per-worker slot",
+			exprString(e), types.TypeString(tr.typeOf(e), nil))
+		return false
+	})
+}

@@ -1,0 +1,364 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NewNoalloc builds the noalloc analyzer: a function whose doc comment
+// carries the //ordlint:noalloc directive must contain no allocation
+// sites. Flagged sites: make/new, slice and map composite literals,
+// address-of composite literals, append into a function-local (fresh)
+// slice, closures, map writes, string concatenation and string<->byte
+// conversions, and implicit interface conversions. Sites under a
+// cap/len growth guard (`if cap(s) < n { s = make(...) }`) are the
+// sanctioned warm-up path and stay quiet — they are exactly what the
+// dynamic testing.AllocsPerRun gates measure as zero after warm-up.
+func NewNoalloc(wsPkg func(pkgPath string) bool) *Analyzer {
+	a := &Analyzer{
+		Name: "noalloc",
+		Doc:  "functions annotated //ordlint:noalloc must be free of allocation sites (growth-guarded warm-up is exempt)",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !hasNoallocDirective(fn) {
+					continue
+				}
+				checkNoalloc(pass, wsPkg, fn)
+			}
+		}
+	}
+	return a
+}
+
+// hasNoallocDirective reports whether the function's doc comment group
+// contains an //ordlint:noalloc directive line. (CommentGroup.Text strips
+// directives, so scan the raw list.)
+func hasNoallocDirective(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == "ordlint:noalloc" || strings.HasPrefix(text, "ordlint:noalloc ") {
+			return true
+		}
+	}
+	return false
+}
+
+// guardSpans collects the extents of if-statements whose condition
+// consults cap or len — the growth-guard idiom. Any allocation inside one
+// is the cold warm-up path.
+func guardSpans(fn *ast.FuncDecl) [][2]token.Pos {
+	var spans [][2]token.Pos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || ifs.Cond == nil {
+			return true
+		}
+		guarded := false
+		ast.Inspect(ifs.Cond, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && (id.Name == "cap" || id.Name == "len") {
+					guarded = true
+				}
+			}
+			return true
+		})
+		if guarded {
+			spans = append(spans, [2]token.Pos{ifs.Body.Pos(), ifs.Body.End()})
+		}
+		return true
+	})
+	return spans
+}
+
+func checkNoalloc(pass *Pass, wsPkg func(string) bool, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	tr := newOriginTracker(pass, pass.Facts, wsPkg, fn.Body)
+	spans := guardSpans(fn)
+	guarded := func(pos token.Pos) bool {
+		for _, s := range spans {
+			if pos >= s[0] && pos < s[1] {
+				return true
+			}
+		}
+		return false
+	}
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		pass.Report(pos, "noalloc function %s: "+format, append([]interface{}{fn.Name.Name}, args...)...)
+	}
+
+	// results of the enclosing function, for return-site interface
+	// conversions.
+	var results []types.Type
+	if sig, ok := info.Defs[fn.Name].Type().(*types.Signature); ok {
+		for i := 0; i < sig.Results().Len(); i++ {
+			results = append(results, sig.Results().At(i).Type())
+		}
+	}
+
+	ifaceConv := func(target types.Type, e ast.Expr) bool {
+		if target == nil {
+			return false
+		}
+		if _, ok := target.Underlying().(*types.Interface); !ok {
+			return false
+		}
+		tv, ok := info.Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		if tv.IsNil() {
+			return false
+		}
+		if _, ok := tv.Type.Underlying().(*types.Interface); ok {
+			return false // interface to interface: no box
+		}
+		if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			return false
+		}
+		return true
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			report(x.Pos(), "closure literal allocates")
+			return false
+		case *ast.CompositeLit:
+			t := info.Types[x].Type
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					if !guarded(x.Pos()) {
+						report(x.Pos(), "slice literal allocates its backing array")
+					}
+				case *types.Map:
+					if !guarded(x.Pos()) {
+						report(x.Pos(), "map literal allocates")
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok && !guarded(x.Pos()) {
+					report(x.Pos(), "&composite literal allocates on the heap")
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isStringType(info, x) {
+				report(x.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && isStringType(info, x.Lhs[0]) {
+				report(x.Pos(), "string concatenation allocates")
+			}
+			for _, l := range x.Lhs {
+				if ix, ok := ast.Unparen(l).(*ast.IndexExpr); ok {
+					if t := info.Types[ix.X].Type; t != nil {
+						if _, ok := t.Underlying().(*types.Map); ok {
+							report(l.Pos(), "map write may allocate")
+						}
+					}
+				}
+			}
+			// Interface conversions on assignment.
+			if len(x.Lhs) == len(x.Rhs) {
+				for i := range x.Lhs {
+					if lt := info.Types[x.Lhs[i]].Type; ifaceConv(lt, x.Rhs[i]) {
+						report(x.Rhs[i].Pos(), "assignment boxes %s into an interface", types.TypeString(info.Types[x.Rhs[i]].Type, nil))
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			if len(x.Results) == len(results) {
+				for i, r := range x.Results {
+					if ifaceConv(results[i], r) {
+						report(r.Pos(), "return boxes %s into an interface", types.TypeString(info.Types[r].Type, nil))
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkNoallocCall(pass, info, tr, x, guarded, ifaceConv, report)
+		}
+		return true
+	})
+}
+
+func isStringType(info *types.Info, e ast.Expr) bool {
+	t := info.Types[e].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func checkNoallocCall(pass *Pass, info *types.Info, tr *originTracker, call *ast.CallExpr,
+	guarded func(token.Pos) bool, ifaceConv func(types.Type, ast.Expr) bool,
+	report func(token.Pos, string, ...interface{})) {
+
+	// Conversions: string <-> []byte/[]rune copy their payload.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst, src := tv.Type, info.Types[call.Args[0]].Type
+		if src != nil && stringBytesConv(dst, src) && !guarded(call.Pos()) {
+			report(call.Pos(), "conversion %s allocates a copy", types.TypeString(dst, nil))
+		}
+		return
+	}
+
+	obj := calleeObject(info, call)
+	if b, ok := obj.(*types.Builtin); ok {
+		switch b.Name() {
+		case "make", "new":
+			if !guarded(call.Pos()) {
+				report(call.Pos(), "%s allocates; hoist it behind a cap/len growth guard or into the workspace", b.Name())
+			}
+		case "append":
+			if len(call.Args) == 0 || guarded(call.Pos()) {
+				return
+			}
+			if freshSliceRoot(tr, call.Args[0]) {
+				report(call.Pos(), "append grows a function-local slice with unknown capacity; route it through a workspace buffer")
+			}
+		}
+		return
+	}
+
+	// Interface conversions at call boundaries (fmt.Errorf-style boxing).
+	sig, _ := info.Types[call.Fun].Type.(*types.Signature)
+	if sig == nil || call.Ellipsis.IsValid() {
+		return
+	}
+	for i, a := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= sig.Params().Len()-1 {
+			if st, ok := sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice); ok {
+				pt = st.Elem()
+			}
+		} else if i < sig.Params().Len() {
+			pt = sig.Params().At(i).Type()
+		}
+		if ifaceConv(pt, a) {
+			report(a.Pos(), "argument boxes %s into an interface parameter", types.TypeString(info.Types[a].Type, nil))
+		}
+	}
+}
+
+// stringBytesConv reports whether the conversion dst(src) copies bytes:
+// string <-> []byte / []rune in either direction.
+func stringBytesConv(dst, src types.Type) bool {
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isBytes := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isStr(dst) && isBytes(src)) || (isBytes(dst) && isStr(src))
+}
+
+// freshSliceRoot reports whether the append destination is rooted in a
+// function-local slice of unknown capacity — as opposed to a workspace
+// field, receiver/parameter buffer, or global, whose capacity is managed
+// by the warm-up contract.
+func freshSliceRoot(tr *originTracker, e ast.Expr) bool {
+	for {
+		e = ast.Unparen(e)
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := tr.objOf(x)
+			if obj == nil {
+				return false
+			}
+			if !tr.localTo(obj) {
+				return false // parameter, receiver, global
+			}
+			// Local: fresh unless it demonstrably views workspace- or
+			// caller-owned memory.
+			if tr.tainted[obj] || tr.wsAlias[obj] {
+				return false
+			}
+			return !stableLocal(tr, obj)
+		case *ast.SelectorExpr, *ast.IndexExpr:
+			return false // field/element of something: capacity is owned elsewhere
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// stableLocal reports whether the local slice variable was (on any
+// assignment) derived from non-fresh memory: a reslice of a parameter,
+// receiver field, global, or a call result. Only demonstrably fresh
+// slices (make, literals, nil declarations, self-appends) count as fresh.
+func stableLocal(tr *originTracker, obj types.Object) bool {
+	stable := false
+	ast.Inspect(tr.body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, l := range as.Lhs {
+			id, ok := ast.Unparen(l).(*ast.Ident)
+			if !ok || tr.objOf(id) != obj {
+				continue
+			}
+			if !freshValue(tr, as.Rhs[i], obj) {
+				stable = true
+			}
+		}
+		return true
+	})
+	return stable
+}
+
+// freshValue classifies an rhs relative to self (the variable being
+// classified): make/new/composite/nil and self-appends are fresh; reslices
+// and selector chains rooted outside the frame, other variables, and call
+// results are not (their capacity is managed elsewhere).
+func freshValue(tr *originTracker, e ast.Expr, self types.Object) bool {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.Ident:
+		// x = append(x, ...): the self-reference keeps the fresh verdict.
+		return x.Name == "nil" || tr.objOf(x) == self
+	case *ast.CallExpr:
+		if b, ok := calleeObject(tr.pass.TypesInfo, x).(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				return true
+			case "append":
+				if len(x.Args) > 0 {
+					return freshValue(tr, x.Args[0], self)
+				}
+			}
+		}
+		return false // unknown call results manage their own capacity
+	case *ast.SliceExpr:
+		return freshValue(tr, x.X, self)
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return false
+	}
+	return false
+}

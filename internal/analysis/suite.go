@@ -21,6 +21,20 @@ type Config struct {
 	// PrintguardPackage selects the library packages where printguard
 	// applies.
 	PrintguardPackage func(pkgPath string) bool
+	// WorkspacePackage gates the workspace naming convention used by the
+	// dataflow checks: types named Workspace/Builder/Searcher/Heap (or
+	// suffixed …Workspace/…WS) declared in a matching package are treated
+	// as single-owner reusable state. Types whose doc comment says
+	// "not goroutine-safe" (and friends) are recognized regardless.
+	WorkspacePackage func(pkgPath string) bool
+	// GoroutineCapPackages are the packages whose goroutines goroutinecap
+	// audits for shared workspaces and pooled nodes.
+	GoroutineCapPackages map[string]bool
+	// PooledTypes lists qualified type names ("pkgpath.Type") of pooled
+	// objects (free-list nodes) goroutinecap treats like workspaces.
+	PooledTypes map[string]bool
+	// PoolPairs lists the Get/Put method pairs poolpair balances.
+	PoolPairs []PoolPair
 }
 
 // DefaultConfig is the configuration `cmd/ordlint` enforces on this module:
@@ -34,7 +48,17 @@ type Config struct {
 //   - senterr applies to calls into any module package that exports Err*
 //     sentinels (the facade's ErrBadSeed/ErrBadParams contract and friends);
 //   - nopanic/printguard cover every internal/* library package, leaving
-//     cmd/ and examples/ free to print and exit.
+//     cmd/ and examples/ free to print and exit;
+//   - wsescape and noalloc recognize workspace types in every module
+//     package (the naming convention plus "not goroutine-safe" doc
+//     phrases), so escaping aliases and annotated kernels are checked
+//     wherever they live;
+//   - goroutinecap audits internal/core and internal/server — the only
+//     packages that spawn goroutines — for workspaces or pooled nodes
+//     (core.regionNode, hull.facet) shared across goroutines;
+//   - poolpair balances the two free lists: the explorer's node pool
+//     (exploreWS.node/recycle) and the hull builder's facet pool
+//     (Builder.allocFacet/freeFacet).
 func DefaultConfig(modulePath string) Config {
 	internal := func(pkgPath string) bool {
 		return strings.HasPrefix(pkgPath, modulePath+"/internal/")
@@ -59,6 +83,21 @@ func DefaultConfig(modulePath string) Config {
 		},
 		NopanicPackage:    internal,
 		PrintguardPackage: internal,
+		WorkspacePackage: func(pkgPath string) bool {
+			return pkgPath == modulePath || strings.HasPrefix(pkgPath, modulePath+"/")
+		},
+		GoroutineCapPackages: map[string]bool{
+			modulePath + "/internal/core":   true,
+			modulePath + "/internal/server": true,
+		},
+		PooledTypes: map[string]bool{
+			modulePath + "/internal/core.regionNode": true,
+			modulePath + "/internal/hull.facet":      true,
+		},
+		PoolPairs: []PoolPair{
+			{Get: modulePath + "/internal/core.exploreWS.node", Put: modulePath + "/internal/core.exploreWS.recycle"},
+			{Get: modulePath + "/internal/hull.Builder.allocFacet", Put: modulePath + "/internal/hull.Builder.freeFacet"},
+		},
 	}
 }
 
@@ -81,5 +120,9 @@ func NewSuite(cfg Config) *Suite {
 		NewSenterr(senterr),
 		NewNopanic(nopanic),
 		NewPrintguard(printguard),
+		NewWsescape(cfg.WorkspacePackage),
+		NewGoroutinecap(cfg.GoroutineCapPackages, cfg.PooledTypes, cfg.WorkspacePackage),
+		NewPoolpair(cfg.PoolPairs),
+		NewNoalloc(cfg.WorkspacePackage),
 	}}
 }

@@ -1,0 +1,100 @@
+// Package noalloc exercises the annotated zero-allocation analyzer: a
+// function marked //ordlint:noalloc must contain no allocation sites
+// outside cap/len growth guards.
+package noalloc
+
+// Workspace is per-worker scratch; the zero value is ready.
+type Workspace struct {
+	buf []int
+	m   map[int]int
+}
+
+type item struct {
+	vals []int
+}
+
+type pair struct{ a, b int }
+
+// Unannotated may allocate freely; the check never looks at it.
+func Unannotated(n int) []int {
+	out := make([]int, n)
+	return out
+}
+
+// Hot is a warmed kernel: fresh allocations are findings, workspace reuse
+// is not.
+//
+//ordlint:noalloc
+func Hot(ws *Workspace, n int) int {
+	fresh := make([]int, n) // want "make allocates"
+	var local []int
+	local = append(local, n)   // want "function-local slice"
+	ws.buf = append(ws.buf, n) // workspace-rooted: allowed
+	total := len(fresh) + len(local)
+	for _, v := range ws.buf {
+		total += v
+	}
+	return total
+}
+
+// Grow is the sanctioned warm-up shape: allocation behind a cap guard.
+//
+//ordlint:noalloc
+func Grow(ws *Workspace, n int) {
+	if cap(ws.buf) < n {
+		ws.buf = make([]int, 0, n)
+	}
+	ws.buf = ws.buf[:0]
+}
+
+// AppendParam appends into a caller-owned buffer whose capacity the caller
+// manages.
+//
+//ordlint:noalloc
+func AppendParam(dst []int, v int) []int {
+	return append(dst, v)
+}
+
+// ValueStruct keeps a composite as a stack value: no allocation.
+//
+//ordlint:noalloc
+func ValueStruct(n int) int {
+	p := pair{a: n, b: n}
+	return p.a + p.b
+}
+
+// Boxes demonstrates the closure and interface-conversion findings.
+//
+//ordlint:noalloc
+func Boxes(v int) any {
+	f := func() int { return v } // want "closure"
+	_ = f
+	return v // want "boxes"
+}
+
+// FreshComposites demonstrates heap composite findings.
+//
+//ordlint:noalloc
+func FreshComposites(n int) int {
+	it := &item{}      // want "composite literal"
+	m := map[int]int{} // want "map literal"
+	return n + len(it.vals) + len(m)
+}
+
+// MapsAndStrings demonstrates map-write and string findings.
+//
+//ordlint:noalloc
+func MapsAndStrings(ws *Workspace, k int, s string) string {
+	ws.m[k] = k    // want "map write"
+	b := []byte(s) // want "allocates a copy"
+	_ = b
+	return s + "!" // want "concatenation"
+}
+
+// Key interns a lookup key; the copy is fundamental to the operation and
+// justified in place.
+//
+//ordlint:noalloc
+func Key(b []byte) string {
+	return string(b) //ordlint:allow noalloc — map keys must be immutable strings; the copy is the point
+}

@@ -1,0 +1,101 @@
+// Package poolpair exercises the pool Get/Put balance analyzer: every
+// object taken from a free list must be put back or handed off on every
+// control-flow path.
+package poolpair
+
+type node struct {
+	id   int
+	next *node
+}
+
+type pool struct {
+	free []*node
+}
+
+func (p *pool) get() *node {
+	if n := len(p.free); n > 0 {
+		nd := p.free[n-1]
+		p.free = p.free[:n-1]
+		return nd
+	}
+	return &node{}
+}
+
+func (p *pool) put(n *node) {
+	p.free = append(p.free, n)
+}
+
+// Leak forgets the node on the early-return path.
+func Leak(p *pool, cond bool) int {
+	n := p.get() // want "lacks a matching Put"
+	if cond {
+		return 0
+	}
+	p.put(n)
+	return 1
+}
+
+// Balanced puts the node back on every path.
+func Balanced(p *pool, cond bool) int {
+	n := p.get()
+	if cond {
+		n.id = 1
+		p.put(n)
+		return 0
+	}
+	p.put(n)
+	return 1
+}
+
+// LoopBalanced recycles once per iteration.
+func LoopBalanced(p *pool, k int) {
+	for i := 0; i < k; i++ {
+		n := p.get()
+		n.id = i
+		p.put(n)
+	}
+}
+
+// DoublePut hands the same node back twice on one path.
+func DoublePut(p *pool, cond bool) {
+	n := p.get()
+	p.put(n)
+	if cond {
+		p.put(n) // want "double Put"
+	}
+}
+
+// UseAfterPut touches a node that is already back in the pool.
+func UseAfterPut(p *pool) int {
+	n := p.get()
+	p.put(n)
+	return n.id // want "used after"
+}
+
+// HandOff transfers ownership into a longer-lived structure; the new owner
+// carries the Put obligation.
+func HandOff(p *pool, head *node) {
+	n := p.get()
+	head.next = n
+}
+
+// Returned moves ownership to the caller.
+func Returned(p *pool) *node {
+	n := p.get()
+	n.id = 7
+	return n
+}
+
+// Discard drops the object on the floor.
+func Discard(p *pool) {
+	p.get() // want "discarded"
+}
+
+// AllowedLeak is deliberate: the caller recycles through another route.
+func AllowedLeak(p *pool, cond bool) {
+	n := p.get() //ordlint:allow poolpair — node parked in the pool's side table; recycled by Close
+	if cond {
+		return
+	}
+	p.put(n)
+}

@@ -1,0 +1,74 @@
+// Package wsescape exercises the workspace-escape analyzer: memory carved
+// out of a reusable Workspace must not outlive the call that borrowed it.
+package wsescape
+
+// Workspace is per-worker scratch; the zero value is ready.
+type Workspace struct {
+	buf []float64
+	ids []int
+}
+
+type sink struct {
+	data []float64
+}
+
+var global []float64
+
+// BadReturn leaks an internal buffer without telling the caller.
+func BadReturn(ws *Workspace) []float64 {
+	return ws.buf // want "aliasing contract"
+}
+
+// GoodReturn returns a view that aliases the workspace buffer; it is valid
+// until the next call on the same Workspace.
+func GoodReturn(ws *Workspace) []float64 {
+	return ws.buf
+}
+
+// CopyReturn builds an independent result the caller may keep forever.
+func CopyReturn(ws *Workspace) []float64 {
+	out := make([]float64, len(ws.buf))
+	copy(out, ws.buf)
+	return out
+}
+
+// BadStore parks workspace memory in an object that outlives the call.
+func BadStore(ws *Workspace, s *sink) {
+	s.data = ws.buf[:2] // want "outlives"
+}
+
+// BadGlobal publishes workspace memory at package level.
+func BadGlobal(ws *Workspace) {
+	global = ws.buf // want "outlives"
+}
+
+// BadSend hands workspace memory to whoever is on the other end.
+func BadSend(ws *Workspace, ch chan []float64) {
+	ch <- ws.buf // want "channel"
+}
+
+// BadDerived shows taint flowing through locals and reslices.
+func BadDerived(ws *Workspace, s *sink) {
+	view := ws.buf[1:]
+	tail := view[:1]
+	s.data = tail // want "outlives"
+}
+
+// GoodWriteBack stores into the workspace itself: that is the whole point.
+func GoodWriteBack(ws *Workspace) {
+	ws.buf = append(ws.buf[:0], 1, 2)
+	ws.ids = ws.ids[:0]
+}
+
+// GoodLocal uses a function-local workspace whose memory dies with the
+// frame, so handing it out is an ordinary move.
+func GoodLocal() []float64 {
+	var ws Workspace
+	ws.buf = append(ws.buf, 1)
+	return ws.buf
+}
+
+// AllowedStore is deliberate and justified in place.
+func AllowedStore(ws *Workspace, s *sink) {
+	s.data = ws.buf //ordlint:allow wsescape — snapshot is consumed before the next call on ws
+}

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// wsEscapeDocRE recognizes an aliasing contract in a doc comment: any
+// function that intentionally returns workspace-backed memory must say so
+// ("aliases the workspace", "valid until the next call", "scratch",
+// "reused", "owned by", "from the free list", "must be copied", ...).
+var wsEscapeDocRE = regexp.MustCompile(`(?i)alias|until|scratch|reus|shar|own|pool|free.list|cop(y|ie)|retain|borrow`)
+
+// NewWsescape builds the wsescape analyzer: workspace-backed slices and
+// pointers must not leave the activation that borrowed them — not returned
+// without a documented aliasing contract, not stored into an object that
+// outlives the call, and never sent on a channel. wsPkg gates the
+// workspace naming convention (types named Workspace/Builder/…); doc-fact
+// types ("not goroutine-safe") are always recognized.
+func NewWsescape(wsPkg func(pkgPath string) bool) *Analyzer {
+	a := &Analyzer{
+		Name: "wsescape",
+		Doc:  "workspace-backed memory must not escape: no undocumented returns, no stores into outliving objects, no channel sends",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				checkWsescape(pass, wsPkg, fn)
+			}
+		}
+	}
+	return a
+}
+
+func checkWsescape(pass *Pass, wsPkg func(string) bool, fn *ast.FuncDecl) {
+	tr := newOriginTracker(pass, pass.Facts, wsPkg, fn.Body)
+	docOK := fn.Doc != nil && wsEscapeDocRE.MatchString(fn.Doc.Text())
+
+	// Function literals return to their own caller, not ours; remember
+	// their extents so top-level returns can be told apart.
+	var lits []*ast.FuncLit
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+		}
+		return true
+	})
+	inLit := func(n ast.Node) bool {
+		for _, lit := range lits {
+			if n.Pos() >= lit.Body.Pos() && n.Pos() < lit.Body.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			if inLit(s) {
+				return true
+			}
+			for _, res := range s.Results {
+				t := tr.typeOf(res)
+				if t == nil || !pointerish(t) {
+					continue
+				}
+				if tr.taintedExpr(res) && !docOK {
+					pass.Report(res.Pos(),
+						"%s returns workspace-backed memory but its doc comment states no aliasing contract (say what the result aliases and how long it stays valid)",
+						fn.Name.Name)
+				}
+			}
+		case *ast.SendStmt:
+			if t := tr.typeOf(s.Value); t != nil && pointerish(t) && tr.taintedExpr(s.Value) {
+				pass.Report(s.Value.Pos(),
+					"workspace-backed memory sent on a channel escapes its owning goroutine")
+			}
+		case *ast.AssignStmt:
+			checkWsStores(pass, tr, s)
+		}
+		return true
+	})
+}
+
+// checkWsStores flags assignments that smuggle workspace-backed memory into
+// an object that outlives the call: a field of a parameter, receiver, or
+// global that is not itself part of a workspace. Stores into locals (we
+// keep tracking them) and back into workspaces (the reuse idiom) are fine.
+func checkWsStores(pass *Pass, tr *originTracker, s *ast.AssignStmt) {
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, l := range s.Lhs {
+		r := s.Rhs[i]
+		t := tr.typeOf(r)
+		if t == nil || !pointerish(t) || !tr.taintedExpr(r) {
+			continue
+		}
+		if target, outlives := storeTarget(tr, l); outlives {
+			pass.Report(l.Pos(),
+				"stores workspace-backed memory into %s, which outlives the call; copy the data or route it through the workspace", target)
+		}
+	}
+}
+
+// storeTarget classifies the lhs of an assignment. It returns outlives=true
+// when the written location belongs to a non-workspace object that survives
+// the call (parameter/receiver/global memory), which makes a workspace
+// aliasing store a hazard.
+func storeTarget(tr *originTracker, l ast.Expr) (name string, outlives bool) {
+	e := ast.Unparen(l)
+	// Plain `x = ...` rebinding of a local (or a parameter copy) is
+	// tracking, not escaping — but writing a package-level variable
+	// publishes the memory.
+	if id, ok := e.(*ast.Ident); ok {
+		obj := tr.objOf(id)
+		if v, isVar := obj.(*types.Var); isVar && v.Parent() == tr.pass.Pkg.Scope() {
+			return id.Name, true
+		}
+		return "", false
+	}
+	hasWS := false
+	for {
+		e = ast.Unparen(e)
+		if tr.isWS(tr.typeOf(e)) {
+			hasWS = true
+		}
+		switch x := e.(type) {
+		case *ast.Ident:
+			if hasWS {
+				return "", false // ws.buf = ... is the reuse idiom
+			}
+			obj := tr.objOf(x)
+			if obj == nil {
+				return "", false
+			}
+			if tr.tainted[obj] || tr.wsAlias[obj] {
+				return "", false // the target is itself workspace memory
+			}
+			if tr.localTo(obj) {
+				return "", false
+			}
+			return x.Name, true
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return "", false
+		}
+	}
+}

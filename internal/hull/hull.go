@@ -229,6 +229,8 @@ func (b *Builder) bootstrap(first []float64) {
 
 // allocFacet returns a facet from the free list (buffers retained, fields
 // reset) or a fresh one.
+//
+//ordlint:noalloc
 func (b *Builder) allocFacet() *facet {
 	if n := len(b.freeFacets); n > 0 {
 		f := b.freeFacets[n-1]
@@ -237,11 +239,13 @@ func (b *Builder) allocFacet() *facet {
 		f.visitTag = 0
 		return f
 	}
-	return &facet{}
+	return &facet{} //ordlint:allow noalloc — free-list miss: the pool grows by one here, by design
 }
 
 // freeFacet recycles a facet. The caller must guarantee nothing still
 // points to it (see the compaction pass in insert).
+//
+//ordlint:noalloc
 func (b *Builder) freeFacet(f *facet) {
 	for i := range f.neighbors {
 		f.neighbors[i] = nil
@@ -253,6 +257,8 @@ func (b *Builder) freeFacet(f *facet) {
 // newFacet builds a facet through the given vertex indices, oriented away
 // from the interior point. The facet struct and its buffers come from the
 // builder's free list when available.
+//
+//ordlint:noalloc
 func (b *Builder) newFacet(verts []int) (*facet, error) {
 	d := b.dim
 	f := b.allocFacet()
@@ -449,6 +455,8 @@ func (b *Builder) insert(pi int) {
 // keyOf builds the map key for the sub-ridge of verts that skips index
 // skip, reusing the builder's byte buffer (the map key string itself is
 // necessarily allocated on first insertion).
+//
+//ordlint:noalloc
 func (b *Builder) keyOf(verts []int, skip int) string {
 	buf := b.keyBuf[:0]
 	for k, v := range verts {
@@ -458,7 +466,7 @@ func (b *Builder) keyOf(verts []int, skip int) string {
 		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 	}
 	b.keyBuf = buf
-	return string(buf)
+	return string(buf) //ordlint:allow noalloc — map-key strings must be immutable; the copy is the point
 }
 
 // matchesExcept reports whether verts with index skip removed equals want
@@ -598,6 +606,8 @@ func (b *Builder) Upper() *Upper {
 // high as all points in adj (and hence as the whole hull). The constraint
 // system is assembled from the cached per-dimension simplex rows plus the
 // builder's flat difference buffer.
+//
+//ordlint:noalloc
 func (b *Builder) canTop(p geom.Vector, adj map[int]bool, ptOf map[int]geom.Vector) bool {
 	d := b.dim
 	if len(adj) == 0 {

@@ -27,6 +27,8 @@ type Workspace struct {
 }
 
 // matrix returns an r x c scratch matrix backed by the workspace.
+//
+//ordlint:noalloc
 func (ws *Workspace) matrix(r, c int) [][]float64 {
 	ws.flat = growFloats(ws.flat, r*c)
 	if cap(ws.rows) < r {
@@ -40,6 +42,8 @@ func (ws *Workspace) matrix(r, c int) [][]float64 {
 }
 
 // growFloats returns a slice of length n reusing s's storage when possible.
+//
+//ordlint:noalloc
 func growFloats(s []float64, n int) []float64 {
 	if cap(s) < n {
 		return make([]float64, n)
@@ -61,6 +65,8 @@ func Solve(A [][]float64, b []float64) ([]float64, error) {
 // Solve is the workspace form of the package-level Solve: it writes the
 // solution into x (which must have length n) and reuses the receiver's
 // scratch, performing no allocations once the workspace is warm.
+//
+//ordlint:noalloc
 func (ws *Workspace) Solve(A [][]float64, b []float64, x []float64) error {
 	n := len(A)
 	// Work on copies in the workspace's augmented-matrix scratch.
@@ -120,6 +126,8 @@ func HyperplaneThrough(pts [][]float64) (normal []float64, offset float64, err e
 // HyperplaneThrough is the workspace form of the package-level
 // HyperplaneThrough: it writes the (unnormalised) normal into normal, which
 // must have length d, and reuses the receiver's scratch.
+//
+//ordlint:noalloc
 func (ws *Workspace) HyperplaneThrough(pts [][]float64, normal []float64) (offset float64, err error) {
 	d := len(pts[0])
 	if len(pts) != d {
@@ -164,6 +172,8 @@ func NullVector(rows [][]float64, d int) ([]float64, error) {
 // nullVectorDestructive computes a null vector of the (d-1) x d matrix m,
 // writing it into out (length d). m is destroyed. The pivot bookkeeping
 // lives in the workspace so warmed-up calls allocate nothing.
+//
+//ordlint:noalloc
 func (ws *Workspace) nullVectorDestructive(m [][]float64, d int, out []float64) error {
 	k := len(m)
 	if k != d-1 {

@@ -107,6 +107,8 @@ func Feasible(pr *Problem) bool {
 // Solve is the workspace form of the package-level Solve. The returned x
 // aliases the workspace's solution buffer: it is valid until the next Solve
 // on the same workspace and must be copied if retained.
+//
+//ordlint:noalloc
 func (ws *Workspace) Solve(pr *Problem) (x []float64, dist float64, err error) {
 	d := len(pr.P)
 	ws.pr, ws.d, ws.ne, ws.ni = pr, d, len(pr.EqA), len(pr.InA)
@@ -162,12 +164,16 @@ func (ws *Workspace) Solve(pr *Problem) (x []float64, dist float64, err error) {
 }
 
 // Feasible is the workspace form of the package-level Feasible.
+//
+//ordlint:noalloc
 func (ws *Workspace) Feasible(pr *Problem) bool {
 	_, _, err := ws.Solve(pr)
 	return err == nil
 }
 
 // grow returns a slice of length n reusing s's storage when possible.
+//
+//ordlint:noalloc
 func grow(s []float64, n int) []float64 {
 	if cap(s) < n {
 		return make([]float64, n)
@@ -175,7 +181,12 @@ func grow(s []float64, n int) []float64 {
 	return s[:n]
 }
 
-// Constraints are indexed equalities first, then inequalities.
+// normal returns the normal vector of constraint i; constraints are
+// indexed equalities first, then inequalities. The returned slice aliases
+// the Problem matrices installed by Solve: it is read-only and valid until
+// the next Solve call on the same Workspace.
+//
+//ordlint:noalloc
 func (ws *Workspace) normal(i int) []float64 {
 	if i < ws.ne {
 		return ws.pr.EqA[i]
@@ -183,6 +194,8 @@ func (ws *Workspace) normal(i int) []float64 {
 	return ws.pr.InA[i-ws.ne]
 }
 
+//
+//ordlint:noalloc
 func (ws *Workspace) rhs(i int) float64 {
 	if i < ws.ne {
 		return ws.pr.EqB[i]
@@ -193,6 +206,8 @@ func (ws *Workspace) rhs(i int) float64 {
 // slack evaluates the working constraint sign*n.x >= sign*b at the current
 // x. sign is -1 when an equality is being approached from above (n.x > b),
 // so that the working constraint is violated in the standard direction.
+//
+//ordlint:noalloc
 func (ws *Workspace) slack(i int, sgn float64) float64 {
 	n := ws.normal(i)
 	s := -ws.rhs(i) * sgn
@@ -205,6 +220,8 @@ func (ws *Workspace) slack(i int, sgn float64) float64 {
 // solveGram computes r = (N^T N)^{-1} N^T nq and z = nq - N r for the
 // current active normals N (columns sgn*normal). r is nil when the active
 // set is empty; both returned slices alias workspace buffers.
+//
+//ordlint:noalloc
 func (ws *Workspace) solveGram(nq []float64) (r []float64, z []float64, ok bool) {
 	d, k := ws.d, len(ws.active)
 	ws.z = grow(ws.z, d)
@@ -261,6 +278,8 @@ func (ws *Workspace) solveGram(nq []float64) (r []float64, z []float64, ok bool)
 
 // addConstraint runs the GI inner loop until constraint q (with working
 // sign sgn) is satisfied or infeasibility is proven.
+//
+//ordlint:noalloc
 func (ws *Workspace) addConstraint(q int, sgn float64) error {
 	d := ws.d
 	ws.nq = grow(ws.nq, d)

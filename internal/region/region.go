@@ -99,6 +99,8 @@ type Workspace struct {
 // workspace's reusable Problem: the cached simplex rows (shared, read-only)
 // followed by the region's halfspace rows (cached by With, or read from Hs
 // for hand-built regions).
+//
+//ordlint:noalloc
 func (r Region) problemWS(target geom.Vector, ws *Workspace) *qp.Problem {
 	d := r.Dim
 	pr := &ws.pr
@@ -131,6 +133,8 @@ func (r Region) MinDist(w geom.Vector) (dist float64, closest geom.Vector, ok bo
 // MinDistWS is MinDist with a caller-supplied workspace. The returned
 // closest point aliases the workspace's solution buffer: it is valid until
 // the workspace's next use and must be copied if retained.
+//
+//ordlint:noalloc
 func (r Region) MinDistWS(w geom.Vector, ws *Workspace) (dist float64, closest geom.Vector, ok bool) {
 	x, d2, err := ws.qp.Solve(r.problemWS(w, ws))
 	if err != nil {
@@ -146,6 +150,8 @@ func (r Region) Empty() bool {
 }
 
 // EmptyWS is Empty with a caller-supplied workspace.
+//
+//ordlint:noalloc
 func (r Region) EmptyWS(ws *Workspace) bool {
 	_, _, ok := r.MinDistWS(geom.SimplexBarycentre(r.Dim), ws)
 	return !ok
@@ -156,6 +162,8 @@ func (r Region) EmptyWS(ws *Workspace) bool {
 // appended to the workspace's assembled constraint system directly. It is
 // the allocation-free form of r.With(hs...).Empty() for probe-and-discard
 // overlap tests.
+//
+//ordlint:noalloc
 func (r Region) ProbeEmpty(hs []Halfspace, ws *Workspace) bool {
 	pr := r.problemWS(geom.SimplexBarycentre(r.Dim), ws)
 	for _, h := range hs {
@@ -176,6 +184,8 @@ func (r Region) FeasiblePoint() (geom.Vector, bool) {
 
 // FeasiblePointWS is FeasiblePoint with a caller-supplied workspace; the
 // returned point aliases the workspace and must be copied if retained.
+//
+//ordlint:noalloc
 func (r Region) FeasiblePointWS(ws *Workspace) (geom.Vector, bool) {
 	_, x, ok := r.MinDistWS(geom.SimplexBarycentre(r.Dim), ws)
 	return x, ok

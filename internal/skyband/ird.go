@@ -184,7 +184,10 @@ func (ird *IRD) Next() (Released, bool) {
 // NextCtx is Next with cooperative cancellation. A single release can
 // internally fetch thousands of k-skyband records (each an O(|T|)
 // inflection computation), so the fetch loop itself polls ctx every few
-// iterations and aborts with an error wrapping ctx.Err().
+// iterations and aborts with an error wrapping ctx.Err(). The returned
+// record's Point aliases the dataset's storage (it is not a copy); it
+// stays valid for the lifetime of the underlying tree and must be copied
+// if retained beyond it.
 func (ird *IRD) NextCtx(ctx context.Context) (Released, bool, error) {
 	for i := 0; ; i++ {
 		if i%64 == 0 {

@@ -47,6 +47,8 @@ func Mindist(w, ri, rj geom.Vector) float64 {
 // fast path is allocation-free by construction, and the QP fallback reuses
 // the workspace's constraint system and solver buffers, so warmed-up calls
 // allocate nothing.
+//
+//ordlint:noalloc
 func MindistWS(w, ri, rj geom.Vector, ws *Workspace) float64 {
 	d := len(w)
 	// Single allocation-free pass: dominance check, hyperplane coefficient
@@ -134,6 +136,8 @@ func InflectionRadius(mindists []float64, k int) float64 {
 // it sorts mindists in place (no copy, no allocation), which is what the
 // hot loops of ORD and IRD want — they rebuild the buffer per candidate
 // anyway.
+//
+//ordlint:noalloc
 func InflectionRadiusInPlace(mindists []float64, k int) float64 {
 	if len(mindists) < k {
 		return 0
@@ -161,6 +165,8 @@ func RhoDominates(w, rj, ri geom.Vector, rho float64) bool {
 }
 
 // RhoDominatesWS is RhoDominates with a caller-supplied workspace.
+//
+//ordlint:noalloc
 func RhoDominatesWS(w, rj, ri geom.Vector, rho float64, ws *Workspace) bool {
 	sj, si := rj.Dot(w), ri.Dot(w)
 	if sj < si {

@@ -90,7 +90,9 @@ func (s *Scanner) pushRecord(id int, p geom.Vector) {
 
 // Next returns the next surviving record in decreasing score order. The
 // pruner may be nil, in which case every record is emitted (that is BBR's
-// ranked retrieval). ok is false when the scan is exhausted.
+// ranked retrieval). ok is false when the scan is exhausted. The returned
+// point aliases the tree's storage (no copy is made); it stays valid for
+// the lifetime of the tree and must be copied if retained beyond it.
 func (s *Scanner) Next(pruner Pruner) (id int, p geom.Vector, ok bool) {
 	for s.h.Len() > 0 {
 		e := s.h.Pop()

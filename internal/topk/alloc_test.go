@@ -1,0 +1,43 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+
+	"ordu/internal/geom"
+	"ordu/internal/raceflag"
+	"ordu/internal/rtree"
+)
+
+// TestSearcherTopKNoAllocs pins the searcher-reuse contract: once a
+// Searcher has served a query, further TopK calls perform zero heap
+// allocations (the heap, result buffer, and root-corner scratch are all
+// warm).
+func TestSearcherTopKNoAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	rng := rand.New(rand.NewSource(7))
+	pts := make([]geom.Vector, 400)
+	for i := range pts {
+		p := make(geom.Vector, 4)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	tr := rtree.BulkLoad(pts)
+	w := geom.RandSimplex(rng, 4)
+	var s Searcher
+	if got := s.TopK(tr, w, 10); len(got) != 10 { // warm-up
+		t.Fatalf("warm-up TopK returned %d results", len(got))
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if got := s.TopK(tr, w, 10); len(got) != 10 {
+			t.Fatalf("TopK returned %d results", len(got))
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("warmed Searcher.TopK allocates %.1f times per call, want 0", avg)
+	}
+}

@@ -34,25 +34,38 @@ func (e entry) Less(o entry) bool { return e.score > o.score }
 // traversal state instead of reallocating it. The zero value is ready for
 // use. Not goroutine-safe: one Searcher per worker.
 type Searcher struct {
-	h   xheap.Heap[entry]
-	out []Result
+	h      xheap.Heap[entry]
+	out    []Result
+	rootHi geom.Vector // scratch for the root's upper corner
 }
 
 // TopK returns the k records with the highest score for w, in decreasing
 // score order. Fewer records are returned when the dataset is smaller than
 // k. The returned slice aliases the searcher's buffer: it is valid until
 // the next TopK call and must be copied if retained.
+//
+//ordlint:noalloc
 func (s *Searcher) TopK(tree *rtree.Tree, w geom.Vector, k int) []Result {
 	root := tree.Root()
 	if root == nil || k <= 0 {
 		return nil
 	}
 	s.h.Reset()
-	r := root.Entries[0].Rect.Clone()
-	for _, e := range root.Entries[1:] {
-		r.Extend(e.Rect)
+	// Upper corner of the root region, built in the searcher's scratch
+	// (Rect.Clone here would put two slices on the heap per query).
+	d := len(root.Entries[0].Rect.Hi)
+	if cap(s.rootHi) < d {
+		s.rootHi = make(geom.Vector, d)
 	}
-	top := r.TopCorner()
+	top := s.rootHi[:d]
+	copy(top, root.Entries[0].Rect.Hi)
+	for _, e := range root.Entries[1:] {
+		for j, v := range e.Rect.Hi {
+			if v > top[j] {
+				top[j] = v
+			}
+		}
+	}
 	s.h.Push(entry{score: w.Dot(top), node: root, pt: top})
 	out := s.out[:0]
 	for s.h.Len() > 0 && len(out) < k {

@@ -27,6 +27,8 @@ type Heap[T Lesser[T]] struct {
 func (h *Heap[T]) Len() int { return len(h.s) }
 
 // Push adds v to the heap.
+//
+//ordlint:noalloc
 func (h *Heap[T]) Push(v T) {
 	h.s = append(h.s, v)
 	h.up(len(h.s) - 1)
@@ -34,6 +36,8 @@ func (h *Heap[T]) Push(v T) {
 
 // Pop removes and returns the minimum element. It panics on an empty heap,
 // like container/heap.
+//
+//ordlint:noalloc
 func (h *Heap[T]) Pop() T {
 	n := len(h.s) - 1
 	h.s[0], h.s[n] = h.s[n], h.s[0]
@@ -50,10 +54,14 @@ func (h *Heap[T]) Pop() T {
 // Peek returns a pointer to the minimum element without removing it. The
 // pointer is valid only until the next heap operation. It panics on an
 // empty heap.
+//
+//ordlint:noalloc
 func (h *Heap[T]) Peek() *T { return &h.s[0] }
 
 // Fix re-establishes the heap ordering after the element at index i changed
 // its key, like container/heap.Fix.
+//
+//ordlint:noalloc
 func (h *Heap[T]) Fix(i int) {
 	if !h.down(i) {
 		h.up(i)
@@ -61,6 +69,8 @@ func (h *Heap[T]) Fix(i int) {
 }
 
 // Reset empties the heap while keeping its backing storage for reuse.
+//
+//ordlint:noalloc
 func (h *Heap[T]) Reset() {
 	var zero T
 	for i := range h.s {
@@ -70,6 +80,8 @@ func (h *Heap[T]) Reset() {
 }
 
 // Grow ensures capacity for at least n additional elements.
+//
+//ordlint:noalloc
 func (h *Heap[T]) Grow(n int) {
 	if cap(h.s)-len(h.s) < n {
 		grown := make([]T, len(h.s), len(h.s)+n)
@@ -82,8 +94,12 @@ func (h *Heap[T]) Grow(n int) {
 // 0; the rest follow heap, not sorted, order). The slice is owned by the
 // heap: it is valid only until the next heap operation and must not be
 // reordered by the caller.
+//
+//ordlint:noalloc
 func (h *Heap[T]) Items() []T { return h.s }
 
+//
+//ordlint:noalloc
 func (h *Heap[T]) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -97,6 +113,8 @@ func (h *Heap[T]) up(i int) {
 
 // down sifts the element at i towards the leaves; it reports whether the
 // element moved (the contract Fix relies on).
+//
+//ordlint:noalloc
 func (h *Heap[T]) down(i int) bool {
 	start := i
 	n := len(h.s)
