@@ -7,10 +7,10 @@ all: build test
 build:
 	$(GO) build ./...
 
-# Project-specific static analysis, all nine checks: the syntactic suite
-# (floatcmp, ctxpoll, senterr, nopanic, printguard) plus the CFG/dataflow
-# suite (wsescape, goroutinecap, poolpair, noalloc); exits non-zero on any
-# finding.
+# Project-specific static analysis, all thirteen checks: the syntactic suite
+# (floatcmp, ctxpoll, senterr, nopanic, printguard), the CFG/dataflow suite
+# (wsescape, goroutinecap, poolpair, noalloc), and the interprocedural suite
+# (ctxflow, deepnoalloc, lockhold, maporder); exits non-zero on any finding.
 lint:
 	$(GO) run ./cmd/ordlint ./...
 

@@ -50,8 +50,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	dump := fs.Bool("dump", false, "parse one bench output and print a JSON snapshot")
 	timeThresh := fs.Float64("time-threshold", 1.30, "fail when new ns/op exceeds old by this factor")
 	allocThresh := fs.Float64("alloc-threshold", 1.10, "fail when new allocs/op exceeds old by this factor")
+	allocsOnly := fs.Bool("allocs-only", false, "compare allocs/op only, ignoring wall-clock time (for noisy shared CI runners)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: benchdiff [-dump] [-time-threshold F] [-alloc-threshold F] old [new]\n")
+		fmt.Fprintf(stderr, "usage: benchdiff [-dump] [-allocs-only] [-time-threshold F] [-alloc-threshold F] old [new]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -92,6 +93,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
 		return 2
 	}
+	if *allocsOnly {
+		// Disable the time comparison: allocation counts are deterministic
+		// on any runner, wall-clock time is not.
+		*timeThresh = 0
+	}
 	regressions := diff(oldSnap, newSnap, *timeThresh, *allocThresh, stdout)
 	if regressions > 0 {
 		fmt.Fprintf(stdout, "\n%d regression(s) beyond thresholds (time ×%.2f, allocs ×%.2f)\n",
@@ -103,6 +109,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // diff prints a comparison table and returns the number of regressions.
+// A timeThresh of 0 disables the time comparison (the -allocs-only mode).
 func diff(oldSnap, newSnap *Snapshot, timeThresh, allocThresh float64, out io.Writer) int {
 	oldBy := byName(oldSnap)
 	newBy := byName(newSnap)
@@ -120,7 +127,7 @@ func diff(oldSnap, newSnap *Snapshot, timeThresh, allocThresh float64, out io.Wr
 			continue
 		}
 		bad := ""
-		if o.NsPerOp > 0 && n.NsPerOp > o.NsPerOp*timeThresh {
+		if timeThresh > 0 && o.NsPerOp > 0 && n.NsPerOp > o.NsPerOp*timeThresh {
 			bad += " TIME-REGRESSION"
 		}
 		if o.AllocsPerOp > 0 && n.AllocsPerOp > o.AllocsPerOp*allocThresh {

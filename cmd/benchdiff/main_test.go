@@ -110,6 +110,34 @@ func TestZeroAllocStateIsProtected(t *testing.T) {
 	}
 }
 
+func TestAllocsOnlyIgnoresTime(t *testing.T) {
+	// 10x slower but allocation-identical: -allocs-only must pass where the
+	// default mode fails.
+	oldP := writeTemp(t, "old.txt", "BenchmarkX-8 100 50.0 ns/op 16 B/op 2 allocs/op\n")
+	newP := writeTemp(t, "new.txt", "BenchmarkX-8 100 500.0 ns/op 16 B/op 2 allocs/op\n")
+	var out, errOut bytes.Buffer
+	if code := run([]string{oldP, newP}, &out, &errOut); code != 1 {
+		t.Fatalf("time regression not flagged in default mode (exit %d):\n%s", code, out.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-allocs-only", oldP, newP}, &out, &errOut); code != 0 {
+		t.Fatalf("-allocs-only flagged a pure time change (exit %d):\n%s", code, out.String())
+	}
+}
+
+func TestAllocsOnlyStillCatchesAllocs(t *testing.T) {
+	oldP := writeTemp(t, "old.txt", "BenchmarkX-8 100 50.0 ns/op 16 B/op 2 allocs/op\n")
+	newP := writeTemp(t, "new.txt", "BenchmarkX-8 100 50.0 ns/op 64 B/op 8 allocs/op\n")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-allocs-only", oldP, newP}, &out, &errOut); code != 1 {
+		t.Fatalf("-allocs-only missed an alloc regression (exit %d):\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "ALLOC-REGRESSION") {
+		t.Fatalf("missing ALLOC-REGRESSION marker:\n%s", out.String())
+	}
+}
+
 func TestHelpExitsZero(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-help"}, &out, &errOut); code != 0 {

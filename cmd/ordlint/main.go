@@ -11,6 +11,7 @@
 //	go run ./cmd/ordlint ./internal/lp    # one package
 //	go run ./cmd/ordlint -checks floatcmp,ctxpoll ./...
 //	go run ./cmd/ordlint -json ./...      # NDJSON findings, one object per line
+//	go run ./cmd/ordlint -stats ./...     # NDJSON call-graph/summary statistics
 //
 // Findings are suppressed with `//ordlint:allow <check> — reason` comments;
 // see the package documentation of internal/analysis.
@@ -20,30 +21,42 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"ordu/internal/analysis"
 )
 
 func main() {
-	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
-	list := flag.Bool("list", false, "list the available checks and exit")
-	asJSON := flag.Bool("json", false, "emit findings as NDJSON (one object per line) instead of file:line text")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ordlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := fs.Bool("list", false, "list the available checks and exit")
+	asJSON := fs.Bool("json", false, "emit findings as NDJSON (one object per line) instead of file:line text")
+	stats := fs.Bool("stats", false, "emit interprocedural statistics as NDJSON (call-graph size, summary counts, entry-unreachable functions) instead of findings")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	root, modulePath, err := analysis.FindModule(".")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ordlint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "ordlint:", err)
+		return 2
 	}
-	suite := analysis.NewSuite(analysis.DefaultConfig(modulePath))
+	cfg := analysis.DefaultConfig(modulePath)
+	suite := analysis.NewSuite(cfg)
 	if *list {
 		for _, a := range suite.Analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 	if *checks != "" {
 		keep := map[string]bool{}
@@ -58,8 +71,8 @@ func main() {
 			}
 		}
 		for name := range keep {
-			fmt.Fprintf(os.Stderr, "ordlint: unknown check %q (try -list)\n", name)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "ordlint: unknown check %q (try -list)\n", name)
+			return 2
 		}
 		suite.Analyzers = kept
 	}
@@ -67,13 +80,25 @@ func main() {
 	loader := analysis.NewLoader(modulePath, root)
 	pkgs, err := loader.LoadModule()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ordlint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "ordlint:", err)
+		return 2
 	}
-	pkgs = selectPackages(pkgs, root, flag.Args())
+	pkgs = selectPackages(pkgs, root, fs.Args())
+	if len(pkgs) == 0 {
+		fmt.Fprintf(stderr, "ordlint: no packages match %s\n", strings.Join(fs.Args(), " "))
+		return 2
+	}
+
+	if *stats {
+		if err := emitStats(stdout, cfg, pkgs); err != nil {
+			fmt.Fprintln(stderr, "ordlint:", err)
+			return 2
+		}
+		return 0
+	}
 
 	diags := suite.Run(pkgs)
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(stdout)
 	for _, d := range diags {
 		pos := d.Pos
 		if rel, err := filepath.Rel(root, pos.Filename); err == nil {
@@ -87,17 +112,18 @@ func main() {
 				Check:   d.Check,
 				Message: d.Message,
 			}); err != nil {
-				fmt.Fprintln(os.Stderr, "ordlint:", err)
-				os.Exit(2)
+				fmt.Fprintln(stderr, "ordlint:", err)
+				return 2
 			}
 			continue
 		}
-		fmt.Printf("%s: [%s] %s\n", pos, d.Check, d.Message)
+		fmt.Fprintf(stdout, "%s: [%s] %s\n", pos, d.Check, d.Message)
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "ordlint: %d finding(s)\n", len(diags))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "ordlint: %d finding(s)\n", len(diags))
+		return 1
 	}
+	return 0
 }
 
 // jsonFinding is the -json output record: newline-delimited JSON, one object
@@ -108,6 +134,76 @@ type jsonFinding struct {
 	Col     int    `json:"col"`
 	Check   string `json:"check"`
 	Message string `json:"message"`
+}
+
+// emitStats writes the interprocedural layer's statistics as NDJSON: one
+// "graph" record, one "summaries" record with aggregate counts, and one
+// "unreachable" record per function no configured entry point reaches — the
+// input for dead-weight review and for tracking the server cone's growth
+// over time in CI artifacts.
+func emitStats(w io.Writer, cfg analysis.Config, pkgs []*analysis.Package) error {
+	g := analysis.BuildCallGraph(pkgs)
+	sums := analysis.ComputeSummaries(g, pkgs)
+	enc := json.NewEncoder(w)
+
+	extern := 0
+	for _, n := range g.Nodes {
+		extern += len(n.Extern)
+	}
+	if err := enc.Encode(map[string]interface{}{
+		"kind":         "graph",
+		"nodes":        len(g.Nodes),
+		"edges":        g.NumEdges(),
+		"extern_calls": extern,
+	}); err != nil {
+		return err
+	}
+
+	counts := map[string]int{}
+	for _, s := range sums {
+		if s.Allocates {
+			counts["allocates"]++
+		}
+		if s.MayBlock {
+			counts["may_block"]++
+		}
+		if s.PollsCtx {
+			counts["polls_ctx"]++
+		}
+		if s.MayPanic {
+			counts["may_panic"]++
+		}
+	}
+	if err := enc.Encode(map[string]interface{}{
+		"kind":      "summaries",
+		"functions": len(sums),
+		"allocates": counts["allocates"],
+		"may_block": counts["may_block"],
+		"polls_ctx": counts["polls_ctx"],
+		"may_panic": counts["may_panic"],
+	}); err != nil {
+		return err
+	}
+
+	reach := g.ReachableFrom(func(n *analysis.FuncNode) bool {
+		return cfg.CtxFlowEntryPackages[n.Pkg.Path] || cfg.CtxFlowEntryFuncs[n.Name]
+	})
+	var unreachable []string
+	for _, n := range g.Nodes {
+		if _, ok := reach[n]; !ok {
+			unreachable = append(unreachable, n.Name)
+		}
+	}
+	sort.Strings(unreachable)
+	for _, name := range unreachable {
+		if err := enc.Encode(map[string]interface{}{
+			"kind": "unreachable",
+			"func": name,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // selectPackages filters the loaded module packages by the command-line

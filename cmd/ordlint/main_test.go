@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestListChecks pins that -list names every check in suite order.
+func TestListChecks(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errw); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr: %s", code, errw.String())
+	}
+	for _, name := range []string{
+		"floatcmp", "ctxpoll", "senterr", "nopanic", "printguard",
+		"wsescape", "goroutinecap", "poolpair", "noalloc",
+		"ctxflow", "deepnoalloc", "lockhold", "maporder",
+	} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output is missing check %q", name)
+		}
+	}
+}
+
+// TestUnknownCheck pins the exit code and message for a bogus -checks name.
+func TestUnknownCheck(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-checks", "bogus"}, &out, &errw); code != 2 {
+		t.Fatalf("run(-checks bogus) = %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), `unknown check "bogus"`) {
+		t.Errorf("stderr %q should name the unknown check", errw.String())
+	}
+}
+
+// TestNoMatchPattern pins that a pattern selecting nothing is an error, not
+// a silent empty (and falsely clean) run.
+func TestNoMatchPattern(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the full module plus its stdlib closure")
+	}
+	var out, errw bytes.Buffer
+	if code := run([]string{"./no/such/dir"}, &out, &errw); code != 2 {
+		t.Fatalf("run(./no/such/dir) = %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "no packages match ./no/such/dir") {
+		t.Errorf("stderr %q should report the unmatched pattern", errw.String())
+	}
+}
+
+// TestStatsNDJSON pins the -stats output shape: every line is a JSON object
+// with a kind field; exactly one graph and one summaries record appear, with
+// plausible sizes; functions outside the server cone show up as unreachable.
+func TestStatsNDJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the full module plus its stdlib closure")
+	}
+	var out, errw bytes.Buffer
+	if code := run([]string{"-stats", "./internal/linalg"}, &out, &errw); code != 0 {
+		t.Fatalf("run(-stats) = %d, stderr: %s", code, errw.String())
+	}
+	var graphs, summaries, unreachable int
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		var rec map[string]interface{}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %q is not JSON: %v", line, err)
+		}
+		switch rec["kind"] {
+		case "graph":
+			graphs++
+			if n, _ := rec["nodes"].(float64); n < 1 {
+				t.Errorf("graph record reports %v nodes", rec["nodes"])
+			}
+		case "summaries":
+			summaries++
+			if n, _ := rec["functions"].(float64); n < 1 {
+				t.Errorf("summaries record reports %v functions", rec["functions"])
+			}
+		case "unreachable":
+			unreachable++
+			if name, _ := rec["func"].(string); !strings.Contains(name, "linalg.") {
+				t.Errorf("unreachable record names %q, expected a linalg function", name)
+			}
+		default:
+			t.Errorf("unexpected record kind %v", rec["kind"])
+		}
+	}
+	if graphs != 1 || summaries != 1 {
+		t.Errorf("got %d graph and %d summaries records, want 1 and 1", graphs, summaries)
+	}
+	if unreachable == 0 {
+		t.Error("no unreachable records: linalg is outside the server entry cone")
+	}
+}

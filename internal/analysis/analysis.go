@@ -80,6 +80,8 @@ type Suite struct {
 func (s *Suite) Run(pkgs []*Package) []Diagnostic {
 	var diags []Diagnostic
 	facts := computeFacts(pkgs)
+	facts.Graph = BuildCallGraph(pkgs)
+	facts.Summaries = ComputeSummaries(facts.Graph, pkgs)
 	for _, pkg := range pkgs {
 		allow := collectAllows(pkg)
 		fset := pkg.Fset

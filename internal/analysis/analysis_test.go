@@ -14,6 +14,7 @@ import (
 var fixtureNames = []string{
 	"floatcmp", "ctxpoll", "senterr", "nopanic", "printguard",
 	"wsescape", "goroutinecap", "poolpair", "noalloc",
+	"ctxflow", "deepnoalloc", "lockhold", "maporder",
 }
 
 // fixtureConfig scopes the suite to the fixture package so path-based checks
@@ -46,6 +47,30 @@ func fixtureConfig(name string) Config {
 		return Config{PoolPairs: []PoolPair{{Get: "poolpair.pool.get", Put: "poolpair.pool.put"}}}
 	case "noalloc":
 		return Config{} // annotation-driven; the convention fallback covers the fixture's Workspace
+	case "ctxflow":
+		// ctxpoll is deliberately enabled alongside: the fixture pins that
+		// the scan-forwarding loop satisfies ctxpoll yet fails ctxflow.
+		return Config{
+			CtxPollPackages:  map[string]bool{"ctxflow": true},
+			CtxPollScanCalls: map[string]bool{"Next": true},
+			CtxFlowEntryFuncs: map[string]bool{
+				"ctxflow.Handler":             true,
+				"ctxflow.HandlerForwards":     true,
+				"ctxflow.HandlerPolls":        true,
+				"ctxflow.HandlerDelegates":    true,
+				"ctxflow.HandlerScanForwards": true,
+				"ctxflow.HandlerAllowed":      true,
+			},
+		}
+	case "deepnoalloc":
+		return Config{
+			NoallocExternals: map[string]bool{"math": true},
+			NoallocAmortized: map[string]bool{"deepnoalloc.cacheFill": true},
+		}
+	case "lockhold":
+		return Config{LockHoldPackages: map[string]bool{"lockhold": true}}
+	case "maporder":
+		return Config{MapOrderPackages: map[string]bool{"maporder": true}}
 	}
 	return Config{}
 }

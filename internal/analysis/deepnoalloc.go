@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/token"
+)
+
+// NewDeepnoalloc builds the deepnoalloc analyzer, which makes the
+// //ordlint:noalloc contract transitive: an annotated kernel may not *call*
+// its way to an allocation. The intraprocedural noalloc check polices the
+// kernel's own body; deepnoalloc walks the call graph from each kernel and
+// flags
+//
+//   - module callees whose summary records direct allocation sites, and
+//   - calls that leave the module into a package not on the allocation-free
+//     allowlist (math, sort, ...),
+//
+// reporting at the kernel's own call site with the full chain, so the
+// contract (and any //ordlint:allow escape) lives next to the annotation.
+//
+// Exemptions mirror the intraprocedural check: call sites inside a cap/len
+// growth guard are the sanctioned warm-up path at every hop, and functions
+// named in amortized are skipped entirely — they are documented one-time
+// cache fills (geom's per-dimension simplex constants) whose steady state
+// the dynamic AllocsPerRun gates prove allocation-free.
+func NewDeepnoalloc(externAllowed, amortized map[string]bool) *Analyzer {
+	a := &Analyzer{
+		Name: "deepnoalloc",
+		Doc:  "//ordlint:noalloc kernels must not reach an allocating callee through any call chain",
+	}
+	a.Run = func(pass *Pass) {
+		g, sums := pass.Facts.Graph, pass.Facts.Summaries
+		if g == nil || sums == nil {
+			return
+		}
+		guards := make(map[*FuncNode][][2]token.Pos)
+		guardsOf := func(n *FuncNode) [][2]token.Pos {
+			if sp, ok := guards[n]; ok {
+				return sp
+			}
+			sp := guardSpansIn(n.Body())
+			guards[n] = sp
+			return sp
+		}
+		for _, n := range g.Nodes {
+			if n.Pkg.Path != pass.PkgPath || n.Decl == nil || !hasNoallocDirective(n.Decl) {
+				continue
+			}
+			checkDeepnoalloc(pass, n, sums, guardsOf, externAllowed, amortized)
+		}
+	}
+	return a
+}
+
+// checkDeepnoalloc BFS-walks the call graph from the kernel root. Every
+// finding is reported at the root's own (unguarded) call site that starts
+// the offending chain.
+func checkDeepnoalloc(pass *Pass, root *FuncNode, sums map[*FuncNode]*Summary,
+	guardsOf func(*FuncNode) [][2]token.Pos, externAllowed, amortized map[string]bool) {
+
+	guarded := func(n *FuncNode, pos token.Pos) bool {
+		for _, sp := range guardsOf(n) {
+			if pos >= sp[0] && pos < sp[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	type step struct {
+		node  *FuncNode
+		chain string // rendered root → ... → node
+		// rootPos is the call site inside the kernel that started this
+		// chain — where the finding (and any allow comment) belongs.
+		rootPos token.Pos
+	}
+	rootName := shortName(root.Name)
+	visited := map[*FuncNode]bool{root: true}
+	var queue []step
+
+	expand := func(s step) {
+		n := s.node
+		for _, e := range n.Out {
+			if e.Kind == EdgeRef || guarded(n, e.Pos) {
+				continue
+			}
+			c := e.Callee
+			if visited[c] || amortized[c.Name] {
+				continue
+			}
+			visited[c] = true
+			rootPos := s.rootPos
+			if n == root {
+				rootPos = e.Pos
+			}
+			queue = append(queue, step{node: c, chain: s.chain + " → " + shortName(c.Name), rootPos: rootPos})
+		}
+		for _, ec := range n.Extern {
+			if ec.Kind == EdgeRef || guarded(n, ec.Pos) || externAllowed[ec.Pkg] {
+				continue
+			}
+			rootPos := s.rootPos
+			if n == root {
+				rootPos = ec.Pos
+			}
+			pass.Report(rootPos, "noalloc function %s: call chain %s leaves the module into %s.%s, which is not on the allocation-free allowlist",
+				rootName, s.chain, ec.Pkg, ec.Name)
+		}
+	}
+
+	// The root's own direct sites and extern calls are the intraprocedural
+	// noalloc check's job; start from its outgoing module edges only.
+	for _, e := range root.Out {
+		if e.Kind == EdgeRef || guarded(root, e.Pos) {
+			continue
+		}
+		c := e.Callee
+		if visited[c] || amortized[c.Name] {
+			continue
+		}
+		visited[c] = true
+		queue = append(queue, step{node: c, chain: rootName + " → " + shortName(c.Name), rootPos: e.Pos})
+	}
+
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		if sum := sums[s.node]; sum != nil && len(sum.AllocSites) > 0 {
+			site := sum.AllocSites[0]
+			p := pass.Fset.Position(site.Pos)
+			pass.Report(s.rootPos, "noalloc function %s: call chain %s reaches an allocation (%s at %s:%d)",
+				rootName, s.chain, site.What, shortPath(p.Filename), p.Line)
+			// Do not expand past a reported callee: one finding per chain
+			// is actionable; deeper allocations fall out once it is fixed.
+			continue
+		}
+		expand(s)
+	}
+}
+
+// shortPath trims a path to its last two elements for compact diagnostics.
+func shortPath(path string) string {
+	slashes := 0
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' || path[i] == '\\' {
+			slashes++
+			if slashes == 2 {
+				return path[i+1:]
+			}
+		}
+	}
+	return path
+}

@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"ordu/internal/analysis/cfg"
+)
+
+// NewLockhold builds the lockhold analyzer: inside the scoped packages
+// (the query server's dataset registry, cache and metrics), a mutex may
+// not be held across an operation that can block — a channel op, a select
+// without default, or a call whose interprocedural summary says it may
+// block (network/file I/O, sync waits, sleeps). Holding a lock across
+// such an operation turns one slow client into a server-wide stall; the
+// registry's pattern is snapshot-under-lock, release, then do the slow
+// work.
+//
+// The held-set analysis is a may-analysis over the function's CFG: Lock
+// and RLock add the receiver chain's class ("s.mu"), Unlock and RUnlock
+// remove it, block entries join by union, and a deferred Unlock does NOT
+// remove (defers run at function exit — exactly the pattern where the lock
+// IS held for the rest of the body). Re-acquiring a class already held is
+// reported as a self-deadlock.
+func NewLockhold(packages map[string]bool) *Analyzer {
+	a := &Analyzer{
+		Name: "lockhold",
+		Doc:  "a mutex may not be held across channel ops or calls that may block (per interprocedural summary)",
+	}
+	a.Run = func(pass *Pass) {
+		if !packages[pass.PkgPath] {
+			return
+		}
+		g, sums := pass.Facts.Graph, pass.Facts.Summaries
+		if g == nil || sums == nil {
+			return
+		}
+		for _, n := range g.Nodes {
+			if n.Pkg.Path != pass.PkgPath || n.Body() == nil {
+				continue
+			}
+			checkLockhold(pass, n, sums)
+		}
+	}
+	return a
+}
+
+// lockEvent is one ordered action inside a basic block.
+type lockEvent struct {
+	kind  int // evAcquire, evRelease, evBlock
+	class string
+	pos   token.Pos
+	what  string
+}
+
+const (
+	evAcquire = iota
+	evRelease
+	evBlock
+)
+
+func checkLockhold(pass *Pass, n *FuncNode, sums map[*FuncNode]*Summary) {
+	graph := cfg.New(n.Body())
+	events := make([][]lockEvent, len(graph.Blocks))
+	for _, b := range graph.Blocks {
+		for _, node := range b.Nodes {
+			events[b.Index] = append(events[b.Index], eventsOf(pass, n, node, sums)...)
+		}
+	}
+
+	// Fixed point over block-entry held sets (union meet).
+	entry := make([]map[string]bool, len(graph.Blocks))
+	for i := range entry {
+		entry[i] = map[string]bool{}
+	}
+	apply := func(held map[string]bool, evs []lockEvent, report bool) map[string]bool {
+		for _, ev := range evs {
+			switch ev.kind {
+			case evAcquire:
+				if report && held[ev.class] {
+					pass.Report(ev.pos, "%s is locked while already held on some path: self-deadlock", ev.class)
+				}
+				held[ev.class] = true
+			case evRelease:
+				delete(held, ev.class)
+			case evBlock:
+				if report && len(held) > 0 {
+					pass.Report(ev.pos, "%s while holding %s; release the lock before the blocking operation (snapshot under lock, then work)",
+						ev.what, heldList(held))
+				}
+			}
+		}
+		return held
+	}
+	copyOf := func(m map[string]bool) map[string]bool {
+		out := make(map[string]bool, len(m))
+		for k := range m {
+			out[k] = true
+		}
+		return out
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range graph.Blocks {
+			out := apply(copyOf(entry[b.Index]), events[b.Index], false)
+			for _, succ := range b.Succs {
+				for class := range out {
+					if !entry[succ.Index][class] {
+						entry[succ.Index][class] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	// Reporting pass, once, with the converged entry states.
+	for _, b := range graph.Blocks {
+		apply(copyOf(entry[b.Index]), events[b.Index], true)
+	}
+}
+
+func heldList(held map[string]bool) string {
+	classes := make([]string, 0, len(held))
+	for c := range held {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	return strings.Join(classes, ", ")
+}
+
+// eventsOf extracts the ordered lock/unlock/block events of one CFG node.
+// Defer statements contribute nothing: deferred unlocks run at exit (so
+// the lock stays held through the body — the point of the analysis), and
+// deferred blocking work runs outside the critical section's useful span.
+func eventsOf(pass *Pass, n *FuncNode, node ast.Node, sums map[*FuncNode]*Summary) []lockEvent {
+	if _, ok := node.(*ast.DeferStmt); ok {
+		return nil
+	}
+	info := pass.TypesInfo
+	var evs []lockEvent
+	// Module call edges by site, to consult callee summaries.
+	edgeAt := make(map[token.Pos][]*CallEdge)
+	for _, e := range n.Out {
+		if e.Kind == EdgeCall || e.Kind == EdgeIface || e.Kind == EdgeDynamic {
+			edgeAt[e.Pos] = append(edgeAt[e.Pos], e)
+		}
+	}
+	inspectShallow(node, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.SendStmt:
+			evs = append(evs, lockEvent{kind: evBlock, pos: x.Pos(), what: "channel send"})
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				evs = append(evs, lockEvent{kind: evBlock, pos: x.Pos(), what: "channel receive"})
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				evs = append(evs, lockEvent{kind: evBlock, pos: x.Pos(), what: "select without default"})
+			}
+		case *ast.CallExpr:
+			if f, class, ok := syncMutexCall(info, x); ok {
+				switch f {
+				case "Lock", "RLock":
+					evs = append(evs, lockEvent{kind: evAcquire, class: class, pos: x.Pos()})
+				case "Unlock", "RUnlock":
+					evs = append(evs, lockEvent{kind: evRelease, class: class, pos: x.Pos()})
+				}
+				return true
+			}
+			// Other blocking stdlib calls.
+			if f, ok := calleeObject(info, x).(*types.Func); ok && f.Pkg() != nil {
+				if what := externBlocks(f.Pkg().Path(), f.Name()); what != "" {
+					evs = append(evs, lockEvent{kind: evBlock, pos: x.Pos(), what: "call to " + what})
+					return true
+				}
+			}
+			// Module callees: trust the interprocedural summary.
+			for _, e := range edgeAt[x.Pos()] {
+				if s := sums[e.Callee]; s != nil && s.MayBlock {
+					what := "call to " + shortName(e.Callee.Name)
+					if s.BlockVia != "" {
+						what += " (blocks via " + shortName(s.BlockVia) + ")"
+					} else if len(s.BlockSites) > 0 {
+						what += " (" + s.BlockSites[0].What + ")"
+					}
+					evs = append(evs, lockEvent{kind: evBlock, pos: x.Pos(), what: what})
+					break
+				}
+			}
+		}
+		return true
+	})
+	return evs
+}
+
+// syncMutexCall recognizes sync.Mutex/RWMutex method calls (including
+// promoted embeddings) and returns the method name and the receiver
+// chain's lock class.
+func syncMutexCall(info *types.Info, call *ast.CallExpr) (method, class string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	var f *types.Func
+	if s, found := info.Selections[sel]; found {
+		f, _ = s.Obj().(*types.Func)
+	} else {
+		f, _ = info.Uses[sel.Sel].(*types.Func)
+	}
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch f.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return f.Name(), exprString(sel.X), true
+	}
+	return "", "", false
+}

@@ -51,31 +51,10 @@ func hasNoallocDirective(fn *ast.FuncDecl) bool {
 	return false
 }
 
-// guardSpans collects the extents of if-statements whose condition
-// consults cap or len — the growth-guard idiom. Any allocation inside one
-// is the cold warm-up path.
+// guardSpans collects the growth-guard extents of a function declaration;
+// see guardSpansIn, which the summary layer shares.
 func guardSpans(fn *ast.FuncDecl) [][2]token.Pos {
-	var spans [][2]token.Pos
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		ifs, ok := n.(*ast.IfStmt)
-		if !ok || ifs.Cond == nil {
-			return true
-		}
-		guarded := false
-		ast.Inspect(ifs.Cond, func(m ast.Node) bool {
-			if call, ok := m.(*ast.CallExpr); ok {
-				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && (id.Name == "cap" || id.Name == "len") {
-					guarded = true
-				}
-			}
-			return true
-		})
-		if guarded {
-			spans = append(spans, [2]token.Pos{ifs.Body.Pos(), ifs.Body.End()})
-		}
-		return true
-	})
-	return spans
+	return guardSpansIn(fn.Body)
 }
 
 func checkNoalloc(pass *Pass, wsPkg func(string) bool, fn *ast.FuncDecl) {

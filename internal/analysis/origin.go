@@ -20,6 +20,11 @@ type Facts struct {
 	// the workspace naming convention only applies to types declared in
 	// packages we can see (never to stdlib types like strings.Builder).
 	loadedPkgs map[string]bool
+	// Graph is the module-wide call graph and Summaries the per-function
+	// summaries over it, the substrate of the interprocedural checks
+	// (ctxflow, deepnoalloc, lockhold). Built once per Suite.Run.
+	Graph     *CallGraph
+	Summaries map[*FuncNode]*Summary
 }
 
 // wsDocPhrases are the doc-comment fragments that mark a type as a

@@ -35,6 +35,25 @@ type Config struct {
 	PooledTypes map[string]bool
 	// PoolPairs lists the Get/Put method pairs poolpair balances.
 	PoolPairs []PoolPair
+	// CtxFlowEntryPackages are the packages whose every function is a
+	// ctxflow entry point (the query server's handlers).
+	CtxFlowEntryPackages map[string]bool
+	// CtxFlowEntryFuncs are additional qualified function names treated as
+	// ctxflow entry points (the facade's Ctx methods).
+	CtxFlowEntryFuncs map[string]bool
+	// NoallocExternals are package paths deepnoalloc accepts as
+	// allocation-free when a kernel's call chain leaves the module.
+	NoallocExternals map[string]bool
+	// NoallocAmortized are qualified function names deepnoalloc skips
+	// entirely: documented one-time cache fills whose steady state the
+	// dynamic allocation gates prove free.
+	NoallocAmortized map[string]bool
+	// LockHoldPackages are the packages lockhold audits for mutexes held
+	// across blocking operations.
+	LockHoldPackages map[string]bool
+	// MapOrderPackages are the packages maporder audits for map-range
+	// iteration feeding appended results.
+	MapOrderPackages map[string]bool
 }
 
 // DefaultConfig is the configuration `cmd/ordlint` enforces on this module:
@@ -58,7 +77,17 @@ type Config struct {
 //     (core.regionNode, hull.facet) shared across goroutines;
 //   - poolpair balances the two free lists: the explorer's node pool
 //     (exploreWS.node/recycle) and the hull builder's facet pool
-//     (Builder.allocFacet/freeFacet).
+//     (Builder.allocFacet/freeFacet);
+//   - ctxflow treats every function of internal/server plus the facade's
+//     ORDCtx/ORUCtx/ORUParallelCtx as entry points: whatever a request can
+//     reach must stay cancellable;
+//   - deepnoalloc accepts math, sort and sync/atomic as allocation-free
+//     stdlib destinations and skips geom.simplexFor, the documented
+//     per-dimension constant-cache fill;
+//   - lockhold audits internal/server, the only package that holds locks
+//     near I/O;
+//   - maporder audits the packages that assemble ordered results from
+//     map-keyed state: internal/core, internal/skyband, internal/server.
 func DefaultConfig(modulePath string) Config {
 	internal := func(pkgPath string) bool {
 		return strings.HasPrefix(pkgPath, modulePath+"/internal/")
@@ -98,6 +127,30 @@ func DefaultConfig(modulePath string) Config {
 			{Get: modulePath + "/internal/core.exploreWS.node", Put: modulePath + "/internal/core.exploreWS.recycle"},
 			{Get: modulePath + "/internal/hull.Builder.allocFacet", Put: modulePath + "/internal/hull.Builder.freeFacet"},
 		},
+		CtxFlowEntryPackages: map[string]bool{
+			modulePath + "/internal/server": true,
+		},
+		CtxFlowEntryFuncs: map[string]bool{
+			modulePath + ".Dataset.ORDCtx":         true,
+			modulePath + ".Dataset.ORUCtx":         true,
+			modulePath + ".Dataset.ORUParallelCtx": true,
+		},
+		NoallocExternals: map[string]bool{
+			"math":        true,
+			"sort":        true,
+			"sync/atomic": true,
+		},
+		NoallocAmortized: map[string]bool{
+			modulePath + "/internal/geom.simplexFor": true,
+		},
+		LockHoldPackages: map[string]bool{
+			modulePath + "/internal/server": true,
+		},
+		MapOrderPackages: map[string]bool{
+			modulePath + "/internal/core":    true,
+			modulePath + "/internal/skyband": true,
+			modulePath + "/internal/server":  true,
+		},
 	}
 }
 
@@ -124,5 +177,9 @@ func NewSuite(cfg Config) *Suite {
 		NewGoroutinecap(cfg.GoroutineCapPackages, cfg.PooledTypes, cfg.WorkspacePackage),
 		NewPoolpair(cfg.PoolPairs),
 		NewNoalloc(cfg.WorkspacePackage),
+		NewCtxflow(cfg.CtxFlowEntryPackages, cfg.CtxFlowEntryFuncs, cfg.CtxPollScanCalls),
+		NewDeepnoalloc(cfg.NoallocExternals, cfg.NoallocAmortized),
+		NewLockhold(cfg.LockHoldPackages),
+		NewMaporder(cfg.MapOrderPackages),
 	}}
 }

@@ -1,0 +1,404 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file computes per-function summaries over the call graph to a fixed
+// point: does a function (possibly transitively) allocate, poll a context,
+// block, or panic without recovering, and which mutexes does it lock
+// directly. The interprocedural checks consume the bits; cmd/ordlint -stats
+// dumps the totals.
+//
+// Propagation rules, per edge kind:
+//
+//   - call/defer/iface/dynamic edges propagate MayBlock, MayPanic (unless
+//     the caller recovers) and Allocates;
+//   - PollsCtx propagates only through edges that actually pass a
+//     context.Context argument — polling a context the caller never handed
+//     over cancels nothing;
+//   - go edges propagate Allocates only: the spawned goroutine blocks,
+//     polls and panics on its own schedule;
+//   - ref edges propagate nothing (taking a value runs no code).
+
+// SummarySite is one position that justifies a summary bit.
+type SummarySite struct {
+	Pos  token.Pos
+	What string
+}
+
+// Summary captures what one function does, directly and transitively.
+type Summary struct {
+	// Direct facts, from a shallow walk of the function's own body
+	// (nested literals are separate nodes).
+	AllocSites []SummarySite // allocations outside growth guards and noalloc allows
+	BlockSites []SummarySite // channel ops, selects without default, blocking stdlib calls
+	PollSites  []SummarySite // ctx.Err()/ctx.Done() uses, ctx-forwarding stdlib calls
+	PanicSites []SummarySite // panic() calls
+	Recovers   bool          // a defer in this function recovers
+	Acquires   []string      // mutex classes locked directly ("s.mu")
+	Releases   []string      // mutex classes unlocked directly
+
+	// Transitive closure bits.
+	Allocates bool
+	MayBlock  bool
+	PollsCtx  bool
+	MayPanic  bool
+
+	// via records the callee that first set each transitive bit beyond the
+	// direct sites, for diagnostics ("" when direct).
+	AllocVia string
+	BlockVia string
+}
+
+// ComputeSummaries runs the direct extraction over every graph node and
+// iterates the propagation rules to a fixed point.
+func ComputeSummaries(g *CallGraph, pkgs []*Package) map[*FuncNode]*Summary {
+	allows := make(map[*Package]allowSet)
+	for _, pkg := range pkgs {
+		allows[pkg] = collectAllows(pkg)
+	}
+	sums := make(map[*FuncNode]*Summary, len(g.Nodes))
+	for _, n := range g.Nodes {
+		sums[n] = directSummary(n, allows[n.Pkg])
+	}
+	// Fixed point: the bits only ever flip false→true, so iteration
+	// terminates in at most O(nodes) rounds.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			s := sums[n]
+			for _, e := range n.Out {
+				c := sums[e.Callee]
+				switch e.Kind {
+				case EdgeRef:
+					continue
+				case EdgeGo:
+					if c.Allocates && !s.Allocates {
+						s.Allocates, s.AllocVia, changed = true, e.Callee.Name, true
+					}
+					continue
+				}
+				if c.Allocates && !s.Allocates {
+					s.Allocates, s.AllocVia, changed = true, e.Callee.Name, true
+				}
+				if c.MayBlock && !s.MayBlock {
+					s.MayBlock, s.BlockVia, changed = true, e.Callee.Name, true
+				}
+				if c.MayPanic && !s.Recovers && !s.MayPanic {
+					s.MayPanic, changed = true, true
+				}
+				if c.PollsCtx && e.CtxArg && !s.PollsCtx {
+					s.PollsCtx, changed = true, true
+				}
+			}
+		}
+	}
+	return sums
+}
+
+// directSummary extracts the facts visible in n's own body.
+func directSummary(n *FuncNode, allow allowSet) *Summary {
+	s := &Summary{}
+	body := n.Body()
+	if body == nil || n.Pkg.Info == nil {
+		return s
+	}
+	info := n.Pkg.Info
+	fset := n.Pkg.Fset
+	spans := guardSpansIn(body)
+	guarded := func(pos token.Pos) bool {
+		for _, sp := range spans {
+			if pos >= sp[0] && pos < sp[1] {
+				return true
+			}
+		}
+		return false
+	}
+	// A site suppressed for noalloc (or deepnoalloc) carries a documented
+	// contract; summaries treat it as non-allocating so the exemption
+	// propagates to callers.
+	allowed := func(pos token.Pos) bool {
+		p := fset.Position(pos)
+		return allow.allows(p.Filename, p.Line, "noalloc") ||
+			allow.allows(p.Filename, p.Line, "deepnoalloc")
+	}
+	alloc := func(pos token.Pos, what string) {
+		if !guarded(pos) && !allowed(pos) {
+			s.AllocSites = append(s.AllocSites, SummarySite{pos, what})
+		}
+	}
+	block := func(pos token.Pos, what string) {
+		s.BlockSites = append(s.BlockSites, SummarySite{pos, what})
+	}
+
+	inspectShallow(body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.FuncLit:
+			// inspectShallow keeps us out of the literal's body, but the
+			// closure's creation allocates here.
+			alloc(x.Pos(), "closure literal")
+		case *ast.CompositeLit:
+			if t := typeOf(info, x); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					alloc(x.Pos(), "slice literal")
+				case *types.Map:
+					alloc(x.Pos(), "map literal")
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					alloc(x.Pos(), "&composite literal")
+				}
+			}
+			if x.Op == token.ARROW {
+				block(x.Pos(), "channel receive")
+			}
+		case *ast.SendStmt:
+			block(x.Pos(), "channel send")
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				block(x.Pos(), "select without default")
+			}
+		case *ast.RangeStmt:
+			if t := typeOf(info, x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					block(x.Pos(), "range over channel")
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isStringType(info, x) {
+				alloc(x.Pos(), "string concatenation")
+			}
+		case *ast.GoStmt:
+			alloc(x.Pos(), "go statement")
+		case *ast.AssignStmt:
+			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && isStringType(info, x.Lhs[0]) {
+				alloc(x.Pos(), "string concatenation")
+			}
+			for _, l := range x.Lhs {
+				if ix, ok := ast.Unparen(l).(*ast.IndexExpr); ok {
+					if t := typeOf(info, ix.X); t != nil {
+						if _, ok := t.Underlying().(*types.Map); ok {
+							alloc(l.Pos(), "map write")
+						}
+					}
+				}
+			}
+		case *ast.DeferStmt:
+			if deferRecovers(info, x) {
+				s.Recovers = true
+			}
+		case *ast.SelectorExpr:
+			if x.Sel.Name == "Err" || x.Sel.Name == "Done" {
+				if t := typeOf(info, x.X); t != nil && isContextType(t) {
+					s.PollSites = append(s.PollSites, SummarySite{x.Pos(), "ctx." + x.Sel.Name})
+				}
+			}
+		case *ast.CallExpr:
+			summarizeCall(info, x, s, alloc)
+		}
+		return true
+	})
+
+	// Classify the extern calls the graph builder recorded.
+	for _, ec := range n.Extern {
+		if ec.Kind == EdgeRef || ec.Kind == EdgeGo {
+			continue
+		}
+		if what := externBlocks(ec.Pkg, ec.Name); what != "" {
+			block(ec.Pos, what)
+		}
+		if ec.CtxArg && ec.Pkg != "context" {
+			// Handing ctx to the stdlib (http.NewRequestWithContext,
+			// sql.QueryContext, ...) delegates cancellation. The context
+			// package itself is excluded: WithTimeout/WithCancel derive
+			// contexts without polling the parent.
+			s.PollSites = append(s.PollSites, SummarySite{ec.Pos, ec.Pkg + "." + ec.Name})
+		}
+	}
+	s.Acquires, s.Releases = lockClassesIn(info, body)
+	s.Allocates = len(s.AllocSites) > 0
+	s.MayBlock = len(s.BlockSites) > 0
+	s.PollsCtx = len(s.PollSites) > 0
+	s.MayPanic = len(s.PanicSites) > 0 && !s.Recovers
+	return s
+}
+
+// summarizeCall handles allocation-relevant direct calls: make/new, panic,
+// and string<->bytes conversions.
+func summarizeCall(info *types.Info, call *ast.CallExpr, s *Summary, alloc func(token.Pos, string)) {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		if src := typeOf(info, call.Args[0]); src != nil && stringBytesConv(dst, src) {
+			alloc(call.Pos(), "string<->bytes conversion")
+		}
+		return
+	}
+	if b, ok := calleeObject(info, call).(*types.Builtin); ok {
+		switch b.Name() {
+		case "make", "new":
+			alloc(call.Pos(), b.Name())
+		case "panic":
+			s.PanicSites = append(s.PanicSites, SummarySite{call.Pos(), "panic"})
+		}
+	}
+	// Appends are deliberately not summary allocation sites: appending into
+	// a caller-provided or workspace buffer is the library's designed
+	// pattern, and the intraprocedural noalloc check already polices fresh
+	// appends inside annotated kernels themselves.
+}
+
+// deferRecovers reports whether a defer statement (directly or through a
+// deferred closure) calls recover.
+func deferRecovers(info *types.Info, d *ast.DeferStmt) bool {
+	found := false
+	ast.Inspect(d, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if b, ok := calleeObject(info, call).(*types.Builtin); ok && b.Name() == "recover" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// lockClassesIn collects the mutex classes locked and unlocked in body,
+// rendered as receiver chains ("s.mu", "c.mu").
+func lockClassesIn(info *types.Info, body ast.Node) (acquires, releases []string) {
+	seenA, seenR := map[string]bool{}, map[string]bool{}
+	inspectShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		f, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			if s, ok := info.Selections[sel]; ok {
+				f, _ = s.Obj().(*types.Func)
+			}
+		}
+		if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+			return true
+		}
+		class := exprString(sel.X)
+		switch f.Name() {
+		case "Lock", "RLock":
+			if !seenA[class] {
+				seenA[class] = true
+				acquires = append(acquires, class)
+			}
+		case "Unlock", "RUnlock":
+			if !seenR[class] {
+				seenR[class] = true
+				releases = append(releases, class)
+			}
+		}
+		return true
+	})
+	sort.Strings(acquires)
+	sort.Strings(releases)
+	return acquires, releases
+}
+
+// externBlocks classifies stdlib calls that can block the calling
+// goroutine: sync waits, sleeps, and network/file I/O. It returns a short
+// description, or "" for non-blocking calls.
+func externBlocks(pkg, name string) string {
+	switch pkg {
+	case "sync":
+		// Lock/RLock are deliberately not classified: an internal mutex's
+		// critical sections are bounded-short in this module (lockhold
+		// enforces exactly that), so treating every locking helper as
+		// may-block would flag all nested-mutex use — lock-ordering
+		// analysis, which this is not. Waits are unbounded and count.
+		switch name {
+		case "Wait", "Do":
+			return "sync." + name
+		}
+	case "time":
+		if name == "Sleep" {
+			return "time.Sleep"
+		}
+	case "os":
+		switch name {
+		case "Open", "OpenFile", "Create", "ReadFile", "WriteFile",
+			"ReadDir", "Remove", "RemoveAll", "Rename", "Stat", "Pipe":
+			return "os." + name
+		}
+	case "io":
+		switch name {
+		case "Copy", "CopyN", "ReadAll", "ReadFull", "WriteString", "Pipe":
+			return "io." + name
+		}
+	case "os/exec":
+		return "os/exec." + name
+	}
+	// Anything in net or net/* (net/http, net/rpc, ...) does network I/O.
+	if pkg == "net" || strings.HasPrefix(pkg, "net/") {
+		return pkg + "." + name
+	}
+	// Reader/Writer-backed packages: their methods drive an underlying
+	// reader that may be a file or socket.
+	switch pkg {
+	case "bufio", "encoding/csv", "encoding/json":
+		switch name {
+		case "Read", "ReadString", "ReadBytes", "ReadLine", "ReadRune",
+			"Scan", "ReadAll", "Decode", "Flush", "Write", "WriteString", "Encode":
+			return pkg + "." + name
+		}
+	}
+	return ""
+}
+
+// typeOf is a nil-tolerant info.Types lookup.
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// guardSpansIn collects the extents of if-statements whose condition
+// consults cap or len — the growth-guard idiom shared by noalloc and the
+// summary layer. Any allocation inside one is the cold warm-up path.
+func guardSpansIn(body ast.Node) [][2]token.Pos {
+	var spans [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || ifs.Cond == nil {
+			return true
+		}
+		guarded := false
+		ast.Inspect(ifs.Cond, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && (id.Name == "cap" || id.Name == "len") {
+					guarded = true
+				}
+			}
+			return true
+		})
+		if guarded {
+			spans = append(spans, [2]token.Pos{ifs.Body.Pos(), ifs.Body.End()})
+		}
+		return true
+	})
+	return spans
+}

@@ -1,0 +1,6 @@
+// Package buildtag is a loader fixture: its sibling file excluded.go is
+// fenced behind a never-enabled build tag and references an undefined
+// symbol, so it must not reach the parser or the type checker.
+package buildtag
+
+func Included() int { return 1 }

@@ -1,0 +1,5 @@
+//go:build ordlint_never_enabled
+
+package buildtag
+
+func Excluded() { undefinedSymbol() }

@@ -1,0 +1,91 @@
+// Package ctxflow exercises the interprocedural cancellability check. The
+// fixture config names every Handler* function as an entry point; loops in
+// functions those entries reach must be cancellable through the actual call
+// chain. ctxpoll is enabled alongside (scoped to this package) to pin the
+// difference: forwarding ctx to a callee that ignores it satisfies ctxpoll
+// but not ctxflow.
+package ctxflow
+
+import "context"
+
+type scanner struct{ i int }
+
+func (s *scanner) Next() bool { s.i++; return s.i < 1000 }
+
+var work int
+
+// Handler reaches spin, whose loop cannot be cancelled: no context is
+// threaded down the chain at all.
+func Handler(ctx context.Context) {
+	spin()
+}
+
+func spin() {
+	for { // want "cannot be cancelled: no context reaches the loop"
+		work++
+	}
+}
+
+// HandlerForwards hands ctx to a callee inside the loop, but the callee
+// never polls it — the blind spot of the intraprocedural check.
+func HandlerForwards(ctx context.Context) {
+	for { // want "ctx is forwarded only to ctxflow.ignores, which never polls it"
+		ignores(ctx)
+	}
+}
+
+func ignores(ctx context.Context) { work++ }
+
+// HandlerPolls polls the context directly: quiet.
+func HandlerPolls(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		work++
+	}
+}
+
+// HandlerDelegates forwards ctx to a callee whose summary proves it polls
+// transitively (polls -> deeper -> ctx.Err): quiet.
+func HandlerDelegates(ctx context.Context) {
+	for {
+		if polls(ctx) {
+			return
+		}
+	}
+}
+
+func polls(ctx context.Context) bool { return deeper(ctx) }
+
+func deeper(ctx context.Context) bool { return ctx.Err() != nil }
+
+// HandlerScanForwards advances a scan and forwards ctx to a dead end.
+// ctxpoll stays quiet here (it trusts any ctx-receiving callee); only the
+// interprocedural check sees that the chain drops the context.
+func HandlerScanForwards(ctx context.Context, s *scanner) {
+	for { // want "advances a scan via s.Next"
+		if !s.Next() {
+			return
+		}
+		ignores(ctx)
+	}
+}
+
+// lonely is not reachable from any entry point; its loop is out of scope.
+func lonely() {
+	for {
+		work++
+	}
+}
+
+// HandlerAllowed reaches a loop whose finding is suppressed in place.
+func HandlerAllowed(ctx context.Context) {
+	spinAllowed()
+}
+
+func spinAllowed() {
+	for { //ordlint:allow ctxflow — fixture escape-hatch case
+		work++
+	}
+}

@@ -1,0 +1,70 @@
+// Package maporder exercises the map-iteration-order determinism check:
+// appending to a slice while ranging over a map bakes Go's randomized
+// iteration order into the result unless the destination is sorted after
+// the loop (the module's collect-then-sort idiom).
+package maporder
+
+import "sort"
+
+// BadCollect bakes map order into ids.
+func BadCollect(m map[int]bool) []int {
+	var ids []int
+	for id := range m {
+		ids = append(ids, id) // want "append to ids inside map-range iteration"
+	}
+	return ids
+}
+
+// GoodCollectSort is the sanctioned collect-then-sort idiom: quiet.
+func GoodCollectSort(m map[int]bool) []int {
+	var ids []int
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// GoodSliceSort re-orders through sort.Slice: quiet.
+func GoodSliceSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// GoodRangeSlice ranges over a slice, not a map: quiet.
+func GoodRangeSlice(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// BadClosure: collection loops inside function literals are checked too.
+func BadClosure(m map[string]int) []string {
+	collect := func() []string {
+		var keys []string
+		for k := range m {
+			keys = append(keys, k) // want "append to keys inside map-range iteration"
+		}
+		return keys
+	}
+	return collect()
+}
+
+// Allowed feeds an order-insensitive reduction; documented in place.
+func Allowed(m map[int]bool) int {
+	var ids []int
+	for id := range m {
+		ids = append(ids, id) //ordlint:allow maporder — order-insensitive sum below
+	}
+	n := 0
+	for _, id := range ids {
+		n += id
+	}
+	return n
+}

@@ -88,7 +88,9 @@ func (ls *Layers) LayerOf(id int) (int, bool) {
 	if _, known := ls.points[id]; !known {
 		return 0, false
 	}
-	for {
+	// Each iteration either resolves the id or peels one more non-empty
+	// layer, so the layer count bounds the loop: at most one layer per point.
+	for len(ls.layers) <= len(ls.points) {
 		if li, done := ls.layerOf[id]; done {
 			return li, true
 		}
@@ -96,6 +98,7 @@ func (ls *Layers) LayerOf(id int) (int, bool) {
 			return 0, false
 		}
 	}
+	return 0, false
 }
 
 // Point returns the coordinates of a record.

@@ -14,6 +14,14 @@ import (
 // working precision.
 var ErrSingular = errors.New("linalg: singular matrix")
 
+// Shape errors are package-level sentinels rather than per-call errors.New:
+// the fitting kernels run on the allocation-free hot path, and constructing
+// a fresh error on every malformed input would allocate inside them.
+var (
+	errHyperplanePoints = errors.New("linalg: hyperplane needs exactly d points")
+	errNullVectorRows   = errors.New("linalg: null vector requires d-1 rows")
+)
+
 // Workspace holds the elimination scratch of the solvers so that repeated
 // solves of similarly sized systems perform no heap allocations after
 // warm-up. The zero value is ready for use. A Workspace is not
@@ -131,7 +139,7 @@ func HyperplaneThrough(pts [][]float64) (normal []float64, offset float64, err e
 func (ws *Workspace) HyperplaneThrough(pts [][]float64, normal []float64) (offset float64, err error) {
 	d := len(pts[0])
 	if len(pts) != d {
-		return 0, errors.New("linalg: hyperplane needs exactly d points")
+		return 0, errHyperplanePoints
 	}
 	// Rows: pts[i] - pts[0] for i = 1..d-1; find null vector via elimination
 	// of the (d-1) x d system M n = 0. The matrix scratch doubles as the
@@ -177,7 +185,7 @@ func NullVector(rows [][]float64, d int) ([]float64, error) {
 func (ws *Workspace) nullVectorDestructive(m [][]float64, d int, out []float64) error {
 	k := len(m)
 	if k != d-1 {
-		return errors.New("linalg: null vector requires d-1 rows")
+		return errNullVectorRows
 	}
 	if cap(ws.pivCols) < k {
 		ws.pivCols = make([]int, 0, k)

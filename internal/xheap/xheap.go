@@ -118,11 +118,7 @@ func (h *Heap[T]) up(i int) {
 func (h *Heap[T]) down(i int) bool {
 	start := i
 	n := len(h.s)
-	for {
-		left := 2*i + 1
-		if left >= n {
-			break
-		}
+	for left := 2*i + 1; left < n; left = 2*i + 1 {
 		least := left
 		if right := left + 1; right < n && h.s[right].Less(h.s[left]) {
 			least = right
