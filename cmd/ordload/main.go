@@ -1,0 +1,356 @@
+// Command ordload drives mixed query/mutation traffic against a running
+// ordud instance at a fixed offered rate and reports latency quantiles per
+// traffic class. It is the companion tool for the live-dataset work: run
+// ordud with a dataset, point ordload at it, and watch how the write path
+// and the fine-grained cache invalidation behave under concurrent load.
+//
+// Example:
+//
+//	ordud -gen demo=IND:100000:4:1 &
+//	ordload -addr http://localhost:8375 -dataset demo -rate 200 -mutate 0.2 -duration 30s
+//
+// Requests are paced open-loop by a ticker; a bounded worker pool executes
+// them. If all workers are busy when a tick fires the request is dropped
+// and counted, so a saturated server shows up as drops rather than as a
+// silently lower offered rate.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8375", "ordud base URL")
+		dataset  = flag.String("dataset", "default", "target dataset name")
+		op       = flag.String("op", "ord", "query operator: ord, oru or mix")
+		k        = flag.Int("k", 5, "query parameter k")
+		m        = flag.Int("m", 30, "query parameter m (output size)")
+		rate     = flag.Float64("rate", 100, "offered request rate per second")
+		duration = flag.Duration("duration", 10*time.Second, "run length")
+		workers  = flag.Int("concurrency", 16, "max in-flight requests")
+		mutate   = flag.Float64("mutate", 0.2, "fraction of requests that are point writes/deletes")
+		seed     = flag.Int64("seed", 1, "RNG seed for weights, points and traffic mix")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-request client timeout")
+	)
+	flag.Parse()
+	if *rate <= 0 || *workers <= 0 || *mutate < 0 || *mutate > 1 {
+		fatal(fmt.Errorf("bad flags: rate and concurrency must be positive, mutate in [0,1]"))
+	}
+	qOp := strings.ToLower(*op)
+	if qOp != "ord" && qOp != "oru" && qOp != "mix" {
+		fatal(fmt.Errorf("bad -op %q: want ord, oru or mix", *op))
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	dims, records, err := datasetDims(client, *addr, *dataset)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("ordload: dataset %q (%d records x %d attrs), %.0f req/s for %v, mutate=%.0f%%, concurrency=%d\n",
+		*dataset, records, dims, *rate, *duration, *mutate*100, *workers)
+
+	lg := &loadgen{
+		client:  client,
+		base:    strings.TrimRight(*addr, "/"),
+		dataset: *dataset,
+		op:      qOp,
+		k:       *k,
+		m:       *m,
+		dims:    dims,
+		mutate:  *mutate,
+		rng:     rand.New(rand.NewSource(*seed)),
+	}
+	lg.run(*rate, *duration, *workers)
+	lg.report()
+}
+
+// loadgen holds the generator's configuration and accumulated results.
+type loadgen struct {
+	client  *http.Client
+	base    string
+	dataset string
+	op      string
+	k, m    int
+	dims    int
+	mutate  float64
+	rng     *rand.Rand
+
+	mu       sync.Mutex
+	inserted []int            // ids this run inserted and has not yet deleted
+	lat      map[string][]int // latencies in microseconds, per traffic class
+	status   map[int]int      // responses per HTTP status
+	netErrs  int
+	dropped  int64
+	sent     int64
+	flip     int // alternates ord/oru in -op mix
+}
+
+// job is one prepared request: the generator's RNG runs only in the pacing
+// goroutine, so workers never contend on it.
+type job struct {
+	class  string // "ord", "oru", "insert", "delete"
+	w      []float64
+	point  []float64
+	delID  int
+	hasDel bool
+}
+
+func (g *loadgen) run(rate float64, duration time.Duration, workers int) {
+	jobs := make(chan job, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				g.do(j)
+			}
+		}()
+	}
+
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	tick := time.NewTicker(interval)
+	deadline := time.Now().Add(duration)
+	for now := range tick.C {
+		if now.After(deadline) {
+			break
+		}
+		select {
+		case jobs <- g.nextJob():
+			g.sent++
+		default:
+			g.dropped++
+		}
+	}
+	tick.Stop()
+	close(jobs)
+	wg.Wait()
+}
+
+// nextJob rolls the traffic mix and prepares one request.
+func (g *loadgen) nextJob() job {
+	if g.rng.Float64() < g.mutate {
+		g.mu.Lock()
+		n := len(g.inserted)
+		var id int
+		if n > 0 {
+			id = g.inserted[n-1]
+		}
+		g.mu.Unlock()
+		// Deletes only target ids this run inserted, so the dataset drifts
+		// by at most the in-flight window; roughly half the writes are
+		// deletes once the insert stack is non-empty.
+		if n > 0 && g.rng.Intn(2) == 0 {
+			g.popInserted(id)
+			return job{class: "delete", delID: id, hasDel: true}
+		}
+		p := make([]float64, g.dims)
+		for i := range p {
+			p[i] = g.rng.Float64()
+		}
+		return job{class: "insert", point: p}
+	}
+	op := g.op
+	if op == "mix" {
+		if g.flip++; g.flip%2 == 0 {
+			op = "oru"
+		} else {
+			op = "ord"
+		}
+	}
+	return job{class: op, w: randSimplex(g.rng, g.dims)}
+}
+
+func (g *loadgen) popInserted(id int) {
+	g.mu.Lock()
+	if n := len(g.inserted); n > 0 && g.inserted[n-1] == id {
+		g.inserted = g.inserted[:n-1]
+	}
+	g.mu.Unlock()
+}
+
+// do executes one job and records its latency and status.
+func (g *loadgen) do(j job) {
+	var (
+		code int
+		err  error
+		resp []byte
+	)
+	start := time.Now()
+	switch j.class {
+	case "insert":
+		body, _ := json.Marshal(map[string]any{"point": j.point})
+		code, resp, err = g.post(fmt.Sprintf("%s/datasets/%s/points", g.base, g.dataset), body)
+	case "delete":
+		req, rerr := http.NewRequest(http.MethodDelete,
+			fmt.Sprintf("%s/datasets/%s/points/%d", g.base, g.dataset, j.delID), nil)
+		if rerr != nil {
+			err = rerr
+			break
+		}
+		var r *http.Response
+		if r, err = g.client.Do(req); err == nil {
+			code = r.StatusCode
+			io.Copy(io.Discard, r.Body)
+			r.Body.Close()
+		}
+	default: // ord / oru
+		body, _ := json.Marshal(map[string]any{
+			"dataset": g.dataset, "w": j.w, "k": g.k, "m": g.m,
+		})
+		code, resp, err = g.post(g.base+"/query/"+j.class, body)
+	}
+	elapsed := time.Since(start)
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if err != nil {
+		g.netErrs++
+		return
+	}
+	if j.class == "insert" && code == http.StatusCreated {
+		var pw struct {
+			ID int `json:"id"`
+		}
+		if json.Unmarshal(resp, &pw) == nil {
+			g.inserted = append(g.inserted, pw.ID)
+		}
+	}
+	if g.lat == nil {
+		g.lat = make(map[string][]int)
+		g.status = make(map[int]int)
+	}
+	g.lat[j.class] = append(g.lat[j.class], int(elapsed/time.Microsecond))
+	g.status[code]++
+}
+
+func (g *loadgen) post(url string, body []byte) (int, []byte, error) {
+	resp, err := g.client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, b, err
+}
+
+// report prints per-class latency quantiles and the status breakdown.
+func (g *loadgen) report() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	fmt.Printf("\nsent %d requests, dropped %d (worker pool full), network errors %d\n",
+		g.sent, g.dropped, g.netErrs)
+
+	classes := make([]string, 0, len(g.lat))
+	for c := range g.lat {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	fmt.Printf("%-8s %8s %10s %10s %10s %10s\n", "class", "count", "p50", "p95", "p99", "max")
+	for _, c := range classes {
+		ls := g.lat[c]
+		sort.Ints(ls)
+		fmt.Printf("%-8s %8d %10s %10s %10s %10s\n", c, len(ls),
+			fmtMicros(quantile(ls, 0.50)), fmtMicros(quantile(ls, 0.95)),
+			fmtMicros(quantile(ls, 0.99)), fmtMicros(ls[len(ls)-1]))
+	}
+
+	codes := make([]int, 0, len(g.status))
+	for code := range g.status {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
+	parts := make([]string, 0, len(codes))
+	for _, code := range codes {
+		parts = append(parts, fmt.Sprintf("%d:%d", code, g.status[code]))
+	}
+	fmt.Printf("status: %s\n", strings.Join(parts, " "))
+}
+
+// quantile returns the q-th quantile of sorted microsecond latencies
+// (nearest-rank).
+func quantile(sorted []int, q float64) int {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func fmtMicros(us int) string {
+	d := time.Duration(us) * time.Microsecond
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%dus", us)
+	}
+}
+
+// randSimplex draws a weight vector uniformly from the unit simplex
+// (normalised exponentials).
+func randSimplex(rng *rand.Rand, d int) []float64 {
+	w := make([]float64, d)
+	sum := 0.0
+	for i := range w {
+		w[i] = -math.Log(1 - rng.Float64())
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// datasetDims fetches GET /datasets and returns the target's dimensionality
+// and record count.
+func datasetDims(client *http.Client, base, name string) (int, int, error) {
+	resp, err := client.Get(strings.TrimRight(base, "/") + "/datasets")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	var infos []struct {
+		Name    string `json:"name"`
+		Records int    `json:"records"`
+		Dims    int    `json:"dims"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		return 0, 0, fmt.Errorf("decoding /datasets: %w", err)
+	}
+	for _, in := range infos {
+		if in.Name == name {
+			return in.Dims, in.Records, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("dataset %q not found on %s", name, base)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ordload:", err)
+	os.Exit(1)
+}

@@ -3,6 +3,12 @@
 // worker-pool admission control, per-request deadlines, a result cache and
 // health/metrics endpoints (see internal/server).
 //
+// Datasets are live: POST /datasets/{name}/points inserts or upserts a
+// point (auto-assigned id when omitted) and DELETE
+// /datasets/{name}/points/{id} removes one, with queries and writes
+// serialised per dataset and the result cache invalidated per entry via the
+// dominance keep-test. Write counters surface in /metrics and /datasets.
+//
 // Examples:
 //
 //	ordud -addr :8375 -gen demo=ANTI:50000:4:1

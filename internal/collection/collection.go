@@ -1,0 +1,309 @@
+// Package collection implements the live-dataset substrate: an id-keyed
+// mutable point collection pairing an ordered id index with the spatial
+// index (internal/rtree, mutated in place through its Insert/Delete) and
+// compact packed point storage, so record coordinates stay contiguous for
+// the dominance kernels even as the collection churns. It supports point
+// Insert, Update, Delete and snapshot iteration, and tracks per-write
+// statistics (count, bounds, dims, write counters) for the serving layer's
+// metrics.
+//
+// Storage layout: coordinates live in fixed-size arena chunks of
+// chunkSlots points each. A record's slot never moves and a chunk is never
+// reallocated, so the vectors handed to the R-tree (whose leaf rectangles
+// alias them) and to the dominance kernels stay valid for the record's
+// lifetime; freed slots are recycled through a free list.
+//
+// Concurrency contract: a Collection is single-writer. Concurrent readers
+// (queries over Tree(), Get, Scan) are safe only while no mutation is in
+// flight; the serving layer enforces this with a per-dataset RWMutex.
+// Vectors returned by Get/Scan and emitted by index scans alias the packed
+// storage: they stay valid until the record's slot is deleted (and possibly
+// recycled), so callers retaining them across mutations must copy.
+package collection
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"ordu/internal/geom"
+	"ordu/internal/rtree"
+)
+
+// chunkSlots is the number of points per storage chunk. 1024 slots keeps
+// chunks around 32 KiB at d=4 — large enough for contiguous kernel sweeps,
+// small enough that a near-empty collection stays cheap.
+const chunkSlots = 1024
+
+// Sentinel errors of the mutation API.
+var (
+	// ErrDuplicateID reports an Insert under an id that is already present.
+	ErrDuplicateID = errors.New("collection: duplicate id")
+	// ErrUnknownID reports an Update of an id that is not present.
+	ErrUnknownID = errors.New("collection: unknown id")
+	// ErrBadPoint reports a point with the wrong dimensionality or
+	// non-finite coordinates.
+	ErrBadPoint = errors.New("collection: bad point")
+)
+
+// Stats is a read-only snapshot of the collection's bookkeeping. Count,
+// Dims and the bounds describe the current contents; the write counters are
+// cumulative over the collection's lifetime and feed /metrics.
+type Stats struct {
+	Count   int
+	Dims    int
+	Inserts uint64
+	Updates uint64
+	Deletes uint64
+	// Min and Max are the exact per-dimension bounds of the current
+	// contents (nil when the collection is empty).
+	Min, Max []float64
+}
+
+// Collection is an id-keyed mutable point collection.
+type Collection struct {
+	dim  int
+	tree *rtree.Tree
+
+	// Packed point storage: slot s lives in chunk s/chunkSlots at offset
+	// (s%chunkSlots)*dim. Chunks are allocated once and never reallocated.
+	chunks [][]float64
+	idAt   []int // slot -> id, -1 for free slots
+	slotOf map[int]int
+	free   []int
+
+	// sorted is the ordered id index, rebuilt lazily: mutations invalidate
+	// it and the next Scan/IDs call re-sorts once. This keeps writes
+	// O(log n) (tree insert) instead of O(n) (sorted-slice insertion) while
+	// scans stay deterministic.
+	sorted      []int
+	sortedValid bool
+
+	nextID                    int
+	inserts, updates, deletes uint64
+}
+
+// New returns an empty collection for points of the given dimensionality.
+func New(dim int, opts ...rtree.Option) *Collection {
+	return &Collection{
+		dim:    dim,
+		tree:   rtree.New(dim, opts...),
+		slotOf: make(map[int]int),
+	}
+}
+
+// FromPoints bulk-builds a collection over the given points using the
+// R-tree's STR packing; point i receives id i. The points are copied into
+// the packed storage.
+func FromPoints(points []geom.Vector, opts ...rtree.Option) (*Collection, error) {
+	if len(points) == 0 {
+		return nil, errors.New("collection: no points")
+	}
+	dim := len(points[0])
+	c := &Collection{
+		dim:    dim,
+		idAt:   make([]int, 0, len(points)),
+		slotOf: make(map[int]int, len(points)),
+	}
+	packed := make([]geom.Vector, len(points))
+	for id, p := range points {
+		if err := c.checkPoint(p); err != nil {
+			return nil, fmt.Errorf("point %d: %w", id, err)
+		}
+		packed[id] = c.at(c.allocSlot(id, p))
+	}
+	c.tree = rtree.BulkLoad(packed, opts...)
+	return c, nil
+}
+
+func (c *Collection) checkPoint(p geom.Vector) error {
+	if len(p) != c.dim {
+		return fmt.Errorf("%w: dim %d, want %d", ErrBadPoint, len(p), c.dim)
+	}
+	for j, x := range p {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("%w: coordinate %d is not finite", ErrBadPoint, j)
+		}
+	}
+	return nil
+}
+
+// at returns the packed vector of a slot, capacity-capped so appends by a
+// caller can never clobber the neighbouring slot.
+func (c *Collection) at(slot int) geom.Vector {
+	lo := (slot % chunkSlots) * c.dim
+	hi := lo + c.dim
+	return geom.Vector(c.chunks[slot/chunkSlots][lo:hi:hi])
+}
+
+// allocSlot copies p into a free (or fresh) slot and indexes it under id.
+func (c *Collection) allocSlot(id int, p geom.Vector) int {
+	var slot int
+	if n := len(c.free); n > 0 {
+		slot = c.free[n-1]
+		c.free = c.free[:n-1]
+		c.idAt[slot] = id
+	} else {
+		slot = len(c.idAt)
+		if slot/chunkSlots == len(c.chunks) {
+			c.chunks = append(c.chunks, make([]float64, chunkSlots*c.dim))
+		}
+		c.idAt = append(c.idAt, id)
+	}
+	copy(c.at(slot), p)
+	c.slotOf[id] = slot
+	if id >= c.nextID {
+		c.nextID = id + 1
+	}
+	c.sortedValid = false
+	return slot
+}
+
+// Len returns the number of live records.
+func (c *Collection) Len() int { return len(c.slotOf) }
+
+// Dim returns the dimensionality of the collection's points.
+func (c *Collection) Dim() int { return c.dim }
+
+// Tree exposes the spatial index for the query layers. The tree is mutated
+// in place by Insert/Update/Delete, so traversals must not run concurrently
+// with mutations (see the package concurrency contract).
+func (c *Collection) Tree() *rtree.Tree { return c.tree }
+
+// Get returns the point stored under id; the vector aliases the packed
+// storage (copy it to retain across mutations).
+func (c *Collection) Get(id int) (geom.Vector, bool) {
+	slot, ok := c.slotOf[id]
+	if !ok {
+		return nil, false
+	}
+	return c.at(slot), true
+}
+
+// NewID returns an id that is not in use and never was: one past the
+// highest id ever inserted.
+func (c *Collection) NewID() int { return c.nextID }
+
+// Insert adds a point under the given id. It fails with ErrDuplicateID when
+// the id is live and with ErrBadPoint on dimension/finiteness violations.
+// The point is copied; the caller keeps ownership of p.
+func (c *Collection) Insert(id int, p geom.Vector) error {
+	if err := c.checkPoint(p); err != nil {
+		return err
+	}
+	if _, dup := c.slotOf[id]; dup {
+		return fmt.Errorf("%w: %d", ErrDuplicateID, id)
+	}
+	slot := c.allocSlot(id, p)
+	if err := c.tree.Insert(id, c.at(slot)); err != nil {
+		c.dropSlot(id, slot)
+		return err
+	}
+	c.inserts++
+	return nil
+}
+
+// Update replaces the point stored under a live id. It fails with
+// ErrUnknownID when the id is not present. The spatial index entry is
+// deleted and re-inserted; the packed slot is reused in place.
+func (c *Collection) Update(id int, p geom.Vector) error {
+	if err := c.checkPoint(p); err != nil {
+		return err
+	}
+	slot, ok := c.slotOf[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownID, id)
+	}
+	// Remove the index entry before overwriting the slot: the tree's leaf
+	// rectangles alias the packed coordinates, so the old geometry must
+	// leave the index while it is still intact.
+	if !c.tree.Delete(id) {
+		panic(fmt.Sprintf("collection: id %d in slot index but not in tree", id)) //ordlint:allow nopanic — internal invariant violation, not data-dependent
+	}
+	copy(c.at(slot), p)
+	if err := c.tree.Insert(id, c.at(slot)); err != nil {
+		c.dropSlot(id, slot)
+		return err
+	}
+	c.updates++
+	return nil
+}
+
+// Upsert inserts the point when id is free and updates it when live,
+// reporting which happened.
+func (c *Collection) Upsert(id int, p geom.Vector) (updated bool, err error) {
+	if _, live := c.slotOf[id]; live {
+		return true, c.Update(id, p)
+	}
+	return false, c.Insert(id, p)
+}
+
+// Delete removes the record stored under id, reporting whether it existed.
+func (c *Collection) Delete(id int) bool {
+	slot, ok := c.slotOf[id]
+	if !ok {
+		return false
+	}
+	if !c.tree.Delete(id) {
+		panic(fmt.Sprintf("collection: id %d in slot index but not in tree", id)) //ordlint:allow nopanic — internal invariant violation, not data-dependent
+	}
+	c.dropSlot(id, slot)
+	c.deletes++
+	return true
+}
+
+// dropSlot unindexes id and returns its slot to the free list.
+func (c *Collection) dropSlot(id, slot int) {
+	delete(c.slotOf, id)
+	c.idAt[slot] = -1
+	c.free = append(c.free, slot)
+	c.sortedValid = false
+}
+
+// IDs returns the live ids in ascending order. The returned slice is the
+// collection's cached index: treat it as read-only and do not retain it
+// across mutations.
+func (c *Collection) IDs() []int {
+	if !c.sortedValid {
+		c.sorted = c.sorted[:0]
+		for _, id := range c.idAt {
+			if id >= 0 {
+				c.sorted = append(c.sorted, id)
+			}
+		}
+		sort.Ints(c.sorted)
+		c.sortedValid = true
+	}
+	return c.sorted
+}
+
+// Scan iterates the collection in ascending id order, stopping early when
+// fn returns false. The vectors passed to fn alias the packed storage; fn
+// must not mutate the collection.
+func (c *Collection) Scan(fn func(id int, p geom.Vector) bool) {
+	for _, id := range c.IDs() {
+		if !fn(id, c.at(c.slotOf[id])) {
+			return
+		}
+	}
+}
+
+// Bounds returns the exact per-dimension bounds of the current contents,
+// or ok=false when the collection is empty.
+func (c *Collection) Bounds() (geom.Rect, bool) { return c.tree.Bounds() }
+
+// Stats snapshots the collection's bookkeeping.
+func (c *Collection) Stats() Stats {
+	s := Stats{
+		Count:   c.Len(),
+		Dims:    c.dim,
+		Inserts: c.inserts,
+		Updates: c.updates,
+		Deletes: c.deletes,
+	}
+	if b, ok := c.Bounds(); ok {
+		s.Min, s.Max = b.Lo, b.Hi
+	}
+	return s
+}

@@ -1,0 +1,152 @@
+package data
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseCSV(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		want    [][]float64
+		wantErr error // nil means success; non-nil matched with errors.Is
+	}{
+		{
+			name: "plain records",
+			in:   "1,2,3\n4.5,5.5,6.5\n",
+			want: [][]float64{{1, 2, 3}, {4.5, 5.5, 6.5}},
+		},
+		{
+			name: "whitespace trimmed",
+			in:   " 1 , 2 \n 3 , 4 \n",
+			want: [][]float64{{1, 2}, {3, 4}},
+		},
+		{
+			name:    "empty input",
+			in:      "",
+			wantErr: ErrNoRecords,
+		},
+		{
+			name:    "NaN cell",
+			in:      "1,2\nNaN,4\n",
+			wantErr: ErrNonFinite,
+		},
+		{
+			name:    "positive infinity",
+			in:      "1,Inf\n",
+			wantErr: ErrNonFinite,
+		},
+		{
+			name:    "negative infinity",
+			in:      "-Inf,2\n",
+			wantErr: ErrNonFinite,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseCSV(strings.NewReader(tc.in))
+			if tc.wantErr != nil {
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("ParseCSV error = %v, want %v", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseCSV: %v", err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d records, want %d", len(got), len(tc.want))
+			}
+			for i := range got {
+				if len(got[i]) != len(tc.want[i]) {
+					t.Fatalf("record %d: got %d cols, want %d", i, len(got[i]), len(tc.want[i]))
+				}
+				for j := range got[i] {
+					if got[i][j] != tc.want[i][j] {
+						t.Fatalf("record %d col %d: got %v, want %v", i, j, got[i][j], tc.want[i][j])
+					}
+				}
+			}
+		})
+	}
+
+	t.Run("non-numeric cell", func(t *testing.T) {
+		if _, err := ParseCSV(strings.NewReader("1,x\n")); err == nil {
+			t.Fatal("ParseCSV accepted a non-numeric cell")
+		}
+	})
+}
+
+func TestParseKeyedCSV(t *testing.T) {
+	cases := []struct {
+		name     string
+		in       string
+		wantIDs  []int
+		wantRecs [][]float64
+		wantErr  error
+	}{
+		{
+			name:     "keyed records",
+			in:       "7,0.1,0.2\n3,0.3,0.4\n",
+			wantIDs:  []int{7, 3},
+			wantRecs: [][]float64{{0.1, 0.2}, {0.3, 0.4}},
+		},
+		{
+			name:    "duplicate id",
+			in:      "1,0.1\n2,0.2\n1,0.3\n",
+			wantErr: ErrDuplicateID,
+		},
+		{
+			name:    "non-finite attribute",
+			in:      "1,0.1\n2,Inf\n",
+			wantErr: ErrNonFinite,
+		},
+		{
+			name:    "empty input",
+			in:      "",
+			wantErr: ErrNoRecords,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ids, recs, err := ParseKeyedCSV(strings.NewReader(tc.in))
+			if tc.wantErr != nil {
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("ParseKeyedCSV error = %v, want %v", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseKeyedCSV: %v", err)
+			}
+			if len(ids) != len(tc.wantIDs) {
+				t.Fatalf("got %d ids, want %d", len(ids), len(tc.wantIDs))
+			}
+			for i := range ids {
+				if ids[i] != tc.wantIDs[i] {
+					t.Fatalf("id %d: got %d, want %d", i, ids[i], tc.wantIDs[i])
+				}
+			}
+			for i := range recs {
+				for j := range recs[i] {
+					if recs[i][j] != tc.wantRecs[i][j] {
+						t.Fatalf("record %d col %d: got %v, want %v", i, j, recs[i][j], tc.wantRecs[i][j])
+					}
+				}
+			}
+		})
+	}
+
+	t.Run("bad id", func(t *testing.T) {
+		if _, _, err := ParseKeyedCSV(strings.NewReader("x,0.1\n")); err == nil {
+			t.Fatal("ParseKeyedCSV accepted a non-integer id")
+		}
+	})
+	t.Run("missing attribute columns", func(t *testing.T) {
+		if _, _, err := ParseKeyedCSV(strings.NewReader("1\n")); err == nil {
+			t.Fatal("ParseKeyedCSV accepted a row with only an id")
+		}
+	})
+}

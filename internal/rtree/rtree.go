@@ -473,6 +473,42 @@ func (t *Tree) CountDominated(p geom.Vector) int {
 	return count
 }
 
+// CountDominators returns the number of indexed points that strictly
+// dominate p under the maximisation convention — the mirror of
+// CountDominated, used by the serving layer's cache keep-test (a mutated
+// point with at least k plain dominators cannot change any rho-skyband with
+// parameter k). Subtrees whose bottom corner dominates p are counted
+// wholesale without visiting leaves.
+func (t *Tree) CountDominators(p geom.Vector) int {
+	if t.size == 0 {
+		return 0
+	}
+	var walk func(n *Node) int
+	walk = func(n *Node) int {
+		c := 0
+		for _, e := range n.Entries {
+			// A dominator is componentwise >= p, so the subtree's top corner
+			// must weakly dominate p for any to exist inside.
+			if !e.Rect.Hi.WeakDominates(p) {
+				continue
+			}
+			if n.Level == 0 {
+				if e.Rect.Lo.Dominates(p) {
+					c++
+				}
+				continue
+			}
+			if e.Rect.Lo.Dominates(p) {
+				c += subtreeSize(e.Child)
+				continue
+			}
+			c += walk(e.Child)
+		}
+		return c
+	}
+	return walk(t.root)
+}
+
 func subtreeSize(n *Node) int {
 	if n.Level == 0 {
 		return len(n.Entries)
@@ -486,3 +522,13 @@ func subtreeSize(n *Node) int {
 
 // Height returns the number of levels in the tree (1 for a leaf-only tree).
 func (t *Tree) Height() int { return t.root.Level + 1 }
+
+// Bounds returns the exact minimum bounding rectangle of the indexed points
+// (the root MBR) and true, or a zero rectangle and false for an empty tree.
+// The returned rectangle is a copy; mutating it does not affect the tree.
+func (t *Tree) Bounds() (geom.Rect, bool) {
+	if t.size == 0 {
+		return geom.Rect{}, false
+	}
+	return nodeRect(t.root), true
+}

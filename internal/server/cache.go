@@ -56,6 +56,14 @@ type lruCache struct {
 type cacheEntry struct {
 	key  string
 	body []byte
+	// Invalidation metadata: the dataset the result was computed over and
+	// the query's k. A point mutation with at least k plain dominators
+	// cannot change any rho-skyband (or top-k region) with parameter k —
+	// each dominator inherits every rho-dominance relation the mutated
+	// point participates in — so entries with k <= that dominator count
+	// survive the mutation verbatim.
+	dataset string
+	k       int
 }
 
 // newLRUCache returns a cache holding up to capacity entries; capacity <= 0
@@ -81,7 +89,7 @@ func (c *lruCache) Get(key string) ([]byte, bool) {
 	return el.Value.(*cacheEntry).body, true
 }
 
-func (c *lruCache) Put(key string, body []byte) {
+func (c *lruCache) Put(key string, body []byte, dataset string, k int) {
 	if c.cap <= 0 {
 		return
 	}
@@ -92,12 +100,38 @@ func (c *lruCache) Put(key string, body []byte) {
 		el.Value.(*cacheEntry).body = body
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body, dataset: dataset, k: k})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
 	}
+}
+
+// DropAbove removes every entry computed over the named dataset whose k
+// exceeds keepK, returning how many were dropped. It implements fine-grained
+// mutation invalidation: keepK is the mutated point's plain-dominator count
+// (the minimum over the old and new incarnation for an update), and entries
+// with k <= keepK are provably unaffected. keepK < 0 drops the dataset's
+// entries wholesale.
+func (c *lruCache) DropAbove(dataset string, keepK int) int {
+	if c.cap <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for el := c.ll.Front(); el != nil; { //ordlint:allow ctxflow — bounded by the cache capacity (hundreds of entries), never long enough to need cancellation
+		next := el.Next()
+		e := el.Value.(*cacheEntry)
+		if e.dataset == dataset && e.k > keepK {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+			dropped++
+		}
+		el = next
+	}
+	return dropped
 }
 
 func (c *lruCache) Len() int {

@@ -20,6 +20,13 @@ type metrics struct {
 	requests map[string]*atomic.Int64 // per operator
 	status   map[int]*atomic.Int64    // per mapped status class / code
 	latency  []atomic.Int64           // one per bucket + +Inf
+
+	// Write-path counters: applied point mutations across all datasets and
+	// the result-cache entries their fine-grained invalidation dropped.
+	inserts      atomic.Int64
+	updates      atomic.Int64
+	deletes      atomic.Int64
+	cacheDropped atomic.Int64
 }
 
 // statusKeys are the response-code counters the server distinguishes:
@@ -34,7 +41,7 @@ func newMetrics() *metrics {
 		status:   make(map[int]*atomic.Int64),
 		latency:  make([]atomic.Int64, len(latencyBucketsMS)+1),
 	}
-	for _, op := range []string{"ord", "oru", "datasets", "other"} {
+	for _, op := range []string{"ord", "oru", "datasets", "points", "other"} {
 		m.requests[op] = new(atomic.Int64)
 	}
 	for _, code := range statusKeys {
@@ -83,7 +90,20 @@ type Metrics struct {
 	LatencyMS     []LatencyBucket  `json:"latency_ms"`
 	Queue         QueueMetrics     `json:"queue"`
 	Cache         CacheMetrics     `json:"cache"`
+	Mutations     MutationMetrics  `json:"mutations"`
 	Runtime       RuntimeMetrics   `json:"runtime"`
+}
+
+// MutationMetrics counts applied point writes across all datasets and the
+// fine-grained cache invalidation they caused. CacheDropped staying low
+// while writes flow is the observable signature of the dominance keep-test
+// working (most writes land deep in the dominated interior and invalidate
+// nothing).
+type MutationMetrics struct {
+	Inserts      int64 `json:"inserts"`
+	Updates      int64 `json:"updates"`
+	Deletes      int64 `json:"deletes"`
+	CacheDropped int64 `json:"cache_dropped"`
 }
 
 // RuntimeMetrics exposes the Go runtime's allocation and GC counters, the

@@ -5,14 +5,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ordu"
+	"ordu/internal/collection"
 	"ordu/internal/data"
 	"ordu/internal/geom"
 )
@@ -56,17 +59,26 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// namedDataset pairs a dataset with its registration generation; the
+// namedDataset pairs a dataset with its registration generation and the
+// reader/writer lock serialising point mutations against queries. The
 // generation participates in cache keys, so replacing a dataset under the
-// same name implicitly invalidates its cached results.
+// same name (or bumping the generation as the invalidation fallback)
+// implicitly invalidates its cached results.
 type namedDataset struct {
-	ds  *ordu.Dataset
-	gen uint64
+	ds *ordu.Dataset
+	// mu serialises point mutations (write-locked) against queries and
+	// stat reads (read-locked). Queries hold the read lock across the core
+	// computation and the cache fill, so a later mutation's invalidation
+	// scan always observes the filled entry.
+	mu  sync.RWMutex
+	gen atomic.Uint64
 }
 
 // Server answers ORD/ORU queries over named in-memory datasets. Datasets
-// are immutable once registered (replacement swaps the whole dataset), so
-// queries run lock-free on a snapshot.
+// are mutable: point writes take the dataset's writer lock, queries share
+// its reader lock, and the result cache is invalidated per-entry with a
+// dominance keep-test (wholesale replacement falls back to a generation
+// bump).
 type Server struct {
 	cfg   Config
 	mux   *http.ServeMux
@@ -75,7 +87,7 @@ type Server struct {
 	met   *metrics
 
 	mu       sync.RWMutex
-	datasets map[string]namedDataset
+	datasets map[string]*namedDataset
 	nextGen  uint64
 }
 
@@ -83,7 +95,7 @@ type Server struct {
 func New(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg.withDefaults(),
-		datasets: make(map[string]namedDataset),
+		datasets: make(map[string]*namedDataset),
 	}
 	s.pool = newPool(s.cfg.Workers, s.cfg.QueueDepth)
 	s.cache = newLRUCache(s.cfg.CacheSize)
@@ -93,6 +105,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /datasets", s.handleListDatasets)
 	s.mux.HandleFunc("POST /datasets", s.handleAddDataset)
+	s.mux.HandleFunc("POST /datasets/{name}/points", s.handleWritePoint)
+	s.mux.HandleFunc("DELETE /datasets/{name}/points/{id}", s.handleDeletePoint)
 	s.mux.HandleFunc("POST /query/ord", func(w http.ResponseWriter, r *http.Request) { s.handleQuery(w, r, "ord") })
 	s.mux.HandleFunc("POST /query/oru", func(w http.ResponseWriter, r *http.Request) { s.handleQuery(w, r, "oru") })
 	return s
@@ -105,16 +119,20 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Config() Config { return s.cfg }
 
 // AddDataset registers (or replaces) a dataset under the given name.
-// Replacement bumps the name's generation, invalidating cached results.
+// Replacement bumps the name's generation — the gen-bump fallback that
+// invalidates every cached result wholesale, where per-point mutations
+// instead run the fine-grained dominance keep-test.
 func (s *Server) AddDataset(name string, ds *ordu.Dataset) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextGen++
-	s.datasets[name] = namedDataset{ds: ds, gen: s.nextGen}
+	nd := &namedDataset{ds: ds}
+	nd.gen.Store(s.nextGen)
+	s.datasets[name] = nd
 }
 
-// dataset returns a registered dataset snapshot.
-func (s *Server) dataset(name string) (namedDataset, bool) {
+// dataset returns a registered dataset.
+func (s *Server) dataset(name string) (*namedDataset, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	nd, ok := s.datasets[name]
@@ -141,7 +159,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, op string) 
 		return
 	}
 
-	key := cacheKey(op, req.Dataset, nd.gen, req.W, req.K, req.M)
+	key := cacheKey(op, req.Dataset, nd.gen.Load(), req.W, req.K, req.M)
 	if body, ok := s.cache.Get(key); ok {
 		w.Header().Set("X-Cache", "HIT")
 		s.reply(w, op, start, http.StatusOK, body)
@@ -171,17 +189,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, op string) 
 	}
 	defer release()
 
+	// The read lock covers the core computation, the marshal (output
+	// records alias the dataset's packed storage) and the cache fill, so a
+	// concurrent mutation either happens-before this query or runs its
+	// invalidation scan after the entry exists.
+	nd.mu.RLock()
 	var resp *QueryResponse
 	switch op {
 	case "ord":
-		res, qerr := nd.ds.ORDCtx(ctx, req.W, req.K, req.M)
+		res, qerr := nd.ds.ORDCtx(ctx, req.W, req.K, req.M) //ordlint:allow lockhold — reader lock by design: queries must hold off writers for their whole run (results alias packed storage), and ctx bounds the hold time
 		if qerr != nil {
 			err = qerr
 		} else {
 			resp = NewORDResponse(res)
 		}
 	case "oru":
-		res, qerr := nd.ds.ORUParallelCtx(ctx, req.W, req.K, req.M, req.Workers)
+		res, qerr := nd.ds.ORUParallelCtx(ctx, req.W, req.K, req.M, req.Workers) //ordlint:allow lockhold — reader lock by design: see the ORD arm above
 		if qerr != nil {
 			err = qerr
 		} else {
@@ -189,15 +212,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, op string) 
 		}
 	}
 	if err != nil {
+		nd.mu.RUnlock()
 		s.fail(w, op, start, statusForQueryError(err), err.Error())
 		return
 	}
 	body, err := json.Marshal(resp)
 	if err != nil {
+		nd.mu.RUnlock()
 		s.fail(w, op, start, http.StatusInternalServerError, err.Error())
 		return
 	}
-	s.cache.Put(key, body)
+	s.cache.Put(key, body, req.Dataset, req.K)
+	nd.mu.RUnlock()
 	w.Header().Set("X-Cache", "MISS")
 	s.reply(w, op, start, http.StatusOK, body)
 }
@@ -248,11 +274,31 @@ type GeneratorSpec struct {
 	Seed int64 `json:"seed,omitempty"`
 }
 
-// DatasetInfo describes one registered dataset.
+// DatasetInfo describes one registered dataset: identity, shape, exact
+// bounds, and the cumulative write counters of its live-mutation history
+// (bulk registration does not count as writes).
 type DatasetInfo struct {
-	Name    string `json:"name"`
-	Records int    `json:"records"`
-	Dims    int    `json:"dims"`
+	Name    string    `json:"name"`
+	Records int       `json:"records"`
+	Dims    int       `json:"dims"`
+	Inserts uint64    `json:"inserts"`
+	Updates uint64    `json:"updates"`
+	Deletes uint64    `json:"deletes"`
+	Min     []float64 `json:"min,omitempty"`
+	Max     []float64 `json:"max,omitempty"`
+}
+
+func infoFromStats(name string, st collection.Stats) DatasetInfo {
+	return DatasetInfo{
+		Name:    name,
+		Records: st.Count,
+		Dims:    st.Dims,
+		Inserts: st.Inserts,
+		Updates: st.Updates,
+		Deletes: st.Deletes,
+		Min:     st.Min,
+		Max:     st.Max,
+	}
 }
 
 // BuildDataset materialises a dataset from a CSV path or generator spec.
@@ -321,20 +367,173 @@ func (s *Server) handleAddDataset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.AddDataset(req.Name, ds)
-	s.writeJSON(w, "datasets", start, http.StatusCreated,
-		DatasetInfo{Name: req.Name, Records: ds.Len(), Dims: ds.Dim()})
+	s.writeJSON(w, "datasets", start, http.StatusCreated, infoFromStats(req.Name, ds.Stats()))
 }
 
 func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.mu.RLock()
-	infos := make([]DatasetInfo, 0, len(s.datasets))
+	named := make(map[string]*namedDataset, len(s.datasets))
 	for name, nd := range s.datasets {
-		infos = append(infos, DatasetInfo{Name: name, Records: nd.ds.Len(), Dims: nd.ds.Dim()})
+		named[name] = nd
 	}
 	s.mu.RUnlock()
+	infos := make([]DatasetInfo, 0, len(named))
+	for name, nd := range named {
+		nd.mu.RLock()
+		st := nd.ds.Stats()
+		nd.mu.RUnlock()
+		infos = append(infos, infoFromStats(name, st))
+	}
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
 	s.writeJSON(w, "datasets", start, http.StatusOK, infos)
+}
+
+// --- point mutations ---
+
+// PointWriteRequest is the body of POST /datasets/{name}/points. With id
+// omitted the server assigns a fresh id and inserts; with id given the
+// write is an upsert (insert when free, in-place update when live).
+type PointWriteRequest struct {
+	ID    *int      `json:"id,omitempty"`
+	Point []float64 `json:"point"`
+}
+
+// PointWriteResponse reports an applied point write.
+type PointWriteResponse struct {
+	ID      int  `json:"id"`
+	Updated bool `json:"updated"`
+	Records int  `json:"records"`
+	// CacheDropped counts result-cache entries this write invalidated;
+	// entries whose k the mutated point's plain-dominator count covers
+	// survive untouched.
+	CacheDropped int `json:"cache_dropped"`
+}
+
+// PointDeleteResponse reports an applied point deletion.
+type PointDeleteResponse struct {
+	ID           int `json:"id"`
+	Records      int `json:"records"`
+	CacheDropped int `json:"cache_dropped"`
+}
+
+// statusForMutationError maps collection sentinel errors to HTTP statuses.
+func statusForMutationError(err error) int {
+	switch {
+	case errors.Is(err, collection.ErrUnknownID):
+		return http.StatusNotFound
+	case errors.Is(err, collection.ErrDuplicateID):
+		return http.StatusConflict
+	case errors.Is(err, collection.ErrBadPoint):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleWritePoint(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	name := r.PathValue("name")
+	nd, ok := s.dataset(name)
+	if !ok {
+		s.fail(w, "points", start, http.StatusNotFound, fmt.Sprintf("unknown dataset %q", name))
+		return
+	}
+	var req PointWriteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, "points", start, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if len(req.Point) != nd.ds.Dim() {
+		s.fail(w, "points", start, http.StatusBadRequest,
+			fmt.Sprintf("point has %d attributes, want %d", len(req.Point), nd.ds.Dim()))
+		return
+	}
+	for j, x := range req.Point {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			s.fail(w, "points", start, http.StatusBadRequest, fmt.Sprintf("point[%d] is not finite", j))
+			return
+		}
+	}
+
+	nd.mu.Lock()
+	var (
+		id      int
+		updated bool
+		err     error
+		hasOld  bool
+		nOld    int
+	)
+	if req.ID == nil {
+		id, err = nd.ds.Insert(req.Point)
+	} else {
+		id = *req.ID
+		// Count the outgoing incarnation's dominators before the write
+		// rearranges the storage: the keep-test must cover both states.
+		if old, live := nd.ds.Record(id); live {
+			hasOld = true
+			nOld = nd.ds.CountDominators(old)
+		}
+		updated, err = nd.ds.Upsert(id, req.Point)
+	}
+	if err != nil {
+		nd.mu.Unlock()
+		s.fail(w, "points", start, statusForMutationError(err), err.Error())
+		return
+	}
+	keepK := nd.ds.CountDominators(req.Point)
+	if hasOld && nOld < keepK {
+		keepK = nOld
+	}
+	dropped := s.cache.DropAbove(name, keepK)
+	records := nd.ds.Len()
+	nd.mu.Unlock()
+
+	if updated {
+		s.met.updates.Add(1)
+	} else {
+		s.met.inserts.Add(1)
+	}
+	s.met.cacheDropped.Add(int64(dropped))
+	code := http.StatusCreated
+	if updated {
+		code = http.StatusOK
+	}
+	s.writeJSON(w, "points", start, code,
+		PointWriteResponse{ID: id, Updated: updated, Records: records, CacheDropped: dropped})
+}
+
+func (s *Server) handleDeletePoint(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	name := r.PathValue("name")
+	nd, ok := s.dataset(name)
+	if !ok {
+		s.fail(w, "points", start, http.StatusNotFound, fmt.Sprintf("unknown dataset %q", name))
+		return
+	}
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		s.fail(w, "points", start, http.StatusBadRequest, fmt.Sprintf("bad point id %q", r.PathValue("id")))
+		return
+	}
+
+	nd.mu.Lock()
+	old, live := nd.ds.Record(id)
+	if !live {
+		nd.mu.Unlock()
+		s.fail(w, "points", start, http.StatusNotFound, fmt.Sprintf("dataset %q has no point %d", name, id))
+		return
+	}
+	keepK := nd.ds.CountDominators(old)
+	nd.ds.Delete(id)
+	dropped := s.cache.DropAbove(name, keepK)
+	records := nd.ds.Len()
+	nd.mu.Unlock()
+
+	s.met.deletes.Add(1)
+	s.met.cacheDropped.Add(int64(dropped))
+	s.writeJSON(w, "points", start, http.StatusOK,
+		PointDeleteResponse{ID: id, Records: records, CacheDropped: dropped})
 }
 
 // --- health & metrics ---
@@ -381,6 +580,12 @@ func (s *Server) Snapshot() Metrics {
 			HitRate:  hitRate,
 			Entries:  s.cache.Len(),
 			Capacity: s.cfg.CacheSize,
+		},
+		Mutations: MutationMetrics{
+			Inserts:      s.met.inserts.Load(),
+			Updates:      s.met.updates.Load(),
+			Deletes:      s.met.deletes.Load(),
+			CacheDropped: s.met.cacheDropped.Load(),
 		},
 		Runtime: readRuntimeMetrics(),
 	}

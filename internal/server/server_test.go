@@ -256,10 +256,10 @@ func TestCacheInvalidatedByDatasetReplacement(t *testing.T) {
 
 func TestLRUCacheEviction(t *testing.T) {
 	c := newLRUCache(2)
-	c.Put("a", []byte("A"))
-	c.Put("b", []byte("B"))
-	c.Get("a")              // refresh a
-	c.Put("c", []byte("C")) // evicts b
+	c.Put("a", []byte("A"), "ds", 1)
+	c.Put("b", []byte("B"), "ds", 1)
+	c.Get("a")                       // refresh a
+	c.Put("c", []byte("C"), "ds", 1) // evicts b
 	if _, ok := c.Get("b"); ok {
 		t.Fatal("b survived eviction")
 	}
@@ -271,7 +271,7 @@ func TestLRUCacheEviction(t *testing.T) {
 	}
 	// Disabled cache never stores.
 	d := newLRUCache(0)
-	d.Put("x", []byte("X"))
+	d.Put("x", []byte("X"), "ds", 1)
 	if _, ok := d.Get("x"); ok {
 		t.Fatal("disabled cache stored an entry")
 	}
@@ -409,5 +409,238 @@ func TestConcurrentQueries(t *testing.T) {
 	snap := s.Snapshot()
 	if snap.Responses["200"] == 0 || snap.Cache.Hits == 0 {
 		t.Fatalf("suspicious snapshot: %+v", snap.Responses)
+	}
+}
+
+// diagDataset builds a dataset whose records sit on the main diagonal
+// (c_i = (0.9 - 0.02 i) * ones), so plain dominance is a total order and
+// dominator counts are exactly predictable.
+func diagDataset(t *testing.T, n int) *ordu.Dataset {
+	t.Helper()
+	recs := make([][]float64, n)
+	for i := range recs {
+		v := 0.9 - 0.02*float64(i)
+		recs[i] = []float64{v, v, v}
+	}
+	ds, err := ordu.NewDataset(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestPointWriteAndDelete(t *testing.T) {
+	s := testServer(t, Config{}, 200)
+
+	// Auto-id insert.
+	rec := do(t, s.Handler(), "POST", "/datasets/main/points", `{"point":[0.5,0.5,0.5]}`)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("insert status %d: %s", rec.Code, rec.Body.String())
+	}
+	ins := decode[PointWriteResponse](t, rec)
+	if ins.Updated || ins.Records != 201 {
+		t.Fatalf("insert response %+v", ins)
+	}
+
+	// Explicit-id upsert: first write inserts, second updates in place.
+	rec = do(t, s.Handler(), "POST", "/datasets/main/points",
+		fmt.Sprintf(`{"id":%d,"point":[0.4,0.4,0.4]}`, 5000))
+	if rec.Code != http.StatusCreated || decode[PointWriteResponse](t, rec).Updated {
+		t.Fatalf("upsert-insert: %d %s", rec.Code, rec.Body.String())
+	}
+	rec = do(t, s.Handler(), "POST", "/datasets/main/points",
+		fmt.Sprintf(`{"id":%d,"point":[0.6,0.6,0.6]}`, 5000))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("upsert-update status %d: %s", rec.Code, rec.Body.String())
+	}
+	upd := decode[PointWriteResponse](t, rec)
+	if !upd.Updated || upd.Records != 202 {
+		t.Fatalf("update response %+v", upd)
+	}
+
+	// Delete it again.
+	rec = do(t, s.Handler(), "DELETE", "/datasets/main/points/5000", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delete status %d: %s", rec.Code, rec.Body.String())
+	}
+	del := decode[PointDeleteResponse](t, rec)
+	if del.ID != 5000 || del.Records != 201 {
+		t.Fatalf("delete response %+v", del)
+	}
+
+	// The write counters show up in /datasets and /metrics.
+	list := decode[[]DatasetInfo](t, do(t, s.Handler(), "GET", "/datasets", ""))
+	if len(list) != 1 || list[0].Inserts != 2 || list[0].Updates != 1 || list[0].Deletes != 1 {
+		t.Fatalf("dataset stats %+v", list)
+	}
+	if len(list[0].Min) != 3 || len(list[0].Max) != 3 {
+		t.Fatalf("dataset bounds missing: %+v", list[0])
+	}
+	m := decode[Metrics](t, do(t, s.Handler(), "GET", "/metrics", ""))
+	if m.Mutations.Inserts != 2 || m.Mutations.Updates != 1 || m.Mutations.Deletes != 1 {
+		t.Fatalf("mutation metrics %+v", m.Mutations)
+	}
+	if m.Requests["points"] != 4 {
+		t.Fatalf("points request counter = %d", m.Requests["points"])
+	}
+
+	// Error paths.
+	for _, tc := range []struct {
+		method, path, body string
+		want               int
+	}{
+		{"POST", "/datasets/nope/points", `{"point":[0.5,0.5,0.5]}`, 404},
+		{"POST", "/datasets/main/points", `{"point":[0.5,0.5]}`, 400},
+		{"POST", "/datasets/main/points", `{"point":`, 400},
+		{"DELETE", "/datasets/nope/points/1", "", 404},
+		{"DELETE", "/datasets/main/points/999999", "", 404},
+		{"DELETE", "/datasets/main/points/abc", "", 400},
+	} {
+		rec := do(t, s.Handler(), tc.method, tc.path, tc.body)
+		if rec.Code != tc.want {
+			t.Fatalf("%s %s: status %d, want %d: %s", tc.method, tc.path, rec.Code, tc.want, rec.Body.String())
+		}
+	}
+}
+
+func TestMutationVisibleToQueries(t *testing.T) {
+	s := New(Config{})
+	s.AddDataset("diag", diagDataset(t, 20))
+	// A new point dominating the whole chain must lead the next ORD answer.
+	rec := do(t, s.Handler(), "POST", "/datasets/diag/points", `{"point":[0.95,0.95,0.95]}`)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("insert: %d %s", rec.Code, rec.Body.String())
+	}
+	id := decode[PointWriteResponse](t, rec).ID
+	q := do(t, s.Handler(), "POST", "/query/ord", `{"dataset":"diag","w":[0.4,0.3,0.3],"k":1,"m":1}`)
+	if q.Code != 200 {
+		t.Fatalf("query: %d %s", q.Code, q.Body.String())
+	}
+	resp := decode[QueryResponse](t, q)
+	if len(resp.Records) != 1 || resp.Records[0].ID != id {
+		t.Fatalf("ORD top record %+v, want id %d", resp.Records, id)
+	}
+	// Deleting it restores the old leader.
+	do(t, s.Handler(), "DELETE", fmt.Sprintf("/datasets/diag/points/%d", id), "")
+	q = do(t, s.Handler(), "POST", "/query/ord", `{"dataset":"diag","w":[0.4,0.3,0.3],"k":1,"m":1}`)
+	resp = decode[QueryResponse](t, q)
+	if len(resp.Records) != 1 || resp.Records[0].ID != 0 {
+		t.Fatalf("ORD top record after delete %+v, want id 0", resp.Records)
+	}
+}
+
+// TestFineGrainedCacheInvalidation pins the dominance keep-test: a write
+// with at least k plain dominators must leave k-entries cached, while a
+// write above the skyline drops them.
+func TestFineGrainedCacheInvalidation(t *testing.T) {
+	s := New(Config{})
+	s.AddDataset("diag", diagDataset(t, 30))
+	h := s.Handler()
+	q2 := `{"dataset":"diag","w":[0.4,0.3,0.3],"k":2,"m":2}`
+	q3 := `{"dataset":"diag","w":[0.4,0.3,0.3],"k":3,"m":3}`
+	cacheState := func(body string) string {
+		rec := do(t, h, "POST", "/query/ord", body)
+		if rec.Code != 200 {
+			t.Fatalf("query: %d %s", rec.Code, rec.Body.String())
+		}
+		return rec.Header().Get("X-Cache")
+	}
+
+	if cacheState(q2) != "MISS" || cacheState(q3) != "MISS" {
+		t.Fatal("warm-up queries unexpectedly hit")
+	}
+
+	// A deep insert (dominated by the entire chain) invalidates nothing.
+	rec := do(t, h, "POST", "/datasets/diag/points", `{"point":[0.01,0.01,0.01]}`)
+	deep := decode[PointWriteResponse](t, rec)
+	if deep.CacheDropped != 0 {
+		t.Fatalf("deep insert dropped %d entries", deep.CacheDropped)
+	}
+	if cacheState(q2) != "HIT" || cacheState(q3) != "HIT" {
+		t.Fatal("deep insert evicted provably-valid entries")
+	}
+
+	// A point with exactly 2 dominators (between c1=0.88 and c2=0.86)
+	// keeps k=2 and drops k=3.
+	rec = do(t, h, "POST", "/datasets/diag/points", `{"point":[0.87,0.87,0.87]}`)
+	mid := decode[PointWriteResponse](t, rec)
+	if mid.CacheDropped != 1 {
+		t.Fatalf("mid insert dropped %d entries, want 1", mid.CacheDropped)
+	}
+	if cacheState(q2) != "HIT" {
+		t.Fatal("k=2 entry dropped despite 2 dominators")
+	}
+	if cacheState(q3) != "MISS" {
+		t.Fatal("k=3 entry survived a 2-dominator insert")
+	}
+
+	// Deleting the deep point again invalidates nothing.
+	rec = do(t, h, "DELETE", fmt.Sprintf("/datasets/diag/points/%d", deep.ID), "")
+	if d := decode[PointDeleteResponse](t, rec); d.CacheDropped != 0 {
+		t.Fatalf("deep delete dropped %d entries", d.CacheDropped)
+	}
+	if cacheState(q2) != "HIT" || cacheState(q3) != "HIT" {
+		t.Fatal("deep delete evicted provably-valid entries")
+	}
+
+	// An insert above the skyline (0 dominators) drops every entry.
+	rec = do(t, h, "POST", "/datasets/diag/points", `{"point":[0.99,0.99,0.99]}`)
+	top := decode[PointWriteResponse](t, rec)
+	if top.CacheDropped != 2 {
+		t.Fatalf("skyline insert dropped %d entries, want 2", top.CacheDropped)
+	}
+	if cacheState(q2) != "MISS" || cacheState(q3) != "MISS" {
+		t.Fatal("stale entries served after a skyline-level insert")
+	}
+}
+
+// TestConcurrentMutationsAndQueries interleaves writers and readers on one
+// dataset; run under -race (make test does) it checks the per-dataset lock
+// discipline end to end.
+func TestConcurrentMutationsAndQueries(t *testing.T) {
+	s := testServer(t, Config{Workers: 4, QueueDepth: 64}, 400)
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				switch g % 3 {
+				case 0: // reader
+					rec := do(t, s.Handler(), "POST", "/query/ord",
+						`{"dataset":"main","w":[0.4,0.3,0.3],"k":2,"m":8}`)
+					if rec.Code != 200 {
+						errs <- fmt.Sprintf("reader %d: %d %s", g, rec.Code, rec.Body.String())
+						return
+					}
+				case 1: // inserter
+					rec := do(t, s.Handler(), "POST", "/datasets/main/points",
+						fmt.Sprintf(`{"point":[%g,0.5,0.5]}`, 0.1+0.01*float64(g*4+i)))
+					if rec.Code != http.StatusCreated {
+						errs <- fmt.Sprintf("inserter %d: %d %s", g, rec.Code, rec.Body.String())
+						return
+					}
+				default: // upserter on a private id
+					rec := do(t, s.Handler(), "POST", "/datasets/main/points",
+						fmt.Sprintf(`{"id":%d,"point":[0.5,%g,0.5]}`, 10000+g, 0.1+0.02*float64(i)))
+					if rec.Code != http.StatusCreated && rec.Code != http.StatusOK {
+						errs <- fmt.Sprintf("upserter %d: %d %s", g, rec.Code, rec.Body.String())
+						return
+					}
+				}
+			}
+			do(t, s.Handler(), "GET", "/datasets", "")
+			do(t, s.Handler(), "GET", "/metrics", "")
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	snap := s.Snapshot()
+	if snap.Mutations.Inserts == 0 {
+		t.Fatalf("no inserts recorded: %+v", snap.Mutations)
 	}
 }

@@ -177,7 +177,7 @@ func (ird *IRD) fetch() bool {
 // Next releases the rho-skyband member with the smallest remaining
 // inflection radius. ok is false once the entire k-skyband is exhausted.
 func (ird *IRD) Next() (Released, bool) {
-	r, ok, _ := ird.NextCtx(context.Background())
+	r, ok, _ := ird.NextCtx(context.Background()) //ordlint:allow senterr — context.Background never cancels, so the error is structurally nil
 	return r, ok
 }
 

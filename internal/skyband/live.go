@@ -1,0 +1,397 @@
+package skyband
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"ordu/internal/geom"
+	"ordu/internal/rtree"
+)
+
+// Sentinel errors of the live-maintenance API.
+var (
+	// ErrLiveParams reports invalid construction parameters.
+	ErrLiveParams = errors.New("skyband: invalid live parameters")
+	// ErrLiveState reports a mutation notification that disagrees with the
+	// tracked state or with the underlying tree (protocol misuse).
+	ErrLiveState = errors.New("skyband: inconsistent live state")
+)
+
+// liveSlack is the default headroom of the tracked-dominator lists beyond k.
+// A larger slack absorbs more dominator deletions before a truncated list
+// forces a recount probe; the per-point memory cost is slack extra ints.
+const liveSlack = 8
+
+// liveEntry is the maintained dominance state of one record y.
+//
+// Invariants (T = true number of live rho-dominators of y):
+//
+//	len(doms) == min(T, cap)        — doms is a subset of y's true dominators
+//	truncated == false  =>  T == len(doms) (the list is exact)
+//	truncated == true   =>  T >= cap (possibly stale: an untracked dominator
+//	                        may have been deleted since, leaving T == cap)
+//
+// Membership in the rho-skyband is T < k, which — because cap >= k — is
+// decidable from the list alone as len(doms) < k, stale flag or not.
+type liveEntry struct {
+	doms      []int
+	truncated bool
+}
+
+// Live maintains the rho-skyband of a mutating R-tree for a fixed preference
+// seed w, band parameter k and radius rho (Section 3's output set, kept
+// fresh under point insertions and deletions instead of recomputed).
+//
+// For every live record y it tracks up to cap = k+slack of y's
+// rho-dominators plus a reverse index contrib[x] = {y : x tracked for y}.
+// An insert of z runs two score-pruned tree probes: one collecting z's own
+// dominators (early-exiting once cap+1 are seen), one visiting only the
+// records z can rho-dominate (subtrees that outscore z are pruned, subtrees
+// plainly dominated by z skip the mindist test wholesale). A delete of x
+// touches only contrib[x]; a list that was truncated is recounted exactly
+// with the same early-exiting probe. Rebuild recomputes everything from
+// scratch and is both the constructor path and the repair fallback.
+//
+// Live observes the tree, it does not own it: the caller mutates the tree
+// first and then notifies OnInsert/OnDelete/OnUpdate. rho must be strictly
+// positive — at rho = 0 the definitional score-tie corner makes pairwise
+// rho-dominance and the scan-based pruner disagree, so live maintenance
+// refuses it. Not goroutine-safe; the serving layer serialises writers.
+type Live struct {
+	tree *rtree.Tree
+	w    geom.Vector
+	k    int
+	rho  float64
+	cap  int
+
+	entries map[int]*liveEntry
+	contrib map[int]map[int]struct{}
+	ws      Workspace
+
+	recounts uint64
+}
+
+// NewLive builds the live maintenance state for the tree's current contents.
+// w must be a non-negative preference vector of the tree's dimensionality
+// (callers pass simplex-normalised seeds), k >= 1, and 0 < rho < +Inf.
+func NewLive(tree *rtree.Tree, w geom.Vector, k int, rho float64) (*Live, error) {
+	if tree == nil {
+		return nil, fmt.Errorf("%w: nil tree", ErrLiveParams)
+	}
+	if len(w) != tree.Dim() {
+		return nil, fmt.Errorf("%w: seed dim %d, tree dim %d", ErrLiveParams, len(w), tree.Dim())
+	}
+	sum := 0.0
+	for j, x := range w {
+		if math.IsNaN(x) || x < 0 {
+			return nil, fmt.Errorf("%w: seed component %d is %v", ErrLiveParams, j, x)
+		}
+		sum += x
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("%w: zero seed", ErrLiveParams)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("%w: k = %d", ErrLiveParams, k)
+	}
+	if math.IsNaN(rho) || rho <= 0 || math.IsInf(rho, 1) {
+		return nil, fmt.Errorf("%w: rho = %v (need 0 < rho < +Inf)", ErrLiveParams, rho)
+	}
+	l := &Live{
+		tree: tree,
+		w:    w.Clone(),
+		k:    k,
+		rho:  rho,
+		cap:  k + liveSlack,
+	}
+	l.Rebuild()
+	return l, nil
+}
+
+// Rebuild recomputes the tracked state from the tree's current contents: one
+// early-exiting dominator probe per live record. It is the recompute-from-
+// scratch fallback the incremental paths are validated against.
+func (l *Live) Rebuild() {
+	l.entries = make(map[int]*liveEntry, l.tree.Len())
+	l.contrib = make(map[int]map[int]struct{}, l.tree.Len())
+	b, ok := l.tree.Bounds()
+	if !ok {
+		return
+	}
+	for _, id := range l.tree.RangeQuery(b) {
+		p, _ := l.tree.Point(id)
+		doms, trunc := l.dominatorsOf(id, p)
+		l.setEntry(id, doms, trunc)
+	}
+}
+
+// K returns the band parameter. Rho returns the maintenance radius.
+func (l *Live) K() int { return l.k }
+
+// Rho returns the radius the band is maintained at.
+func (l *Live) Rho() float64 { return l.rho }
+
+// Seed returns the preference seed (shared slice; do not modify).
+func (l *Live) Seed() geom.Vector { return l.w }
+
+// Recounts returns the cumulative number of exact recount probes forced by
+// deletions of tracked dominators — the metric that shows deletes staying
+// local instead of degenerating into rebuilds.
+func (l *Live) Recounts() uint64 { return l.recounts }
+
+// Contains reports whether the record is currently in the rho-skyband.
+func (l *Live) Contains(id int) bool {
+	e := l.entries[id]
+	return e != nil && len(e.doms) < l.k
+}
+
+// Members returns the current rho-skyband in ascending id order. The member
+// vectors alias the tree's storage.
+func (l *Live) Members() []Member {
+	ids := make([]int, 0, len(l.entries))
+	for id, e := range l.entries {
+		if len(e.doms) < l.k {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	out := make([]Member, len(ids))
+	for i, id := range ids {
+		p, _ := l.tree.Point(id)
+		out[i] = Member{ID: id, Point: p}
+	}
+	return out
+}
+
+// OnInsert repairs the band after the tree gained record id. The tree must
+// already contain the point.
+func (l *Live) OnInsert(id int) error {
+	p, ok := l.tree.Point(id)
+	if !ok {
+		return fmt.Errorf("%w: OnInsert(%d) but the id is not in the tree", ErrLiveState, id)
+	}
+	if _, dup := l.entries[id]; dup {
+		return fmt.Errorf("%w: OnInsert(%d) but the id is already tracked", ErrLiveState, id)
+	}
+	doms, trunc := l.dominatorsOf(id, p)
+	l.setEntry(id, doms, trunc)
+	// Push z into the lists of every record it rho-dominates; only the
+	// score-halfspace below z is probed.
+	l.dominateesOf(id, p, func(y int, _ geom.Vector) {
+		e := l.entries[y]
+		if e == nil || containsID(e.doms, id) {
+			return // already tracked (an update's recount got there first)
+		}
+		if len(e.doms) < l.cap {
+			e.doms = append(e.doms, id)
+			l.addContrib(id, y)
+		} else {
+			e.truncated = true
+		}
+	})
+	return nil
+}
+
+// OnDelete repairs the band after the tree lost record id. The tree must no
+// longer contain the point.
+func (l *Live) OnDelete(id int) error {
+	if _, still := l.tree.Point(id); still {
+		return fmt.Errorf("%w: OnDelete(%d) but the id is still in the tree", ErrLiveState, id)
+	}
+	if l.entries[id] == nil {
+		return fmt.Errorf("%w: OnDelete(%d) but the id is not tracked", ErrLiveState, id)
+	}
+	l.detach(id)
+	return nil
+}
+
+// OnUpdate repairs the band after record id moved. The tree must already
+// hold the new position.
+func (l *Live) OnUpdate(id int) error {
+	if _, ok := l.tree.Point(id); !ok {
+		return fmt.Errorf("%w: OnUpdate(%d) but the id is not in the tree", ErrLiveState, id)
+	}
+	if l.entries[id] == nil {
+		return fmt.Errorf("%w: OnUpdate(%d) but the id is not tracked", ErrLiveState, id)
+	}
+	// Detach the old incarnation, then insert the new one. The recounts run
+	// by detach see the already-moved point, which is exactly the final
+	// dominator set they should converge to; OnInsert's duplicate guard
+	// absorbs the overlap.
+	l.detach(id)
+	return l.OnInsert(id) //ordlint:allow wsescape — returns only an error; the internal workspace never leaves the Live
+}
+
+// detach removes id from the tracked state and repairs every list that
+// referenced it: exact lists just shrink, truncated lists are recounted.
+func (l *Live) detach(id int) {
+	e := l.entries[id]
+	for _, d := range e.doms {
+		l.delContrib(d, id)
+	}
+	delete(l.entries, id)
+	holders := l.contrib[id]
+	delete(l.contrib, id)
+	ys := make([]int, 0, len(holders))
+	for y := range holders {
+		ys = append(ys, y)
+	}
+	sort.Ints(ys)
+	for _, y := range ys {
+		ey := l.entries[y]
+		if ey == nil {
+			continue
+		}
+		removeID(&ey.doms, id)
+		if ey.truncated {
+			// The list may have been a strict subset of y's dominators, so
+			// shrinking it loses the len == min(T, cap) invariant: recount.
+			l.recount(y)
+		}
+	}
+}
+
+// recount recomputes y's dominator list exactly with the early-exiting probe.
+func (l *Live) recount(y int) {
+	p, ok := l.tree.Point(y)
+	if !ok {
+		return
+	}
+	e := l.entries[y]
+	for _, d := range e.doms {
+		l.delContrib(d, y)
+	}
+	doms, trunc := l.dominatorsOf(y, p)
+	e.doms, e.truncated = doms, trunc
+	for _, d := range doms {
+		l.addContrib(d, y)
+	}
+	l.recounts++
+}
+
+func (l *Live) setEntry(id int, doms []int, trunc bool) {
+	l.entries[id] = &liveEntry{doms: doms, truncated: trunc}
+	for _, d := range doms {
+		l.addContrib(d, id)
+	}
+}
+
+func (l *Live) addContrib(dom, y int) {
+	s := l.contrib[dom]
+	if s == nil {
+		s = make(map[int]struct{}, 4)
+		l.contrib[dom] = s
+	}
+	s[y] = struct{}{}
+}
+
+func (l *Live) delContrib(dom, y int) {
+	s := l.contrib[dom]
+	delete(s, y)
+	if len(s) == 0 {
+		delete(l.contrib, dom)
+	}
+}
+
+// dominatorsOf probes the tree for records rho-dominating z at the
+// maintenance radius, stopping as soon as cap+1 are seen (the surplus is
+// reported as truncation, not materialised). Subtrees whose best score is
+// below z's are pruned — a rho-dominator must score at least z for w, and
+// Dot is monotone under pointwise ordering, so the prune is exact. Subtrees
+// whose bottom corner plainly dominates z contribute wholesale, skipping the
+// mindist test.
+func (l *Live) dominatorsOf(z int, p geom.Vector) (doms []int, truncated bool) {
+	sz := p.Dot(l.w)
+	doms = make([]int, 0, l.cap)
+	var walk func(n *rtree.Node, allDom bool) bool
+	walk = func(n *rtree.Node, allDom bool) bool {
+		for i := range n.Entries {
+			e := &n.Entries[i]
+			sub := allDom
+			if !sub {
+				if e.Rect.Hi.Dot(l.w) < sz {
+					continue
+				}
+				sub = e.Rect.Lo.Dominates(p)
+			}
+			if n.Level > 0 {
+				if !walk(e.Child, sub) {
+					return false
+				}
+				continue
+			}
+			if e.ID == z {
+				continue
+			}
+			q := e.Rect.Lo
+			if sub || q.Dominates(p) || RhoDominatesWS(l.w, q, p, l.rho, &l.ws) {
+				if len(doms) == l.cap {
+					truncated = true
+					return false
+				}
+				doms = append(doms, e.ID)
+			}
+		}
+		return true
+	}
+	if l.tree.Len() > 0 {
+		walk(l.tree.Root(), false)
+	}
+	return doms, truncated
+}
+
+// dominateesOf probes the tree for the records z rho-dominates at the
+// maintenance radius and calls visit for each. Subtrees whose worst score
+// exceeds z's are pruned; subtrees plainly dominated by z skip the mindist
+// test wholesale.
+func (l *Live) dominateesOf(z int, p geom.Vector, visit func(y int, q geom.Vector)) {
+	if l.tree.Len() == 0 {
+		return
+	}
+	sz := p.Dot(l.w)
+	var walk func(n *rtree.Node, allDom bool)
+	walk = func(n *rtree.Node, allDom bool) {
+		for i := range n.Entries {
+			e := &n.Entries[i]
+			sub := allDom
+			if !sub {
+				if e.Rect.Lo.Dot(l.w) > sz {
+					continue
+				}
+				sub = p.Dominates(e.Rect.Hi)
+			}
+			if n.Level > 0 {
+				walk(e.Child, sub)
+				continue
+			}
+			if e.ID == z {
+				continue
+			}
+			q := e.Rect.Lo
+			if sub || p.Dominates(q) || RhoDominatesWS(l.w, p, q, l.rho, &l.ws) {
+				visit(e.ID, q)
+			}
+		}
+	}
+	walk(l.tree.Root(), false)
+}
+
+func containsID(s []int, id int) bool {
+	for _, x := range s {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+func removeID(s *[]int, id int) {
+	for i, x := range *s {
+		if x == id {
+			*s = append((*s)[:i], (*s)[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package skyband
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ordu/internal/geom"
+	"ordu/internal/rtree"
+)
+
+func randSimplexSeed(rng *rand.Rand, d int) geom.Vector {
+	w := make(geom.Vector, d)
+	sum := 0.0
+	for i := range w {
+		w[i] = 0.05 + rng.Float64()
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// liveOracleBand computes the rho-skyband straight from the pairwise
+// definition — the oracle the incremental paths must match exactly.
+func liveOracleBand(tree *rtree.Tree, w geom.Vector, k int, rho float64) []Member {
+	b, ok := tree.Bounds()
+	if !ok {
+		return nil
+	}
+	ids := tree.RangeQuery(b)
+	sort.Ints(ids)
+	var out []Member
+	for _, y := range ids {
+		py, _ := tree.Point(y)
+		count := 0
+		for _, x := range ids {
+			if x == y {
+				continue
+			}
+			px, _ := tree.Point(x)
+			if RhoDominates(w, px, py, rho) {
+				count++
+				if count >= k {
+					break
+				}
+			}
+		}
+		if count < k {
+			out = append(out, Member{ID: y, Point: py})
+		}
+	}
+	return out
+}
+
+func requireSameMembers(t *testing.T, tag string, got, want []Member) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d members, want %d\ngot  %v\nwant %v", tag, len(got), len(want), memberIDs(got), memberIDs(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID || !got[i].Point.Equal(want[i].Point) {
+			t.Fatalf("%s: member %d = {%d %v}, want {%d %v}", tag, i, got[i].ID, got[i].Point, want[i].ID, want[i].Point)
+		}
+	}
+}
+
+func memberIDs(ms []Member) []int {
+	ids := make([]int, len(ms))
+	for i, m := range ms {
+		ids[i] = m.ID
+	}
+	return ids
+}
+
+func sortMembersByID(ms []Member) []Member {
+	out := append([]Member(nil), ms...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// TestLiveMatchesRecomputeUnderMutation drives randomized interleaved
+// insert/delete/update sequences and demands, after every batch, that the
+// incrementally maintained band is identical — ids and coordinates — to
+// (a) the pairwise-definition brute force, (b) a from-scratch rebuild, and
+// (c) the scan-based RhoSkyband retrieval.
+func TestLiveMatchesRecomputeUnderMutation(t *testing.T) {
+	cases := []struct {
+		d, k int
+		rho  float64
+	}{
+		{2, 1, 0.05},
+		{2, 3, 0.02},
+		{3, 2, 0.03},
+		{4, 3, 0.02},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("d%d_k%d", tc.d, tc.k), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(tc.d*100 + tc.k)))
+			w := randSimplexSeed(rng, tc.d)
+			tree := rtree.New(tc.d, rtree.WithFanout(8))
+			var ids []int
+			nextID := 0
+			newPoint := func() geom.Vector {
+				p := make(geom.Vector, tc.d)
+				for j := range p {
+					p[j] = rng.Float64()
+				}
+				return p
+			}
+			for i := 0; i < 80; i++ {
+				if err := tree.Insert(nextID, newPoint()); err != nil {
+					t.Fatal(err)
+				}
+				ids = append(ids, nextID)
+				nextID++
+			}
+			l, err := NewLive(tree, w, tc.k, tc.rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for batch := 0; batch < 20; batch++ {
+				for op := 0; op < 6; op++ {
+					switch r := rng.Intn(10); {
+					case r < 4 || len(ids) < 10:
+						if err := tree.Insert(nextID, newPoint()); err != nil {
+							t.Fatal(err)
+						}
+						if err := l.OnInsert(nextID); err != nil {
+							t.Fatal(err)
+						}
+						ids = append(ids, nextID)
+						nextID++
+					case r < 7:
+						i := rng.Intn(len(ids))
+						id := ids[i]
+						if !tree.Delete(id) {
+							t.Fatalf("tree.Delete(%d) missing", id)
+						}
+						if err := l.OnDelete(id); err != nil {
+							t.Fatal(err)
+						}
+						ids[i] = ids[len(ids)-1]
+						ids = ids[:len(ids)-1]
+					default:
+						id := ids[rng.Intn(len(ids))]
+						if !tree.Delete(id) {
+							t.Fatalf("tree.Delete(%d) missing", id)
+						}
+						if err := tree.Insert(id, newPoint()); err != nil {
+							t.Fatal(err)
+						}
+						if err := l.OnUpdate(id); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				got := l.Members()
+				requireSameMembers(t, "brute force", got, liveOracleBand(tree, w, tc.k, tc.rho))
+				fresh, err := NewLive(tree, w, tc.k, tc.rho)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireSameMembers(t, "from-scratch rebuild", got, fresh.Members())
+				scan, err := RhoSkybandCtx(context.Background(), tree, w, tc.k, tc.rho)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireSameMembers(t, "scan retrieval", got, sortMembersByID(scan))
+			}
+			if l.Recounts() == 0 {
+				t.Log("note: no truncated recounts exercised in this run")
+			}
+		})
+	}
+}
+
+// TestLiveDeletePromotion deletes the dominators of a deeply dominated
+// record one by one: the record must join the band exactly when its
+// dominator count drops below k, and every intermediate state must match
+// the brute-force oracle (this walks the tracked list through truncation,
+// exact shrinking, and promotion).
+func TestLiveDeletePromotion(t *testing.T) {
+	const d, k = 2, 2
+	rho := 0.02
+	rng := rand.New(rand.NewSource(42))
+	w := geom.Vector{0.5, 0.5}
+	tree := rtree.New(d, rtree.WithFanout(8))
+	// Victim near the origin, wholesale dominated by a cloud above it.
+	victim := 0
+	if err := tree.Insert(victim, geom.Vector{0.01, 0.02}); err != nil {
+		t.Fatal(err)
+	}
+	nDoms := 40
+	for i := 1; i <= nDoms; i++ {
+		p := geom.Vector{0.2 + 0.7*rng.Float64(), 0.2 + 0.7*rng.Float64()}
+		if err := tree.Insert(i, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l, err := NewLive(tree, w, k, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Contains(victim) {
+		t.Fatal("victim in band despite 40 dominators")
+	}
+	for i := 1; i <= nDoms; i++ {
+		if !tree.Delete(i) {
+			t.Fatalf("tree.Delete(%d) missing", i)
+		}
+		if err := l.OnDelete(i); err != nil {
+			t.Fatal(err)
+		}
+		requireSameMembers(t, fmt.Sprintf("after deleting %d", i), l.Members(), liveOracleBand(tree, w, k, rho))
+	}
+	if !l.Contains(victim) {
+		t.Fatal("victim not in band after all dominators were deleted")
+	}
+	if l.Recounts() == 0 {
+		t.Fatal("dominator drain never exercised a truncated recount")
+	}
+}
+
+func TestLiveInsertDemotion(t *testing.T) {
+	const d, k = 2, 1
+	rho := 0.02
+	w := geom.Vector{0.5, 0.5}
+	tree := rtree.New(d)
+	if err := tree.Insert(0, geom.Vector{0.4, 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLive(tree, w, k, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Contains(0) {
+		t.Fatal("singleton not in band")
+	}
+	// A plainly dominating insert must evict the incumbent immediately.
+	if err := tree.Insert(1, geom.Vector{0.6, 0.6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.OnInsert(1); err != nil {
+		t.Fatal(err)
+	}
+	if l.Contains(0) || !l.Contains(1) {
+		t.Fatalf("band after dominating insert: 0 in %v, 1 in %v", l.Contains(0), l.Contains(1))
+	}
+}
+
+func TestNewLiveRejectsBadParameters(t *testing.T) {
+	tree := rtree.New(2)
+	w := geom.Vector{0.5, 0.5}
+	for _, tt := range []struct {
+		name string
+		f    func() (*Live, error)
+	}{
+		{"nil tree", func() (*Live, error) { return NewLive(nil, w, 1, 0.1) }},
+		{"dim mismatch", func() (*Live, error) { return NewLive(tree, geom.Vector{1}, 1, 0.1) }},
+		{"negative seed", func() (*Live, error) { return NewLive(tree, geom.Vector{-0.5, 1.5}, 1, 0.1) }},
+		{"zero seed", func() (*Live, error) { return NewLive(tree, geom.Vector{0, 0}, 1, 0.1) }},
+		{"k zero", func() (*Live, error) { return NewLive(tree, w, 0, 0.1) }},
+		{"rho zero", func() (*Live, error) { return NewLive(tree, w, 1, 0) }},
+		{"rho negative", func() (*Live, error) { return NewLive(tree, w, 1, -0.5) }},
+		{"rho infinite", func() (*Live, error) { return NewLive(tree, w, 1, math.Inf(1)) }},
+		{"rho nan", func() (*Live, error) { return NewLive(tree, w, 1, math.NaN()) }},
+	} {
+		if _, err := tt.f(); !errors.Is(err, ErrLiveParams) {
+			t.Errorf("%s: error = %v, want ErrLiveParams", tt.name, err)
+		}
+	}
+}
+
+func TestLiveProtocolErrors(t *testing.T) {
+	tree := rtree.New(2)
+	if err := tree.Insert(0, geom.Vector{0.5, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLive(tree, geom.Vector{0.5, 0.5}, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.OnInsert(0); !errors.Is(err, ErrLiveState) {
+		t.Errorf("OnInsert of tracked id: %v, want ErrLiveState", err)
+	}
+	if err := l.OnInsert(99); !errors.Is(err, ErrLiveState) {
+		t.Errorf("OnInsert of id missing from tree: %v, want ErrLiveState", err)
+	}
+	if err := l.OnDelete(0); !errors.Is(err, ErrLiveState) {
+		t.Errorf("OnDelete while still in tree: %v, want ErrLiveState", err)
+	}
+	if err := l.OnDelete(99); !errors.Is(err, ErrLiveState) {
+		t.Errorf("OnDelete of untracked id: %v, want ErrLiveState", err)
+	}
+	if err := l.OnUpdate(99); !errors.Is(err, ErrLiveState) {
+		t.Errorf("OnUpdate of untracked id: %v, want ErrLiveState", err)
+	}
+}

@@ -33,7 +33,7 @@ func KSkyband(tree *rtree.Tree, k int) []Member {
 // emission order follows it. The seed's zero components are handled by the
 // scanner's coordinate-sum tie-break.
 func KSkybandFor(tree *rtree.Tree, w geom.Vector, k int) []Member {
-	out, _ := KSkybandForCtx(context.Background(), tree, w, k)
+	out, _ := KSkybandForCtx(context.Background(), tree, w, k) //ordlint:allow senterr — context.Background never cancels, so the error is structurally nil
 	return out
 }
 
@@ -73,7 +73,7 @@ func Skyline(tree *rtree.Tree) []Member {
 // It is the building block the complete ORD algorithm improves upon, and
 // the reference the tests validate ORD against.
 func RhoSkyband(tree *rtree.Tree, w geom.Vector, k int, rho float64) []Member {
-	out, _ := RhoSkybandCtx(context.Background(), tree, w, k, rho)
+	out, _ := RhoSkybandCtx(context.Background(), tree, w, k, rho) //ordlint:allow senterr — context.Background never cancels, so the error is structurally nil
 	return out
 }
 

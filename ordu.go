@@ -33,8 +33,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
+	"ordu/internal/collection"
 	"ordu/internal/core"
 	"ordu/internal/geom"
 	"ordu/internal/osskyline"
@@ -44,13 +44,17 @@ import (
 )
 
 // Dataset is an indexed collection of records supporting the library's
-// query operators. It is not safe for concurrent mutation; concurrent
-// read-only queries are safe.
+// query operators. It is backed by internal/collection: an id-keyed mutable
+// collection whose R-tree is maintained in place, so Insert/Update/Delete
+// are immediately visible to subsequent queries without a rebuild. It is
+// not safe for concurrent mutation; concurrent read-only queries are safe,
+// and the serving layer serialises mutations against queries with a lock.
 type Dataset struct {
-	tree   *rtree.Tree
-	points map[int]geom.Vector
-	nextID int
+	col *collection.Collection
 }
+
+// tree returns the backing spatial index.
+func (ds *Dataset) tree() *rtree.Tree { return ds.col.Tree() }
 
 // Result is one record returned by a query.
 type Result struct {
@@ -120,28 +124,29 @@ func NewDataset(records [][]float64) (*Dataset, error) {
 		}
 		pts[i] = geom.Vector(r).Clone()
 	}
-	ds := &Dataset{
-		tree:   rtree.BulkLoad(pts),
-		points: make(map[int]geom.Vector, len(pts)),
-		nextID: len(pts),
+	col, err := collection.FromPoints(pts)
+	if err != nil {
+		return nil, fmt.Errorf("ordu: %w", err)
 	}
-	for i, p := range pts {
-		ds.points[i] = p
-	}
-	return ds, nil
+	return &Dataset{col: col}, nil
 }
 
 // Len returns the number of records.
-func (ds *Dataset) Len() int { return ds.tree.Len() }
+func (ds *Dataset) Len() int { return ds.col.Len() }
 
 // Dim returns the number of attributes per record.
-func (ds *Dataset) Dim() int { return ds.tree.Dim() }
+func (ds *Dataset) Dim() int { return ds.col.Dim() }
 
-// Record returns the attributes of a record by id.
+// Record returns the attributes of a record by id. The slice aliases the
+// dataset's packed storage: copy it to retain across mutations.
 func (ds *Dataset) Record(id int) ([]float64, bool) {
-	p, ok := ds.points[id]
+	p, ok := ds.col.Get(id)
 	return p, ok
 }
+
+// Stats snapshots the backing collection's bookkeeping: live count, dims,
+// exact bounds, and cumulative write counters.
+func (ds *Dataset) Stats() collection.Stats { return ds.col.Stats() }
 
 // Insert adds a record and returns its id. The paper's operators need no
 // precomputation beyond the index, so updates are immediately visible to
@@ -150,23 +155,49 @@ func (ds *Dataset) Insert(record []float64) (int, error) {
 	if len(record) != ds.Dim() {
 		return 0, fmt.Errorf("ordu: record has %d attributes, want %d", len(record), ds.Dim())
 	}
-	id := ds.nextID
-	ds.nextID++
-	p := geom.Vector(record).Clone()
-	if err := ds.tree.Insert(id, p); err != nil {
+	id := ds.col.NewID()
+	if err := ds.col.Insert(id, geom.Vector(record)); err != nil {
 		return 0, err
 	}
-	ds.points[id] = p
 	return id, nil
 }
 
-// Delete removes a record by id, reporting whether it existed.
-func (ds *Dataset) Delete(id int) bool {
-	if !ds.tree.Delete(id) {
-		return false
+// InsertID adds a record under a caller-chosen id; it fails when the id is
+// already live (collection.ErrDuplicateID) or the record is malformed.
+func (ds *Dataset) InsertID(id int, record []float64) error {
+	if len(record) != ds.Dim() {
+		return fmt.Errorf("ordu: record has %d attributes, want %d", len(record), ds.Dim())
 	}
-	delete(ds.points, id)
-	return true
+	return ds.col.Insert(id, geom.Vector(record))
+}
+
+// Update replaces the record stored under a live id; it fails when the id
+// is unknown (collection.ErrUnknownID) or the record is malformed.
+func (ds *Dataset) Update(id int, record []float64) error {
+	if len(record) != ds.Dim() {
+		return fmt.Errorf("ordu: record has %d attributes, want %d", len(record), ds.Dim())
+	}
+	return ds.col.Update(id, geom.Vector(record))
+}
+
+// Upsert inserts the record when id is free and updates it when live,
+// reporting which happened.
+func (ds *Dataset) Upsert(id int, record []float64) (updated bool, err error) {
+	if len(record) != ds.Dim() {
+		return false, fmt.Errorf("ordu: record has %d attributes, want %d", len(record), ds.Dim())
+	}
+	return ds.col.Upsert(id, geom.Vector(record))
+}
+
+// Delete removes a record by id, reporting whether it existed.
+func (ds *Dataset) Delete(id int) bool { return ds.col.Delete(id) }
+
+// CountDominators returns how many records strictly dominate the given
+// point (maximisation convention). The serving layer uses it as the cache
+// keep-test after mutations: a point with at least k plain dominators
+// cannot change any rho-skyband or top-k region with parameter k.
+func (ds *Dataset) CountDominators(point []float64) int {
+	return ds.tree().CountDominators(geom.Vector(point))
 }
 
 // ErrBadSeed reports an invalid preference seed vector w: wrong dimension,
@@ -227,7 +258,7 @@ func (ds *Dataset) TopK(w []float64, k int) ([]Result, error) {
 	if err := checkK(k); err != nil {
 		return nil, err
 	}
-	rs := topk.TopK(ds.tree, v, k)
+	rs := topk.TopK(ds.tree(), v, k)
 	out := make([]Result, len(rs))
 	for i, r := range rs {
 		out[i] = Result{ID: r.ID, Record: r.Point, Score: r.Score}
@@ -237,7 +268,7 @@ func (ds *Dataset) TopK(w []float64, k int) ([]Result, error) {
 
 // Skyline returns the records dominated by no other (BBS).
 func (ds *Dataset) Skyline() []Result {
-	ms := skyband.Skyline(ds.tree)
+	ms := skyband.Skyline(ds.tree())
 	out := make([]Result, len(ms))
 	for i, m := range ms {
 		out[i] = Result{ID: m.ID, Record: m.Point}
@@ -250,7 +281,7 @@ func (ds *Dataset) KSkyband(k int) ([]Result, error) {
 	if err := checkK(k); err != nil {
 		return nil, err
 	}
-	ms := skyband.KSkyband(ds.tree, k)
+	ms := skyband.KSkyband(ds.tree(), k)
 	out := make([]Result, len(ms))
 	for i, m := range ms {
 		out[i] = Result{ID: m.ID, Record: m.Point}
@@ -262,7 +293,7 @@ func (ds *Dataset) KSkyband(k int) ([]Result, error) {
 // (the output-size-specified skyline of Lin et al. [49], the qualitative
 // baseline of the paper's Section 6.1).
 func (ds *Dataset) OSSkyline(m int) []Result {
-	rs := osskyline.TopM(ds.tree, m)
+	rs := osskyline.TopM(ds.tree(), m)
 	out := make([]Result, len(rs))
 	for i, r := range rs {
 		out[i] = Result{ID: r.ID, Record: r.Point, Score: float64(r.Count)}
@@ -287,7 +318,7 @@ func (ds *Dataset) ORDCtx(ctx context.Context, w []float64, k, m int) (*ORDResul
 	if err := checkKM(k, m); err != nil {
 		return nil, err
 	}
-	res, err := core.ORDCtx(ctx, ds.tree, v, k, m)
+	res, err := core.ORDCtx(ctx, ds.tree(), v, k, m)
 	if err != nil {
 		return nil, err
 	}
@@ -330,7 +361,7 @@ func (ds *Dataset) oruCtx(ctx context.Context, w []float64, k, m, workers int) (
 	if err := checkKM(k, m); err != nil {
 		return nil, err
 	}
-	res, err := core.ORUWithCtx(ctx, ds.tree, v, k, m, core.ORUOptions{Workers: workers})
+	res, err := core.ORUWithCtx(ctx, ds.tree(), v, k, m, core.ORUOptions{Workers: workers})
 	if err != nil {
 		return nil, err
 	}
@@ -361,45 +392,27 @@ func (ds *Dataset) Filter(min, max []float64) (*Dataset, []int, error) {
 		return nil, nil, fmt.Errorf("ordu: bounds have dims %d/%d, want %d", len(min), len(max), ds.Dim())
 	}
 	var records [][]float64
-	var ids []int
-	for id, p := range ds.points {
-		inside := true
+	var mapping []int
+	// Scan iterates in ascending id order, so the sub-dataset's fresh ids
+	// are deterministic without a post-hoc sort.
+	ds.col.Scan(func(id int, p geom.Vector) bool {
 		for j := range p {
 			if p[j] < min[j] || p[j] > max[j] {
-				inside = false
-				break
+				return true
 			}
 		}
-		if inside {
-			records = append(records, p)
-			ids = append(ids, id)
-		}
-	}
+		records = append(records, p)
+		mapping = append(mapping, id)
+		return true
+	})
 	if len(records) == 0 {
 		return nil, nil, errors.New("ordu: no records satisfy the range predicate")
 	}
-	// Deterministic order regardless of map iteration.
-	order := make([]int, len(ids))
-	for i := range order {
-		order[i] = i
-	}
-	sortByIDs(order, ids)
-	sorted := make([][]float64, len(records))
-	mapping := make([]int, len(records))
-	for i, oi := range order {
-		sorted[i] = records[oi]
-		mapping[i] = ids[oi]
-	}
-	sub, err := NewDataset(sorted)
+	sub, err := NewDataset(records)
 	if err != nil {
 		return nil, nil, err
 	}
 	return sub, mapping, nil
-}
-
-// sortByIDs orders the index slice by ascending ids[index].
-func sortByIDs(order, ids []int) {
-	sort.Slice(order, func(a, b int) bool { return ids[order[a]] < ids[order[b]] })
 }
 
 // ErrInsufficientData reports that the dataset cannot produce the requested
