@@ -7,16 +7,17 @@ all: build test
 build:
 	$(GO) build ./...
 
-# Project-specific static analysis, all thirteen checks: the syntactic suite
+# Project-specific static analysis, all sixteen checks: the syntactic suite
 # (floatcmp, ctxpoll, senterr, nopanic, printguard), the CFG/dataflow suite
 # (wsescape, goroutinecap, poolpair, noalloc), and the interprocedural suite
-# (ctxflow, deepnoalloc, lockhold, maporder); exits non-zero on any finding.
+# (ctxflow, deepnoalloc, lockhold, maporder, borrowck, lockmode, atomicmix);
+# exits non-zero on any finding. This target is the single lint invocation:
+# `make test` and CI both go through it.
 lint:
 	$(GO) run ./cmd/ordlint ./...
 
-test:
+test: lint
 	$(GO) vet ./...
-	$(GO) run ./cmd/ordlint ./...
 	$(GO) test ./...
 	$(GO) test -race ./...
 

@@ -9,7 +9,7 @@
 //
 //	go run ./cmd/ordlint ./...            # whole module (the CI invocation)
 //	go run ./cmd/ordlint ./internal/lp    # one package
-//	go run ./cmd/ordlint -checks floatcmp,ctxpoll ./...
+//	go run ./cmd/ordlint -check borrowck,lockmode ./...
 //	go run ./cmd/ordlint -json ./...      # NDJSON findings, one object per line
 //	go run ./cmd/ordlint -stats ./...     # NDJSON call-graph/summary statistics
 //
@@ -37,7 +37,8 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ordlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	checks := fs.String("check", "", "comma-separated subset of checks to run (default: all)")
+	fs.StringVar(checks, "checks", "", "alias for -check")
 	list := fs.Bool("list", false, "list the available checks and exit")
 	asJSON := fs.Bool("json", false, "emit findings as NDJSON (one object per line) instead of file:line text")
 	stats := fs.Bool("stats", false, "emit interprocedural statistics as NDJSON (call-graph size, summary counts, entry-unreachable functions) instead of findings")

@@ -17,6 +17,7 @@ func TestListChecks(t *testing.T) {
 		"floatcmp", "ctxpoll", "senterr", "nopanic", "printguard",
 		"wsescape", "goroutinecap", "poolpair", "noalloc",
 		"ctxflow", "deepnoalloc", "lockhold", "maporder",
+		"borrowck", "lockmode", "atomicmix",
 	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output is missing check %q", name)
@@ -24,14 +25,38 @@ func TestListChecks(t *testing.T) {
 	}
 }
 
-// TestUnknownCheck pins the exit code and message for a bogus -checks name.
+// TestUnknownCheck pins the exit code and message for a bogus check name,
+// through both the -check spelling and its -checks alias. An unknown name
+// mixed with valid ones must still fail: a typo silently dropping a check
+// would leave CI green with the check off.
 func TestUnknownCheck(t *testing.T) {
-	var out, errw bytes.Buffer
-	if code := run([]string{"-checks", "bogus"}, &out, &errw); code != 2 {
-		t.Fatalf("run(-checks bogus) = %d, want 2", code)
+	for _, args := range [][]string{
+		{"-check", "bogus"},
+		{"-checks", "bogus"},
+		{"-check", "floatcmp,bogus,lockmode"},
+	} {
+		var out, errw bytes.Buffer
+		if code := run(args, &out, &errw); code != 2 {
+			t.Fatalf("run(%v) = %d, want 2", args, code)
+		}
+		if !strings.Contains(errw.String(), `unknown check "bogus"`) {
+			t.Errorf("run(%v): stderr %q should name the unknown check", args, errw.String())
+		}
 	}
-	if !strings.Contains(errw.String(), `unknown check "bogus"`) {
-		t.Errorf("stderr %q should name the unknown check", errw.String())
+}
+
+// TestCheckSubset runs a real subset over one package through the run()
+// seam: the selected checks execute (clean exit), and nothing else does.
+func TestCheckSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the full module plus its stdlib closure")
+	}
+	var out, errw bytes.Buffer
+	if code := run([]string{"-check", "borrowck,lockmode,atomicmix", "./internal/collection"}, &out, &errw); code != 0 {
+		t.Fatalf("run(-check subset) = %d, stdout: %s, stderr: %s", code, out.String(), errw.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("subset run over a clean package printed findings: %s", out.String())
 	}
 }
 

@@ -71,6 +71,11 @@ type Analyzer struct {
 // scopes them to the right packages.
 type Suite struct {
 	Analyzers []*Analyzer
+
+	// fresh are the owning-constructor names (Config.FreshFuncs): borrow
+	// derivation stops at them, since the borrows they assemble alias
+	// storage the returned object itself owns.
+	fresh map[string]bool
 }
 
 // Run applies every analyzer to every package and returns the surviving
@@ -82,6 +87,7 @@ func (s *Suite) Run(pkgs []*Package) []Diagnostic {
 	facts := computeFacts(pkgs)
 	facts.Graph = BuildCallGraph(pkgs)
 	facts.Summaries = ComputeSummaries(facts.Graph, pkgs)
+	facts.Borrows = ComputeBorrowFacts(facts.Graph, s.fresh)
 	for _, pkg := range pkgs {
 		allow := collectAllows(pkg)
 		fset := pkg.Fset

@@ -15,6 +15,7 @@ var fixtureNames = []string{
 	"floatcmp", "ctxpoll", "senterr", "nopanic", "printguard",
 	"wsescape", "goroutinecap", "poolpair", "noalloc",
 	"ctxflow", "deepnoalloc", "lockhold", "maporder",
+	"borrowck", "lockmode", "atomicmix",
 }
 
 // fixtureConfig scopes the suite to the fixture package so path-based checks
@@ -71,6 +72,19 @@ func fixtureConfig(name string) Config {
 		return Config{LockHoldPackages: map[string]bool{"lockhold": true}}
 	case "maporder":
 		return Config{MapOrderPackages: map[string]bool{"maporder": true}}
+	case "borrowck":
+		return Config{BorrowSinks: map[string]string{
+			"borrowck.cache.Put": "the cache retains rows across calls",
+		}}
+	case "lockmode":
+		return Config{
+			LockModePackages: map[string]bool{"lockmode": true},
+			GuardedTypes:     map[string]bool{"lockmode.dataset": true},
+			FreshFuncs:       map[string]bool{"lockmode.newDataset": true},
+			LockModePure:     map[string]bool{"lockmode.dataset.Dim": true},
+		}
+	case "atomicmix":
+		return Config{} // module-wide fact collection; no scoping needed
 	}
 	return Config{}
 }

@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// NewAtomicmix builds the atomicmix analyzer: a variable whose address
+// feeds a sync/atomic function anywhere in the module must never be read
+// or written plainly elsewhere — mixed access is a data race even when
+// every *write* is atomic, because plain reads can tear or be reordered.
+// The typed atomics (atomic.Uint64 and friends, which the module's
+// metrics use) make mixing impossible by construction and are out of
+// scope; this check guards the address-based escape hatch.
+//
+// The atomic-variable set is module-wide (collected in computeFacts), so
+// an atomic increment in one package poisons plain access in every other.
+func NewAtomicmix() *Analyzer {
+	a := &Analyzer{
+		Name: "atomicmix",
+		Doc:  "a variable accessed via sync/atomic anywhere must never be read or written plainly elsewhere",
+	}
+	a.Run = func(pass *Pass) {
+		vars := pass.Facts.atomicVars
+		if len(vars) == 0 {
+			return
+		}
+		info := pass.TypesInfo
+		for _, file := range pass.Files {
+			// Sanctioned spans: the extents of the atomic calls themselves,
+			// where the &x operands of course mention the variable.
+			var spans [][2]token.Pos
+			ast.Inspect(file, func(nd ast.Node) bool {
+				if call, ok := nd.(*ast.CallExpr); ok && atomicFuncCall(info, call) {
+					spans = append(spans, [2]token.Pos{call.Pos(), call.End()})
+				}
+				return true
+			})
+			sanctioned := func(p token.Pos) bool {
+				for _, s := range spans {
+					if p >= s[0] && p < s[1] {
+						return true
+					}
+				}
+				return false
+			}
+			ast.Inspect(file, func(nd ast.Node) bool {
+				id, ok := nd.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				o := info.Uses[id]
+				if o == nil {
+					return true
+				}
+				if where, atomic := vars[o]; atomic && !sanctioned(id.Pos()) {
+					pass.Report(id.Pos(), "%s is accessed atomically at %s but plainly here; mixed access races — use sync/atomic (or a typed atomic)", id.Name, where)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// collectAtomicVars records every variable whose address is passed to a
+// function-style sync/atomic call in pkg, keyed by object with one
+// representative atomic-use position for diagnostics. Typed atomics
+// (methods on atomic.Uint64 etc.) have receivers and are excluded.
+func collectAtomicVars(pkg *Package, out map[types.Object]string) {
+	info := pkg.Info
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(nd ast.Node) bool {
+			call, ok := nd.(*ast.CallExpr)
+			if !ok || !atomicFuncCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				v := addressedVar(info, un.X)
+				if v == nil {
+					continue
+				}
+				if _, seen := out[v]; !seen {
+					p := pkg.Fset.Position(un.Pos())
+					out[v] = fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// atomicFuncCall recognizes package-level sync/atomic calls
+// (atomic.AddUint64, atomic.LoadInt64, ...).
+func atomicFuncCall(info *types.Info, call *ast.CallExpr) bool {
+	f, ok := calleeObject(info, call).(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// addressedVar resolves the variable (field or package/local var) behind
+// an &x operand.
+func addressedVar(info *types.Info, e ast.Expr) *types.Var {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[x].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[x]; ok {
+			v, _ := s.Obj().(*types.Var)
+			return v
+		}
+		v, _ := info.Uses[x.Sel].(*types.Var)
+		return v
+	}
+	return nil
+}

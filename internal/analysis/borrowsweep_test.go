@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// TestModuleBorrowSweep pins the borrow/writer classification of the
+// live-dataset layer and the lock-mode classification of the server's
+// handlers over the real module. The tables below are exhaustive by
+// construction: every exported method of Collection and Live must have an
+// entry (adding a method without classifying it fails the test), and every
+// handle* method of Server must have a lock-mode row. This is the
+// machine-checked version of the package concurrency contracts.
+func TestModuleBorrowSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the full module plus its stdlib closure")
+	}
+	root, modPath, err := FindModule(".")
+	if err != nil {
+		t.Fatalf("FindModule: %v", err)
+	}
+	l := NewLoader(modPath, root)
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	g := BuildCallGraph(pkgs)
+	facts := ComputeBorrowFacts(g, DefaultConfig(modPath).FreshFuncs)
+	factByName := make(map[string]*BorrowInfo, len(facts))
+	for n, bi := range facts {
+		factByName[n.Name] = bi
+	}
+
+	type fact struct{ borrows, writer bool }
+	expect := map[string]map[string]fact{
+		modPath + "/internal/collection.Collection": {
+			"Len":    {},
+			"Dim":    {},
+			"NewID":  {},
+			"Bounds": {},
+			"Stats":  {},
+			"Tree":   {borrows: true},
+			"Get":    {borrows: true},
+			// IDs and Scan return/emit borrows AND are writers: both may
+			// rebuild the lazy sorted-id cache, so even these "read" paths
+			// need the write side of the serving layer's lock.
+			"IDs":    {borrows: true, writer: true},
+			"Scan":   {borrows: true, writer: true},
+			"Insert": {writer: true},
+			"Update": {writer: true},
+			"Upsert": {writer: true},
+			"Delete": {writer: true},
+		},
+		modPath + "/internal/skyband.Live": {
+			"K":        {},
+			"Rho":      {},
+			"Recounts": {},
+			"Contains": {},
+			"Seed":     {borrows: true},
+			"Members":  {borrows: true},
+			"OnInsert": {writer: true},
+			"OnDelete": {writer: true},
+			"OnUpdate": {writer: true},
+			"Rebuild":  {writer: true},
+		},
+	}
+
+	pkgByPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		pkgByPath[p.Path] = p
+	}
+	for qtype, methods := range expect {
+		dot := strings.LastIndex(qtype, ".")
+		pkgPath, typeName := qtype[:dot], qtype[dot+1:]
+		p := pkgByPath[pkgPath]
+		if p == nil {
+			t.Fatalf("module has no package %s", pkgPath)
+		}
+		obj := p.Types.Scope().Lookup(typeName)
+		if obj == nil {
+			t.Fatalf("package %s has no type %s", pkgPath, typeName)
+		}
+		named, ok := obj.Type().(*types.Named)
+		if !ok {
+			t.Fatalf("%s is not a named type", qtype)
+		}
+		ms := types.NewMethodSet(types.NewPointer(named))
+		seen := make(map[string]bool, ms.Len())
+		for i := 0; i < ms.Len(); i++ {
+			m := ms.At(i).Obj().(*types.Func)
+			if !m.Exported() {
+				continue
+			}
+			seen[m.Name()] = true
+			want, ok := methods[m.Name()]
+			if !ok {
+				t.Errorf("%s.%s has no row in the borrow sweep table; classify the new method", qtype, m.Name())
+				continue
+			}
+			nodeName := pkgPath + "." + typeName + "." + m.Name()
+			bi := factByName[nodeName]
+			if bi == nil {
+				t.Errorf("no borrow summary computed for %s", nodeName)
+				continue
+			}
+			if bi.ReturnsBorrow != want.borrows || bi.Writer != want.writer {
+				t.Errorf("%s: (borrows, writer) = (%v, %v), want (%v, %v)",
+					nodeName, bi.ReturnsBorrow, bi.Writer, want.borrows, want.writer)
+			}
+		}
+		for name := range methods {
+			if !seen[name] {
+				t.Errorf("sweep table lists %s.%s but no such exported method exists", qtype, name)
+			}
+		}
+	}
+
+	// Every server handler's lock mode, from the mode-tagged lock summaries.
+	// Acquires and releases must agree — a handler returning with a lock
+	// held (or releasing in the wrong mode) changes these strings.
+	sums := ComputeSummaries(g, pkgs)
+	sumByName := make(map[string]*Summary, len(sums))
+	for n, s := range sums {
+		sumByName[n.Name] = s
+	}
+	render := func(ops []LockOp) string {
+		parts := make([]string, len(ops))
+		for i, op := range ops {
+			parts[i] = op.String()
+		}
+		return strings.Join(parts, " ")
+	}
+	handlers := map[string]string{
+		"handleQuery":        "nd.mu[R]",
+		"handleAddDataset":   "",
+		"handleListDatasets": "nd.mu[R] s.mu[R]",
+		"handleWritePoint":   "nd.mu[W]",
+		"handleDeletePoint":  "nd.mu[W]",
+		"handleHealthz":      "s.mu[R]",
+		"handleMetrics":      "",
+	}
+	serverPrefix := modPath + "/internal/server.Server."
+	for h, want := range handlers {
+		s := sumByName[serverPrefix+h]
+		if s == nil {
+			t.Errorf("no summary computed for handler %s", h)
+			continue
+		}
+		if got := render(s.Acquires); got != want {
+			t.Errorf("%s acquires %q, want %q", h, got, want)
+		}
+		if got := render(s.Releases); got != want {
+			t.Errorf("%s releases %q, want %q", h, got, want)
+		}
+	}
+	for name := range sumByName {
+		if !strings.HasPrefix(name, serverPrefix+"handle") {
+			continue
+		}
+		h := strings.TrimPrefix(name, serverPrefix)
+		if strings.Contains(h, ".") {
+			continue // nested function literal, covered by its handler
+		}
+		if _, ok := handlers[h]; !ok {
+			t.Errorf("handler %s has no lock-mode row in the sweep table; classify it", name)
+		}
+	}
+}

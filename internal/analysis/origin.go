@@ -25,6 +25,14 @@ type Facts struct {
 	// (ctxflow, deepnoalloc, lockhold). Built once per Suite.Run.
 	Graph     *CallGraph
 	Summaries map[*FuncNode]*Summary
+	// Borrows holds the borrow/writer facts of the lock-discipline checks
+	// (borrowck, lockmode), computed over Graph after Summaries.
+	Borrows map[*FuncNode]*BorrowInfo
+	// atomicVars maps every variable (field or package var) whose address
+	// feeds a sync/atomic function anywhere in the module to the position
+	// of one such use, rendered for diagnostics. atomicmix flags plain
+	// accesses of these variables.
+	atomicVars map[types.Object]string
 }
 
 // wsDocPhrases are the doc-comment fragments that mark a type as a
@@ -36,9 +44,11 @@ func computeFacts(pkgs []*Package) *Facts {
 	f := &Facts{
 		wsTypes:    make(map[string]bool),
 		loadedPkgs: make(map[string]bool),
+		atomicVars: make(map[types.Object]string),
 	}
 	for _, pkg := range pkgs {
 		f.loadedPkgs[pkg.Path] = true
+		collectAtomicVars(pkg, f.atomicVars)
 		for _, file := range pkg.Files {
 			for _, decl := range file.Decls {
 				gd, ok := decl.(*ast.GenDecl)

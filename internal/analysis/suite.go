@@ -54,6 +54,24 @@ type Config struct {
 	// MapOrderPackages are the packages maporder audits for map-range
 	// iteration feeding appended results.
 	MapOrderPackages map[string]bool
+	// BorrowSinks maps qualified function names to the reason borrowck
+	// must keep borrows out of them: calls that retain their arguments
+	// beyond the request (the server's result cache).
+	BorrowSinks map[string]string
+	// LockModePackages are the packages lockmode audits for RWMutex
+	// read/write discipline over the guarded types.
+	LockModePackages map[string]bool
+	// GuardedTypes are qualified type names whose methods require the
+	// per-dataset lock: writers the write lock, readers at least the read
+	// lock.
+	GuardedTypes map[string]bool
+	// FreshFuncs are qualified constructor names whose results are still
+	// unpublished: lockmode exempts calls on them until they escape
+	// (passed as an argument, stored, or sent).
+	FreshFuncs map[string]bool
+	// LockModePure are qualified methods on guarded types that read only
+	// construction-immutable state and may run without the lock.
+	LockModePure map[string]bool
 }
 
 // DefaultConfig is the configuration `cmd/ordlint` enforces on this module:
@@ -87,7 +105,16 @@ type Config struct {
 //   - lockhold audits internal/server, the only package that holds locks
 //     near I/O;
 //   - maporder audits the packages that assemble ordered results from
-//     map-keyed state: internal/core, internal/skyband, internal/server.
+//     map-keyed state: internal/core, internal/skyband, internal/server;
+//   - borrowck runs everywhere (//ordlint:borrows annotations seed it) and
+//     keeps borrows of packed point storage out of the server's result
+//     cache, the one store that outlives requests;
+//   - lockmode audits internal/server, where the per-dataset RWMutex
+//     guards Dataset/Collection/Live calls; Dataset.Dim is pure
+//     (construction-immutable) and the dataset constructors yield fresh
+//     unpublished objects;
+//   - atomicmix runs everywhere; the module's counters are typed atomics,
+//     so the check guards against regressions to address-based mixing.
 func DefaultConfig(modulePath string) Config {
 	internal := func(pkgPath string) bool {
 		return strings.HasPrefix(pkgPath, modulePath+"/internal/")
@@ -151,6 +178,27 @@ func DefaultConfig(modulePath string) Config {
 			modulePath + "/internal/skyband": true,
 			modulePath + "/internal/server":  true,
 		},
+		BorrowSinks: map[string]string{
+			modulePath + "/internal/server.lruCache.Put": "the result cache retains bodies across requests",
+		},
+		LockModePackages: map[string]bool{
+			modulePath + "/internal/server": true,
+		},
+		GuardedTypes: map[string]bool{
+			modulePath + ".Dataset":                        true,
+			modulePath + "/internal/collection.Collection": true,
+			modulePath + "/internal/skyband.Live":          true,
+		},
+		FreshFuncs: map[string]bool{
+			modulePath + ".NewDataset":                     true,
+			modulePath + "/internal/server.BuildDataset":   true,
+			modulePath + "/internal/collection.New":        true,
+			modulePath + "/internal/collection.FromPoints": true,
+			modulePath + "/internal/skyband.NewLive":       true,
+		},
+		LockModePure: map[string]bool{
+			modulePath + ".Dataset.Dim": true,
+		},
 	}
 }
 
@@ -167,7 +215,7 @@ func NewSuite(cfg Config) *Suite {
 	if printguard == nil {
 		printguard = nope
 	}
-	return &Suite{Analyzers: []*Analyzer{
+	return &Suite{fresh: cfg.FreshFuncs, Analyzers: []*Analyzer{
 		NewFloatcmp(cfg.FloatcmpApproved),
 		NewCtxpoll(cfg.CtxPollPackages, cfg.CtxPollScanCalls),
 		NewSenterr(senterr),
@@ -181,5 +229,8 @@ func NewSuite(cfg Config) *Suite {
 		NewDeepnoalloc(cfg.NoallocExternals, cfg.NoallocAmortized),
 		NewLockhold(cfg.LockHoldPackages),
 		NewMaporder(cfg.MapOrderPackages),
+		NewBorrowck(cfg.BorrowSinks, cfg.FreshFuncs),
+		NewLockmode(cfg.LockModePackages, cfg.GuardedTypes, cfg.FreshFuncs, cfg.LockModePure),
+		NewAtomicmix(),
 	}}
 }

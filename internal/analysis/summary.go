@@ -31,6 +31,23 @@ type SummarySite struct {
 	What string
 }
 
+// LockOp is one mode-tagged mutex operation: the receiver chain's lock
+// class plus whether it is the write side (Lock/Unlock) or the shared read
+// side (RLock/RUnlock). lockmode consumes the distinction; lockhold only
+// cares that something is held.
+type LockOp struct {
+	Class string
+	W     bool
+}
+
+// String renders the op for diagnostics ("nd.mu[R]", "s.mu[W]").
+func (op LockOp) String() string {
+	if op.W {
+		return op.Class + "[W]"
+	}
+	return op.Class + "[R]"
+}
+
 // Summary captures what one function does, directly and transitively.
 type Summary struct {
 	// Direct facts, from a shallow walk of the function's own body
@@ -40,8 +57,8 @@ type Summary struct {
 	PollSites  []SummarySite // ctx.Err()/ctx.Done() uses, ctx-forwarding stdlib calls
 	PanicSites []SummarySite // panic() calls
 	Recovers   bool          // a defer in this function recovers
-	Acquires   []string      // mutex classes locked directly ("s.mu")
-	Releases   []string      // mutex classes unlocked directly
+	Acquires   []LockOp      // mutex ops locked directly, mode-tagged
+	Releases   []LockOp      // mutex ops unlocked directly, mode-tagged
 
 	// Transitive closure bits.
 	Allocates bool
@@ -276,10 +293,12 @@ func deferRecovers(info *types.Info, d *ast.DeferStmt) bool {
 	return found
 }
 
-// lockClassesIn collects the mutex classes locked and unlocked in body,
-// rendered as receiver chains ("s.mu", "c.mu").
-func lockClassesIn(info *types.Info, body ast.Node) (acquires, releases []string) {
-	seenA, seenR := map[string]bool{}, map[string]bool{}
+// lockClassesIn collects the mutex ops locked and unlocked in body, with the
+// class rendered as a receiver chain ("s.mu", "c.mu") and the mode taken
+// from the method name: Lock/Unlock are the write side, RLock/RUnlock the
+// read side.
+func lockClassesIn(info *types.Info, body ast.Node) (acquires, releases []LockOp) {
+	seenA, seenR := map[LockOp]bool{}, map[LockOp]bool{}
 	inspectShallow(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -298,24 +317,33 @@ func lockClassesIn(info *types.Info, body ast.Node) (acquires, releases []string
 		if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync" {
 			return true
 		}
-		class := exprString(sel.X)
+		op := LockOp{Class: exprString(sel.X), W: f.Name() == "Lock" || f.Name() == "Unlock"}
 		switch f.Name() {
 		case "Lock", "RLock":
-			if !seenA[class] {
-				seenA[class] = true
-				acquires = append(acquires, class)
+			if !seenA[op] {
+				seenA[op] = true
+				acquires = append(acquires, op)
 			}
 		case "Unlock", "RUnlock":
-			if !seenR[class] {
-				seenR[class] = true
-				releases = append(releases, class)
+			if !seenR[op] {
+				seenR[op] = true
+				releases = append(releases, op)
 			}
 		}
 		return true
 	})
-	sort.Strings(acquires)
-	sort.Strings(releases)
+	sortLockOps(acquires)
+	sortLockOps(releases)
 	return acquires, releases
+}
+
+func sortLockOps(ops []LockOp) {
+	sort.Slice(ops, func(i, j int) bool {
+		if ops[i].Class != ops[j].Class {
+			return ops[i].Class < ops[j].Class
+		}
+		return !ops[i].W && ops[j].W
+	})
 }
 
 // externBlocks classifies stdlib calls that can block the calling

@@ -1,0 +1,38 @@
+// Package atomicmix exercises the mixed-access check: a variable whose
+// address feeds a sync/atomic function anywhere in the module must never
+// be read or written plainly elsewhere — plain reads beside atomic writes
+// still race. Typed atomics are immune by construction and out of scope.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits  uint64
+	reads uint64
+	plain uint64
+}
+
+func (c *counters) hit() { atomic.AddUint64(&c.hits, 1) }
+
+func (c *counters) load() uint64 { return atomic.LoadUint64(&c.reads) }
+
+// race mixes plain and atomic access to the same fields.
+func (c *counters) race() uint64 {
+	c.hits++       // want "hits is accessed atomically at .* but plainly here"
+	return c.reads // want "reads is accessed atomically at .* but plainly here"
+}
+
+// bump touches a never-atomic field: plain access is fine. Quiet.
+func (c *counters) bump() uint64 {
+	c.plain++
+	return c.plain
+}
+
+var total uint64
+
+func addTotal(n uint64) { atomic.AddUint64(&total, n) }
+
+// report documents a deliberate exception in place.
+func report() uint64 {
+	return total //ordlint:allow atomicmix — shutdown-only read after every writer has exited
+}

@@ -1,0 +1,140 @@
+// Package borrowck exercises the borrow-lifetime analysis: values from
+// //ordlint:borrows functions alias lock-scoped storage and must not be
+// returned undeclared, stored to outliving memory, sent on channels,
+// captured by goroutines, handed to retaining sinks, or used after the
+// region's mutex is released.
+package borrowck
+
+import "sync"
+
+type store struct {
+	mu   sync.RWMutex
+	data [][]float64
+	keep []float64
+}
+
+// get returns the row under the caller's lock.
+//
+//ordlint:borrows — rows alias the store's backing arrays
+func (s *store) get(i int) []float64 { return s.data[i] }
+
+// scan hands each row to fn.
+//
+//ordlint:borrows — rows passed to fn alias the backing arrays
+func (s *store) scan(fn func(row []float64) bool) {
+	for _, r := range s.data {
+		if !fn(r) {
+			return
+		}
+	}
+}
+
+// cache retains whatever it is handed; configured as a borrow sink.
+type cache struct {
+	rows map[int][]float64
+}
+
+func (c *cache) Put(k int, row []float64) { c.rows[k] = row }
+
+// leakReturn returns a borrow without declaring the contract.
+func leakReturn(s *store) []float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.get(0) // want "leakReturn returns a borrow of lock-scoped storage"
+}
+
+// okReturn declares the contract, so returning the borrow is fine. Quiet.
+//
+//ordlint:borrows — propagates store.get's row to the caller
+func okReturn(s *store) []float64 {
+	return s.get(1)
+}
+
+// copyOut deep-copies under the lock; the borrow dies at the append. Quiet.
+func copyOut(s *store) []float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := append([]float64(nil), s.get(0)...)
+	return out
+}
+
+var global [][]float64
+
+// leakStore parks a borrow in a package variable.
+func leakStore(s *store) {
+	s.mu.RLock()
+	global = append(global, s.get(0)) // want "borrow stored to package variable global"
+	s.mu.RUnlock()
+}
+
+// keepRow stashes a borrow in a field that outlives the region.
+func (s *store) keepRow() {
+	s.mu.Lock()
+	s.keep = s.get(0) // want "borrow stored to memory reachable from s"
+	s.mu.Unlock()
+}
+
+// leakChan sends a borrow across a channel.
+func leakChan(s *store, ch chan []float64) {
+	s.mu.RLock()
+	ch <- s.get(0) // want "borrow sent on a channel escapes its lock region"
+	s.mu.RUnlock()
+}
+
+// leakGo lets a goroutine capture a borrow that outlives the region.
+func leakGo(s *store, sink func([]float64)) {
+	s.mu.RLock()
+	p := s.get(0)
+	go func() {
+		sink(p) // want "goroutine captures borrow p"
+	}()
+	s.mu.RUnlock()
+}
+
+// leakSink hands a borrow to the retaining cache.
+func leakSink(s *store, c *cache) {
+	s.mu.RLock()
+	c.Put(1, s.get(0)) // want "borrow passed to Put, which retains its arguments"
+	s.mu.RUnlock()
+}
+
+// stale uses a borrow after the read lock is gone.
+func stale(s *store) float64 {
+	s.mu.RLock()
+	p := s.get(0)
+	s.mu.RUnlock()
+	return p[0] // want "borrow p is used after s.mu was released"
+}
+
+// staleAllowed documents a deliberate exception in place.
+func staleAllowed(s *store) float64 {
+	s.mu.RLock()
+	p := s.get(0)
+	s.mu.RUnlock()
+	return p[0] //ordlint:allow borrowck — single-writer startup phase, no concurrent mutators
+}
+
+// scanLeak collects the callback's borrowed rows and returns them
+// undeclared: the callback-parameter seeding must catch this.
+func scanLeak(s *store) [][]float64 {
+	var rows [][]float64
+	s.mu.RLock()
+	s.scan(func(row []float64) bool {
+		rows = append(rows, row)
+		return true
+	})
+	s.mu.RUnlock()
+	return rows // want "scanLeak returns a borrow of lock-scoped storage"
+}
+
+// scanCopy copies each row inside the callback. Quiet.
+func scanCopy(s *store) [][]float64 {
+	var rows [][]float64
+	s.mu.RLock()
+	s.scan(func(row []float64) bool {
+		rows = append(rows, append([]float64(nil), row...))
+		return true
+	})
+	s.mu.RUnlock()
+	return rows
+}

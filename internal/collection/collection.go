@@ -131,6 +131,8 @@ func (c *Collection) checkPoint(p geom.Vector) error {
 
 // at returns the packed vector of a slot, capacity-capped so appends by a
 // caller can never clobber the neighbouring slot.
+//
+//ordlint:borrows — the vector aliases the packed chunk storage
 func (c *Collection) at(slot int) geom.Vector {
 	lo := (slot % chunkSlots) * c.dim
 	hi := lo + c.dim
@@ -169,10 +171,14 @@ func (c *Collection) Dim() int { return c.dim }
 // Tree exposes the spatial index for the query layers. The tree is mutated
 // in place by Insert/Update/Delete, so traversals must not run concurrently
 // with mutations (see the package concurrency contract).
+//
+//ordlint:borrows — leaf rectangles alias the packed chunk storage
 func (c *Collection) Tree() *rtree.Tree { return c.tree }
 
 // Get returns the point stored under id; the vector aliases the packed
 // storage (copy it to retain across mutations).
+//
+//ordlint:borrows — the vector aliases the packed chunk storage
 func (c *Collection) Get(id int) (geom.Vector, bool) {
 	slot, ok := c.slotOf[id]
 	if !ok {
@@ -188,6 +194,8 @@ func (c *Collection) NewID() int { return c.nextID }
 // Insert adds a point under the given id. It fails with ErrDuplicateID when
 // the id is live and with ErrBadPoint on dimension/finiteness violations.
 // The point is copied; the caller keeps ownership of p.
+//
+//ordlint:writer — allocates a slot and mutates the spatial index
 func (c *Collection) Insert(id int, p geom.Vector) error {
 	if err := c.checkPoint(p); err != nil {
 		return err
@@ -207,6 +215,8 @@ func (c *Collection) Insert(id int, p geom.Vector) error {
 // Update replaces the point stored under a live id. It fails with
 // ErrUnknownID when the id is not present. The spatial index entry is
 // deleted and re-inserted; the packed slot is reused in place.
+//
+//ordlint:writer — overwrites packed coordinates and reindexes
 func (c *Collection) Update(id int, p geom.Vector) error {
 	if err := c.checkPoint(p); err != nil {
 		return err
@@ -232,6 +242,8 @@ func (c *Collection) Update(id int, p geom.Vector) error {
 
 // Upsert inserts the point when id is free and updates it when live,
 // reporting which happened.
+//
+//ordlint:writer — delegates to Insert/Update
 func (c *Collection) Upsert(id int, p geom.Vector) (updated bool, err error) {
 	if _, live := c.slotOf[id]; live {
 		return true, c.Update(id, p)
@@ -240,6 +252,8 @@ func (c *Collection) Upsert(id int, p geom.Vector) (updated bool, err error) {
 }
 
 // Delete removes the record stored under id, reporting whether it existed.
+//
+//ordlint:writer — unindexes the record and recycles its slot
 func (c *Collection) Delete(id int) bool {
 	slot, ok := c.slotOf[id]
 	if !ok {
@@ -263,7 +277,10 @@ func (c *Collection) dropSlot(id, slot int) {
 
 // IDs returns the live ids in ascending order. The returned slice is the
 // collection's cached index: treat it as read-only and do not retain it
-// across mutations.
+// across mutations. Note IDs may rebuild that cache, so even this read
+// path needs the writer side of the serving layer's lock.
+//
+//ordlint:borrows — returns the collection's cached index slice
 func (c *Collection) IDs() []int {
 	if !c.sortedValid {
 		c.sorted = c.sorted[:0]
@@ -281,6 +298,8 @@ func (c *Collection) IDs() []int {
 // Scan iterates the collection in ascending id order, stopping early when
 // fn returns false. The vectors passed to fn alias the packed storage; fn
 // must not mutate the collection.
+//
+//ordlint:borrows — vectors handed to fn alias the packed chunk storage
 func (c *Collection) Scan(fn func(id int, p geom.Vector) bool) {
 	for _, id := range c.IDs() {
 		if !fn(id, c.at(c.slotOf[id])) {

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"ordu/internal/collection"
+)
+
+// TestMutationErrorMessages pins the status code AND the body message of
+// every mutation error path: clients key retry logic off the codes and
+// operators grep logs for the messages, so both are wire contract.
+func TestMutationErrorMessages(t *testing.T) {
+	s := testServer(t, Config{}, 50)
+	for _, tc := range []struct {
+		name, method, path, body string
+		want                     int
+		msg                      string
+	}{
+		{"write to missing dataset", "POST", "/datasets/nope/points",
+			`{"point":[0.5,0.5,0.5]}`, 404, `unknown dataset "nope"`},
+		{"delete from missing dataset", "DELETE", "/datasets/nope/points/1",
+			"", 404, `unknown dataset "nope"`},
+		{"point too short", "POST", "/datasets/main/points",
+			`{"point":[0.5,0.5]}`, 400, "point has 2 attributes, want 3"},
+		{"point too long", "POST", "/datasets/main/points",
+			`{"point":[0.1,0.2,0.3,0.4]}`, 400, "point has 4 attributes, want 3"},
+		// JSON cannot spell NaN/Inf and the decoder rejects overflowing
+		// literals, so a non-finite coordinate dies in Decode — before the
+		// handler's own finiteness guard (kept as defense in depth for
+		// future non-JSON ingest paths).
+		{"overflowing coordinate", "POST", "/datasets/main/points",
+			`{"point":[0.5,1e999,0.5]}`, 400, "bad request body"},
+		{"truncated body", "POST", "/datasets/main/points",
+			`{"point":`, 400, "bad request body"},
+		{"non-numeric id segment", "DELETE", "/datasets/main/points/abc",
+			"", 400, `bad point id "abc"`},
+		{"delete of unknown id", "DELETE", "/datasets/main/points/999999",
+			"", 404, `dataset "main" has no point 999999`},
+	} {
+		rec := do(t, s.Handler(), tc.method, tc.path, tc.body)
+		if rec.Code != tc.want {
+			t.Errorf("%s: status %d, want %d: %s", tc.name, rec.Code, tc.want, rec.Body.String())
+			continue
+		}
+		if got := decode[ErrorResponse](t, rec).Error; !strings.Contains(got, tc.msg) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, got, tc.msg)
+		}
+	}
+	// None of the failures may have touched the dataset.
+	list := decode[[]DatasetInfo](t, do(t, s.Handler(), "GET", "/datasets", ""))
+	if len(list) != 1 || list[0].Records != 50 || list[0].Inserts != 0 || list[0].Deletes != 0 {
+		t.Fatalf("failed mutations changed the dataset: %+v", list)
+	}
+}
+
+// TestStatusForMutationError pins the sentinel-to-status mapping with errors
+// produced by the real collection layer, not hand-built ones — if the
+// collection changes how it wraps its sentinels, this breaks here and not
+// in production. ErrDuplicateID is unreachable through the HTTP handlers
+// (they upsert), so InsertID is the only producer; it still needs a row
+// because statusForMutationError is also the contract for future handlers.
+func TestStatusForMutationError(t *testing.T) {
+	ds := testDataset(t, 10)
+	update := func(id int, p []float64) error { return ds.Update(id, p) }
+
+	for _, tc := range []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"unknown id", update(999999, []float64{0.5, 0.5, 0.5}), http.StatusNotFound},
+		{"duplicate id", ds.InsertID(0, []float64{0.5, 0.5, 0.5}), http.StatusConflict},
+		{"wrong dimension", ds.InsertID(5000, []float64{0.5, 0.5}), http.StatusBadRequest},
+		{"NaN coordinate", update(0, []float64{math.NaN(), 0.5, 0.5}), http.StatusBadRequest},
+		{"infinite coordinate", update(0, []float64{0.5, math.Inf(1), 0.5}), http.StatusBadRequest},
+		{"wrapped sentinel", fmt.Errorf("applying op: %w", collection.ErrBadPoint), http.StatusBadRequest},
+		{"unrecognized error", errors.New("disk on fire"), http.StatusInternalServerError},
+	} {
+		if tc.err == nil {
+			t.Errorf("%s: the collection accepted the bad mutation", tc.name)
+			continue
+		}
+		if got := statusForMutationError(tc.err); got != tc.want {
+			t.Errorf("%s: statusForMutationError(%v) = %d, want %d", tc.name, tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestListDatasetsStatsWriteRace hammers GET /datasets — whose handler
+// snapshots the dataset map under s.mu and then takes each dataset's nd.mu
+// read lock for Stats() — while writers mutate the same datasets through
+// the point endpoints. Run under -race (make test does) it proves the
+// snapshot-then-relock pattern in handleListDatasets never reads a
+// collection concurrently with a write.
+func TestListDatasetsStatsWriteRace(t *testing.T) {
+	s := New(Config{})
+	s.AddDataset("a", testDataset(t, 60))
+	s.AddDataset("b", testDataset(t, 60))
+	h := s.Handler()
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 32)
+	const iters = 25
+	for g := 0; g < 4; g++ { // listers: per-dataset Stats under read locks
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				rec := do(t, h, "GET", "/datasets", "")
+				if rec.Code != 200 {
+					errs <- fmt.Sprintf("list: %d %s", rec.Code, rec.Body.String())
+					return
+				}
+				for _, info := range decode[[]DatasetInfo](t, rec) {
+					if info.Dims != 3 || info.Records < 1 {
+						errs <- fmt.Sprintf("list: torn stats %+v", info)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ { // writers: insert, upsert and delete points
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := "a"
+			if g%2 == 1 {
+				name = "b"
+			}
+			id := 20000 + g
+			for i := 0; i < iters; i++ {
+				body := fmt.Sprintf(`{"id":%d,"point":[0.5,%g,0.5]}`, id, 0.1+0.01*float64(i))
+				rec := do(t, h, "POST", "/datasets/"+name+"/points", body)
+				if rec.Code != http.StatusCreated && rec.Code != http.StatusOK {
+					errs <- fmt.Sprintf("writer %d: %d %s", g, rec.Code, rec.Body.String())
+					return
+				}
+				if i%5 == 4 { // periodically delete and re-insert the id
+					rec = do(t, h, "DELETE", fmt.Sprintf("/datasets/%s/points/%d", name, id), "")
+					if rec.Code != 200 {
+						errs <- fmt.Sprintf("writer %d delete: %d %s", g, rec.Code, rec.Body.String())
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	list := decode[[]DatasetInfo](t, do(t, h, "GET", "/datasets", ""))
+	if len(list) != 2 {
+		t.Fatalf("want 2 datasets, got %+v", list)
+	}
+	for _, info := range list {
+		if info.Inserts == 0 || info.Updates == 0 || info.Deletes == 0 {
+			t.Errorf("dataset %s missed mutations: %+v", info.Name, info)
+		}
+	}
+}

@@ -197,14 +197,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, op string) 
 	var resp *QueryResponse
 	switch op {
 	case "ord":
-		res, qerr := nd.ds.ORDCtx(ctx, req.W, req.K, req.M) //ordlint:allow lockhold — reader lock by design: queries must hold off writers for their whole run (results alias packed storage), and ctx bounds the hold time
+		res, qerr := nd.ds.ORDCtx(ctx, req.W, req.K, req.M) //ordlint:allow lockhold — reader lock by design: ORDCtx returns borrows (//ordlint:borrows) that borrowck keeps inside this region, so the lock must span query, marshal and cache fill; ctx bounds the hold time
 		if qerr != nil {
 			err = qerr
 		} else {
 			resp = NewORDResponse(res)
 		}
 	case "oru":
-		res, qerr := nd.ds.ORUParallelCtx(ctx, req.W, req.K, req.M, req.Workers) //ordlint:allow lockhold — reader lock by design: see the ORD arm above
+		res, qerr := nd.ds.ORUParallelCtx(ctx, req.W, req.K, req.M, req.Workers) //ordlint:allow lockhold — reader lock by design: ORUParallelCtx returns borrows the lock must cover; see the ORD arm above
 		if qerr != nil {
 			err = qerr
 		} else {
@@ -366,8 +366,11 @@ func (s *Server) handleAddDataset(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, "datasets", start, http.StatusBadRequest, err.Error())
 		return
 	}
+	// Snapshot the stats before publishing: once AddDataset registers ds,
+	// other requests can reach it and reads need its lock.
+	st := ds.Stats()
 	s.AddDataset(req.Name, ds)
-	s.writeJSON(w, "datasets", start, http.StatusCreated, infoFromStats(req.Name, ds.Stats()))
+	s.writeJSON(w, "datasets", start, http.StatusCreated, infoFromStats(req.Name, st))
 }
 
 func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {

@@ -134,6 +134,8 @@ func (l *Live) K() int { return l.k }
 func (l *Live) Rho() float64 { return l.rho }
 
 // Seed returns the preference seed (shared slice; do not modify).
+//
+//ordlint:borrows — shares the Live's internal seed vector
 func (l *Live) Seed() geom.Vector { return l.w }
 
 // Recounts returns the cumulative number of exact recount probes forced by
@@ -149,6 +151,8 @@ func (l *Live) Contains(id int) bool {
 
 // Members returns the current rho-skyband in ascending id order. The member
 // vectors alias the tree's storage.
+//
+//ordlint:borrows — Member.Point aliases the tree's packed storage
 func (l *Live) Members() []Member {
 	ids := make([]int, 0, len(l.entries))
 	for id, e := range l.entries {
@@ -167,6 +171,8 @@ func (l *Live) Members() []Member {
 
 // OnInsert repairs the band after the tree gained record id. The tree must
 // already contain the point.
+//
+//ordlint:writer — rewrites the tracked dominator lists
 func (l *Live) OnInsert(id int) error {
 	p, ok := l.tree.Point(id)
 	if !ok {
@@ -196,6 +202,8 @@ func (l *Live) OnInsert(id int) error {
 
 // OnDelete repairs the band after the tree lost record id. The tree must no
 // longer contain the point.
+//
+//ordlint:writer — rewrites the tracked dominator lists
 func (l *Live) OnDelete(id int) error {
 	if _, still := l.tree.Point(id); still {
 		return fmt.Errorf("%w: OnDelete(%d) but the id is still in the tree", ErrLiveState, id)
@@ -209,6 +217,8 @@ func (l *Live) OnDelete(id int) error {
 
 // OnUpdate repairs the band after record id moved. The tree must already
 // hold the new position.
+//
+//ordlint:writer — rewrites the tracked dominator lists
 func (l *Live) OnUpdate(id int) error {
 	if _, ok := l.tree.Point(id); !ok {
 		return fmt.Errorf("%w: OnUpdate(%d) but the id is not in the tree", ErrLiveState, id)

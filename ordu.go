@@ -54,6 +54,8 @@ type Dataset struct {
 }
 
 // tree returns the backing spatial index.
+//
+//ordlint:borrows — the tree's leaf rectangles alias the packed storage
 func (ds *Dataset) tree() *rtree.Tree { return ds.col.Tree() }
 
 // Result is one record returned by a query.
@@ -139,6 +141,8 @@ func (ds *Dataset) Dim() int { return ds.col.Dim() }
 
 // Record returns the attributes of a record by id. The slice aliases the
 // dataset's packed storage: copy it to retain across mutations.
+//
+//ordlint:borrows — the slice aliases the packed storage
 func (ds *Dataset) Record(id int) ([]float64, bool) {
 	p, ok := ds.col.Get(id)
 	return p, ok
@@ -153,7 +157,7 @@ func (ds *Dataset) Stats() collection.Stats { return ds.col.Stats() }
 // subsequent queries (Section 3).
 func (ds *Dataset) Insert(record []float64) (int, error) {
 	if len(record) != ds.Dim() {
-		return 0, fmt.Errorf("ordu: record has %d attributes, want %d", len(record), ds.Dim())
+		return 0, fmt.Errorf("%w: record has %d attributes, want %d", collection.ErrBadPoint, len(record), ds.Dim())
 	}
 	id := ds.col.NewID()
 	if err := ds.col.Insert(id, geom.Vector(record)); err != nil {
@@ -163,19 +167,21 @@ func (ds *Dataset) Insert(record []float64) (int, error) {
 }
 
 // InsertID adds a record under a caller-chosen id; it fails when the id is
-// already live (collection.ErrDuplicateID) or the record is malformed.
+// already live (collection.ErrDuplicateID) or the record is malformed
+// (collection.ErrBadPoint).
 func (ds *Dataset) InsertID(id int, record []float64) error {
 	if len(record) != ds.Dim() {
-		return fmt.Errorf("ordu: record has %d attributes, want %d", len(record), ds.Dim())
+		return fmt.Errorf("%w: record has %d attributes, want %d", collection.ErrBadPoint, len(record), ds.Dim())
 	}
 	return ds.col.Insert(id, geom.Vector(record))
 }
 
 // Update replaces the record stored under a live id; it fails when the id
-// is unknown (collection.ErrUnknownID) or the record is malformed.
+// is unknown (collection.ErrUnknownID) or the record is malformed
+// (collection.ErrBadPoint).
 func (ds *Dataset) Update(id int, record []float64) error {
 	if len(record) != ds.Dim() {
-		return fmt.Errorf("ordu: record has %d attributes, want %d", len(record), ds.Dim())
+		return fmt.Errorf("%w: record has %d attributes, want %d", collection.ErrBadPoint, len(record), ds.Dim())
 	}
 	return ds.col.Update(id, geom.Vector(record))
 }
@@ -184,7 +190,7 @@ func (ds *Dataset) Update(id int, record []float64) error {
 // reporting which happened.
 func (ds *Dataset) Upsert(id int, record []float64) (updated bool, err error) {
 	if len(record) != ds.Dim() {
-		return false, fmt.Errorf("ordu: record has %d attributes, want %d", len(record), ds.Dim())
+		return false, fmt.Errorf("%w: record has %d attributes, want %d", collection.ErrBadPoint, len(record), ds.Dim())
 	}
 	return ds.col.Upsert(id, geom.Vector(record))
 }
@@ -250,6 +256,8 @@ func checkKM(k, m int) error {
 
 // TopK returns the k records with the highest utility for w, best first
 // (BBR branch-and-bound ranked retrieval).
+//
+//ordlint:borrows — Result.Record aliases the packed storage
 func (ds *Dataset) TopK(w []float64, k int) ([]Result, error) {
 	v, err := ds.prepW(w)
 	if err != nil {
@@ -267,6 +275,8 @@ func (ds *Dataset) TopK(w []float64, k int) ([]Result, error) {
 }
 
 // Skyline returns the records dominated by no other (BBS).
+//
+//ordlint:borrows — Result.Record aliases the packed storage
 func (ds *Dataset) Skyline() []Result {
 	ms := skyband.Skyline(ds.tree())
 	out := make([]Result, len(ms))
@@ -277,6 +287,8 @@ func (ds *Dataset) Skyline() []Result {
 }
 
 // KSkyband returns the records dominated by fewer than k others (BBS).
+//
+//ordlint:borrows — Result.Record aliases the packed storage
 func (ds *Dataset) KSkyband(k int) ([]Result, error) {
 	if err := checkK(k); err != nil {
 		return nil, err
@@ -292,6 +304,8 @@ func (ds *Dataset) KSkyband(k int) ([]Result, error) {
 // OSSkyline returns the m skyline records that dominate the most records
 // (the output-size-specified skyline of Lin et al. [49], the qualitative
 // baseline of the paper's Section 6.1).
+//
+//ordlint:borrows — Result.Record aliases the packed storage
 func (ds *Dataset) OSSkyline(m int) []Result {
 	rs := osskyline.TopM(ds.tree(), m)
 	out := make([]Result, len(rs))
@@ -302,6 +316,8 @@ func (ds *Dataset) OSSkyline(m int) []Result {
 }
 
 // ORD runs the paper's dominance-flavoured operator (Definition 1).
+//
+//ordlint:borrows — Result.Record aliases the packed storage
 func (ds *Dataset) ORD(w []float64, k, m int) (*ORDResult, error) {
 	return ds.ORDCtx(context.Background(), w, k, m)
 }
@@ -310,6 +326,8 @@ func (ds *Dataset) ORD(w []float64, k, m int) (*ORDResult, error) {
 // aborts with an error wrapping ctx.Err() once the context is cancelled or
 // its deadline passes — the hook the serving layer uses for per-request
 // deadlines.
+//
+//ordlint:borrows — Result.Record aliases the packed storage
 func (ds *Dataset) ORDCtx(ctx context.Context, w []float64, k, m int) (*ORDResult, error) {
 	v, err := ds.prepW(w)
 	if err != nil {
@@ -330,11 +348,15 @@ func (ds *Dataset) ORDCtx(ctx context.Context, w []float64, k, m int) (*ORDResul
 }
 
 // ORU runs the paper's ranking-flavoured operator (Definition 2).
+//
+//ordlint:borrows — Result.Record aliases the packed storage
 func (ds *Dataset) ORU(w []float64, k, m int) (*ORUResult, error) {
 	return ds.ORUCtx(context.Background(), w, k, m)
 }
 
 // ORUCtx is ORU with a context (see ORDCtx).
+//
+//ordlint:borrows — Result.Record aliases the packed storage
 func (ds *Dataset) ORUCtx(ctx context.Context, w []float64, k, m int) (*ORUResult, error) {
 	return ds.oruCtx(ctx, w, k, m, 0)
 }
@@ -343,16 +365,22 @@ func (ds *Dataset) ORUCtx(ctx context.Context, w []float64, k, m int) (*ORUResul
 // parallelisation direction the paper proposes in Section 6.4. The result
 // is identical to ORU; only wall-clock changes. workers <= 1 falls back to
 // the sequential algorithm.
+//
+//ordlint:borrows — Result.Record aliases the packed storage
 func (ds *Dataset) ORUParallel(w []float64, k, m, workers int) (*ORUResult, error) {
 	return ds.ORUParallelCtx(context.Background(), w, k, m, workers)
 }
 
 // ORUParallelCtx is ORUParallel with a context (see ORDCtx).
+//
+//ordlint:borrows — Result.Record aliases the packed storage
 func (ds *Dataset) ORUParallelCtx(ctx context.Context, w []float64, k, m, workers int) (*ORUResult, error) {
 	return ds.oruCtx(ctx, w, k, m, workers)
 }
 
 // oruCtx validates, runs the core ORU and converts the result.
+//
+//ordlint:borrows — Result.Record aliases the packed storage
 func (ds *Dataset) oruCtx(ctx context.Context, w []float64, k, m, workers int) (*ORUResult, error) {
 	v, err := ds.prepW(w)
 	if err != nil {
