@@ -344,6 +344,61 @@ func BenchmarkSubstrateUpperHull(b *testing.B) {
 	}
 }
 
+// --- Flat-core kernel micros: branch-free dominance and the flat tree ---
+
+// BenchmarkDominates measures the branch-free dominance kernel across the
+// dimensionalities the paper's testbed covers. The operand stream cycles
+// random pairs so the comparison outcomes stay unpredictable — the regime
+// the arithmetic flag accumulation is designed for.
+func BenchmarkDominates(b *testing.B) {
+	for d := 2; d <= 6; d++ {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			pts := data.Synthetic(data.IND, 1024, d, 3)
+			b.ReportAllocs()
+			b.ResetTimer()
+			hits := 0
+			for i := 0; i < b.N; i++ {
+				if pts[i%1024].Dominates(pts[(i*7+1)%1024]) {
+					hits++
+				}
+			}
+			benchSink = hits
+		})
+	}
+}
+
+// BenchmarkKSkyband measures the full k-skyband scan over the flat tree at
+// d=2..6 (n shrunk so the high-d bands finish; the skyband grows sharply
+// with dimensionality).
+func BenchmarkKSkyband(b *testing.B) {
+	for d := 2; d <= 6; d++ {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			tree := benchCache.Synthetic(data.IND, 10_000, d)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				skyband.KSkyband(tree, benchK)
+			}
+		})
+	}
+}
+
+// BenchmarkRTreeBulkLoadSTR measures STR bulk construction of the flat
+// tree at the paper-scale cardinality.
+func BenchmarkRTreeBulkLoadSTR(b *testing.B) {
+	pts := data.Synthetic(data.IND, 100_000, benchD, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchTree = rtree.BulkLoad(pts)
+	}
+}
+
+var (
+	benchSink int
+	benchTree *rtree.Tree
+)
+
 // --- Hot-path micro-benchmarks: the workspace-reuse contract in numbers ---
 
 // BenchmarkMindist measures the rho-dominance mindist kernel with a warmed

@@ -110,18 +110,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // diff prints a comparison table and returns the number of regressions.
 // A timeThresh of 0 disables the time comparison (the -allocs-only mode).
+// Names that differ only by a trailing "-N" GOMAXPROCS suffix (gained or
+// lost when a snapshot was taken with different parallelism) are matched
+// through their canonical form, so such renames compare instead of being
+// reported as missing.
 func diff(oldSnap, newSnap *Snapshot, timeThresh, allocThresh float64, out io.Writer) int {
 	oldBy := byName(oldSnap)
 	newBy := byName(newSnap)
+	// Canonical-name index of the new run, for suffix-tolerant matching.
+	// Only unambiguous canonical matches are used: if two new benchmarks
+	// collapse to the same canonical name, neither is matched through it.
+	newCanon := make(map[string][]string)
+	for name := range newBy {
+		newCanon[canonicalName(name)] = append(newCanon[canonicalName(name)], name)
+	}
 	names := make([]string, 0, len(oldBy))
 	for name := range oldBy {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	matched := make(map[string]bool, len(newBy))
 	regressions := 0
 	for _, name := range names {
 		o := oldBy[name]
 		n, ok := newBy[name]
+		if ok {
+			matched[name] = true
+		} else if alts := newCanon[canonicalName(name)]; len(alts) == 1 && !matched[alts[0]] {
+			n, ok = newBy[alts[0]], true
+			matched[alts[0]] = true
+		}
 		if !ok {
 			fmt.Fprintf(out, "%-60s only in old run\n", name)
 			continue
@@ -145,11 +163,22 @@ func diff(oldSnap, newSnap *Snapshot, timeThresh, allocThresh float64, out io.Wr
 			name, o.NsPerOp, n.NsPerOp, o.AllocsPerOp, n.AllocsPerOp, bad)
 	}
 	for name := range newBy {
-		if _, ok := oldBy[name]; !ok {
+		if !matched[name] {
 			fmt.Fprintf(out, "%-60s only in new run\n", name)
 		}
 	}
 	return regressions
+}
+
+// canonicalName strips one trailing "-<int>" segment — the form of the
+// GOMAXPROCS suffix `go test` appends when GOMAXPROCS != 1 — if present.
+func canonicalName(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
 }
 
 func byName(s *Snapshot) map[string]Result {
@@ -180,11 +209,20 @@ func loadFile(path string) (*Snapshot, error) {
 
 // parseBench parses `go test -bench` text output. Repeated runs of the
 // same benchmark (e.g. -count>1) keep the last measurement.
+//
+// The "-N" GOMAXPROCS suffix `go test` appends (when GOMAXPROCS != 1) is
+// stripped only when every benchmark line in the file carries the same
+// trailing "-<int>": the suffix is uniform within one run, so a mixed file
+// means those trailing integers are genuine parts of benchmark names (a
+// subbenchmark label like "shards-4" on a GOMAXPROCS=1 run) and stripping
+// would corrupt them. Diff-time canonical matching (diff) covers snapshots
+// taken with different parallelism.
 func parseBench(r io.Reader) (*Snapshot, error) {
 	snap := &Snapshot{}
-	seen := make(map[string]int) // name -> index in snap.Benchmarks
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	uniform, suffix := true, ""
+	first := true
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if !strings.HasPrefix(line, "Benchmark") {
@@ -194,12 +232,15 @@ func parseBench(r io.Reader) (*Snapshot, error) {
 		if len(fields) < 3 {
 			continue
 		}
-		// Strip the GOMAXPROCS suffix: BenchmarkName-8 -> BenchmarkName.
 		name := fields[0]
-		if i := strings.LastIndex(name, "-"); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
-				name = name[:i]
-			}
+		ext := ""
+		if c := canonicalName(name); c != name {
+			ext = name[len(c):]
+		}
+		if first {
+			suffix, first = ext, false
+		} else if ext != suffix {
+			uniform = false
 		}
 		iters, err := strconv.ParseInt(fields[1], 10, 64)
 		if err != nil {
@@ -224,15 +265,27 @@ func parseBench(r io.Reader) (*Snapshot, error) {
 		if res.NsPerOp == 0 { //ordlint:allow floatcmp — unparsed sentinel, never computed
 			continue
 		}
-		if i, dup := seen[name]; dup {
-			snap.Benchmarks[i] = res
-		} else {
-			seen[name] = len(snap.Benchmarks)
-			snap.Benchmarks = append(snap.Benchmarks, res)
-		}
+		snap.Benchmarks = append(snap.Benchmarks, res)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
+	if uniform && suffix != "" {
+		for i := range snap.Benchmarks {
+			snap.Benchmarks[i].Name = strings.TrimSuffix(snap.Benchmarks[i].Name, suffix)
+		}
+	}
+	// Repeated names (-count>1) keep the last measurement.
+	seen := make(map[string]int, len(snap.Benchmarks))
+	dedup := snap.Benchmarks[:0]
+	for _, res := range snap.Benchmarks {
+		if i, dup := seen[res.Name]; dup {
+			dedup[i] = res
+			continue
+		}
+		seen[res.Name] = len(dedup)
+		dedup = append(dedup, res)
+	}
+	snap.Benchmarks = dedup
 	return snap, nil
 }

@@ -145,6 +145,65 @@ func TestHelpExitsZero(t *testing.T) {
 	}
 }
 
+func TestSuffixStrippedOnlyWhenUniform(t *testing.T) {
+	// Uniform "-8" across the file: the GOMAXPROCS suffix, stripped.
+	snap, err := parseBench(strings.NewReader(
+		"BenchmarkA-8 100 50.0 ns/op\nBenchmarkB/shards-4-8 100 60.0 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := byName(snap)
+	if _, ok := by["BenchmarkA"]; !ok {
+		t.Fatalf("uniform suffix not stripped: %+v", snap.Benchmarks)
+	}
+	if _, ok := by["BenchmarkB/shards-4"]; !ok {
+		t.Fatalf("inner name segment mangled: %+v", snap.Benchmarks)
+	}
+	// Mixed trailing integers on a GOMAXPROCS=1 run: genuine name parts,
+	// nothing may be stripped.
+	snap, err = parseBench(strings.NewReader(
+		"BenchmarkA 100 50.0 ns/op\nBenchmarkB/shards-4 100 60.0 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	by = byName(snap)
+	if _, ok := by["BenchmarkB/shards-4"]; !ok {
+		t.Fatalf("genuine -4 name part stripped: %+v", snap.Benchmarks)
+	}
+}
+
+func TestDiffMatchesAcrossGOMAXPROCSSuffix(t *testing.T) {
+	// Old snapshot recorded without the suffix (GOMAXPROCS=1), new one with
+	// it (and vice versa): the diff must compare them, not skip them. JSON
+	// inputs bypass parse-time normalisation, so this exercises the
+	// diff-time canonical fallback.
+	oldJSON := `{"benchmarks":[{"name":"BenchmarkX","iterations":100,"ns_per_op":50,"allocs_per_op":2}]}`
+	newJSON := `{"benchmarks":[{"name":"BenchmarkX-8","iterations":100,"ns_per_op":500,"allocs_per_op":2}]}`
+	oldP := writeTemp(t, "old.json", oldJSON)
+	newP := writeTemp(t, "new.json", newJSON)
+	var out, errOut bytes.Buffer
+	if code := run([]string{oldP, newP}, &out, &errOut); code != 1 {
+		t.Fatalf("suffixed rename not compared (exit %d):\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "TIME-REGRESSION") {
+		t.Fatalf("regression lost across suffix rename:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "only in") {
+		t.Fatalf("suffix rename reported as missing:\n%s", out.String())
+	}
+	// The reverse direction: old suffixed, new bare.
+	oldP = writeTemp(t, "old2.json", newJSON)
+	newP = writeTemp(t, "new2.json", oldJSON)
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{oldP, newP}, &out, &errOut); code != 0 {
+		t.Fatalf("improvement across suffix loss flagged (exit %d):\n%s", code, out.String())
+	}
+	if strings.Contains(out.String(), "only in") {
+		t.Fatalf("suffix loss reported as missing:\n%s", out.String())
+	}
+}
+
 func TestMissingBenchmarksNeverFail(t *testing.T) {
 	oldP := writeTemp(t, "old.txt", "BenchmarkGone-8 100 50.0 ns/op\n")
 	newP := writeTemp(t, "new.txt", "BenchmarkNew-8 100 50.0 ns/op\n")

@@ -143,8 +143,9 @@ func DefaultConfig(modulePath string) Config {
 			return pkgPath == modulePath || strings.HasPrefix(pkgPath, modulePath+"/")
 		},
 		GoroutineCapPackages: map[string]bool{
-			modulePath + "/internal/core":   true,
-			modulePath + "/internal/server": true,
+			modulePath + "/internal/core":    true,
+			modulePath + "/internal/server":  true,
+			modulePath + "/internal/skyband": true,
 		},
 		PooledTypes: map[string]bool{
 			modulePath + "/internal/core.regionNode": true,

@@ -9,15 +9,19 @@
 //
 // Storage layout: coordinates live in fixed-size arena chunks of
 // chunkSlots points each. A record's slot never moves and a chunk is never
-// reallocated, so the vectors handed to the R-tree (whose leaf rectangles
-// alias them) and to the dominance kernels stay valid for the record's
-// lifetime; freed slots are recycled through a free list.
+// reallocated, so the vectors handed out to readers (Get/Scan and the
+// dominance kernels) stay valid for the record's lifetime; freed slots are
+// recycled through a free list. The flat R-tree keeps its own packed copy
+// of each inserted point in its leaf slots (its cache-conscious layout
+// wants tree-local contiguity), so the tree does not alias this arena —
+// the collection's copy is the one its borrow contracts cover.
 //
 // Concurrency contract: a Collection is single-writer. Concurrent readers
 // (queries over Tree(), Get, Scan) are safe only while no mutation is in
 // flight; the serving layer enforces this with a per-dataset RWMutex.
-// Vectors returned by Get/Scan and emitted by index scans alias the packed
-// storage: they stay valid until the record's slot is deleted (and possibly
+// Vectors returned by Get/Scan alias the packed storage, and vectors
+// emitted by index scans alias the tree's own packed slots: either way
+// they stay valid only until the record is deleted (and its slot possibly
 // recycled), so callers retaining them across mutations must copy.
 package collection
 

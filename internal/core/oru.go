@@ -21,13 +21,24 @@ var ErrBudgetExceeded = errors.New("core: region budget exceeded")
 
 // regionNode is one node of the implicit tree of Section 5.3.1: a
 // preference region with its known (order-sensitive) top-i result.
+//
+// The node owns the whole constraint storage of its region: hsBuf backs
+// reg.Hs and hsBack is one contiguous float64 run holding every normal
+// vector (inherited parent rows are deep-copied in, new beat rows carved
+// after them). Nothing outside the node references either buffer — a
+// child copies all rows into its own backing, and finalize detaches the
+// buffers before the node is pooled — so recycling a node safely reuses
+// both, and the QP assembly sweeps one contiguous run per region.
 type regionNode struct {
 	reg     region.Region
+	hsBuf   []region.Halfspace // pooled header array backing reg.Hs
+	hsBack  []float64          // pooled contiguous normals of reg.Hs rows
 	top     []int
 	deepest int // deepest layer index among the top records
 	mindist float64
 	witness geom.Vector // the point of the region closest to the seed
 	seq     int         // FIFO tie-break for deterministic exploration
+	exact   bool        // mindist is the region's true mindist, not a bound
 }
 
 // Less orders the exploration min-heap by mindist, with the FIFO sequence
@@ -52,7 +63,16 @@ type exploreWS struct {
 	ids     []int
 	others  []int
 	hs      []region.Halfspace
-	free    []*regionNode
+	// floodBack backs the probe-and-discard beat normals of the Set (ii)
+	// flood (beatAllScratch); invalidated probe to probe, never retained.
+	floodBack []float64
+	// kids is the pooled children slice handed out by partition; callers
+	// consume it (pushBound every child) before the next partition call on
+	// the same workspace, which reuses it.
+	kids []*regionNode
+	free []*regionNode
+	hb      *hull.Builder    // pooled L_upd hull builder (Reset per partition)
+	upd     hull.AdjSnapshot // pooled L_upd members+adjacency extraction
 }
 
 // node returns a recycled regionNode (fields reset, buffers retained) or a
@@ -67,10 +87,15 @@ func (ws *exploreWS) node() *regionNode {
 }
 
 // recycle returns a node to the free list. Callers must be done with every
-// field: the region value, top slice and witness buffer will be reused. The
-// retained outputs (TopKRegion, child regions) copy or re-derive everything
-// they keep, so recycling after finalize/partition is safe.
+// field: the region value (and its node-owned constraint buffers), top
+// slice and witness buffer will be reused. Callers whose region escaped to
+// an output (finalize's TopKRegion keeps reg.Hs by reference) must detach
+// hsBuf/hsBack — and drop reg — before recycling; everyone else's buffers
+// are node-private by construction (children deep-copy every row).
 func (ws *exploreWS) recycle(n *regionNode) {
+	if n.reg.Hs != nil {
+		n.hsBuf = n.reg.Hs[:0]
+	}
 	n.reg = region.Region{}
 	n.top = n.top[:0]
 	ws.free = append(ws.free, n)
@@ -149,36 +174,104 @@ func (e *explorer) pushL1(id int) {
 	}
 	e.pushed[id] = true
 	l0 := e.layers.Layer(0)
-	hs := e.ws.hs[:0]
-	p := e.layers.Point(id)
-	for _, a := range l0.Adj[id] {
-		hs = append(hs, region.Beat(p, e.layers.Point(a)))
-	}
-	e.ws.hs = hs
 	n := e.ws.node()
-	n.reg = region.Full(len(e.w)).With(hs...)
+	e.buildNodeRegion(n, region.Full(len(e.w)), id, l0.Adj[id])
 	n.top = append(n.top, id)
 	n.deepest = 0
 	e.push(n)
 }
 
-// push computes the node's mindist (within the clip, when set) and enqueues
-// it; empty regions are dropped (and their nodes recycled). Only called
-// from the main goroutine.
-func (e *explorer) push(n *regionNode) {
-	reg := n.reg
-	if e.clip != nil {
-		reg = reg.With(e.clip.Hs...)
+// buildNodeRegion assembles child's region — the parent's rows followed by
+// the "id beats o" rows for every o in others — inside the child's own
+// pooled buffers: the Halfspace headers go into hsBuf and every normal
+// vector (inherited rows included) is deep-copied into one contiguous run
+// of hsBack. Deep-copying severs all aliasing between parent and child, so
+// recycling either node reuses its buffers without corrupting the other,
+// and the QP assembly reads one contiguous float64 run per region.
+//
+//ordlint:noalloc
+func (e *explorer) buildNodeRegion(child *regionNode, parent region.Region, id int, others []int) {
+	d := len(e.w)
+	need := (len(parent.Hs) + len(others)) * d
+	back := child.hsBack
+	if cap(back) < need {
+		back = make([]float64, need) //ordlint:allow noalloc — pool growth, amortised across the node's reuses
 	}
-	dist, closest, ok := reg.MinDistWS(e.w, &e.ws.reg)
+	back = back[:cap(back)]
+	hs := child.hsBuf[:0]
+	off := 0
+	for _, h := range parent.Hs {
+		a := back[off : off+d : off+d]
+		copy(a, h.A)
+		hs = append(hs, region.Halfspace{A: a, B: h.B})
+		off += d
+	}
+	p := e.layers.Point(id)
+	for _, o := range others {
+		q := e.layers.Point(o)
+		a := back[off : off+d : off+d]
+		for j := 0; j < d; j++ {
+			a[j] = p[j] - q[j]
+		}
+		hs = append(hs, region.Halfspace{A: a, B: 0})
+		off += d
+	}
+	child.reg = region.Region{Dim: d, Hs: hs}
+	child.hsBuf = hs
+	child.hsBack = back
+}
+
+// resolve computes the node's exact mindist and witness (within the clip,
+// when set). It reports false — and recycles the node — when the region is
+// empty. The node's stored mindist must be a valid lower bound on entry
+// (the parent's mindist for partition children, 0 for roots): the child
+// region is a subset of its parent's, so its true mindist can never be
+// smaller, and clamping absorbs the solver's last-ulp noise — keeping the
+// finalization order provably monotone. Only called from the main goroutine.
+func (e *explorer) resolve(n *regionNode) bool {
+	var clipHs []region.Halfspace
+	if e.clip != nil {
+		clipHs = e.clip.Hs
+	}
+	dist, closest, ok := n.reg.ProbeMinDist(clipHs, e.w, &e.ws.reg)
 	if !ok {
 		e.ws.recycle(n)
-		return
+		return false
+	}
+	if dist < n.mindist {
+		dist = n.mindist
 	}
 	n.mindist = dist
 	// closest aliases the workspace's solution buffer; copy it into the
 	// node's own (reused) witness buffer.
 	n.witness = append(n.witness[:0], closest...)
+	n.exact = true
+	return true
+}
+
+// push computes the node's mindist eagerly and enqueues it; empty regions
+// are dropped (and their nodes recycled). Used for root-level regions,
+// which have no parent bound to inherit (their lower bound is 0).
+func (e *explorer) push(n *regionNode) {
+	n.mindist = 0
+	if !e.resolve(n) {
+		return
+	}
+	n.seq = e.seq
+	e.seq++
+	e.h.Push(n)
+}
+
+// pushBound enqueues a partition child keyed by its parent's mindist — a
+// valid lower bound, since the child region is a subset of the parent's.
+// The exact mindist (one projection QP) is deferred to the moment the node
+// is actually popped; nodes still in the heap when the search stops never
+// pay for it. Re-pushing on resolution keeps the node's original sequence
+// number, so the exact-key pop order (and hence all output) is identical to
+// the eager strategy, ties included.
+func (e *explorer) pushBound(n *regionNode, bound float64) {
+	n.mindist = bound
+	n.exact = false
 	n.seq = e.seq
 	e.seq++
 	e.h.Push(n)
@@ -194,6 +287,14 @@ func (e *explorer) explore(ctx context.Context, targetM int) (complete bool, err
 			return false, err
 		}
 		n := e.h.Pop()
+		if !n.exact {
+			// Bound-keyed child: compute the real mindist and re-insert
+			// (or drop the node when its region turns out empty).
+			if e.resolve(n) {
+				e.h.Push(n)
+			}
+			continue
+		}
 		if len(n.top) == 1 {
 			// Lazily extend the root level along layer-0 adjacency whenever
 			// a top-1 region is popped — including under k = 1, where the
@@ -225,9 +326,10 @@ func (e *explorer) explore(ctx context.Context, targetM int) (complete bool, err
 			}
 			continue
 		}
+		bound := n.mindist
 		e.ws.recycle(n) // children re-derive everything they need
 		for _, c := range children {
-			e.push(c)
+			e.pushBound(c, bound)
 		}
 	}
 	return targetM == 0, nil
@@ -285,8 +387,19 @@ func (e *explorer) partition(n *regionNode, ws *exploreWS) []*regionNode {
 		for len(queue) > 0 {
 			id := queue[0]
 			queue = queue[1:]
-			ws.hs = beatAll(e.layers, id, lnext.Adj[id], ws.hs[:0])
-			if n.reg.ProbeEmpty(ws.hs, &ws.reg) {
+			ws.hs, ws.floodBack = beatAllScratch(e.layers, id, lnext.Adj[id], ws.hs[:0], ws.floodBack)
+			// Witness screen: n.witness is a point of n.reg (its mindist
+			// projection); when it clearly satisfies every new halfspace the
+			// intersection is certainly non-empty and the QP probe is skipped.
+			// The margin keeps the screen strictly conservative w.r.t. the
+			// solver's own tolerance, so marginal cases still go to the QP.
+			// The flood's start member always passes: it maximises the dot
+			// product at the witness, which is exactly its beat system.
+			// When the screen is inconclusive, the emptiness probe projects
+			// the witness rather than the barycentre: the witness already
+			// satisfies every row of n.reg, so the solver's active set only
+			// has to chase the new beat rows.
+			if !witnessInside(n.witness, ws.hs) && n.reg.ProbeEmptyAt(n.witness, ws.hs, &ws.reg) {
 				continue
 			}
 			cand[id] = true
@@ -339,19 +452,24 @@ func (e *explorer) partition(n *regionNode, ws *exploreWS) []*regionNode {
 			return others
 		}
 	} else {
-		pts := make([]geom.Vector, len(ids))
-		for i, id := range ids {
-			pts[i] = e.layers.Point(id)
+		// Pooled builder: the facet free list and point arena stay warm
+		// across the thousands of partition calls of one exploration.
+		if ws.hb == nil {
+			ws.hb = hull.NewBuilder(len(e.w))
+		} else {
+			ws.hb.Reset(len(e.w))
 		}
-		upd := hull.ComputeUpper(ids, pts)
-		memberIDs = upd.MemberIDs
-		adjOf = func(id int) []int { return upd.Adj[id] }
+		for _, id := range ids {
+			ws.hb.Add(id, e.layers.Point(id))
+		}
+		ws.hb.UpperAdjInto(&ws.upd)
+		memberIDs = ws.upd.MemberIDs
+		adjOf = ws.upd.Adj
 	}
-	var children []*regionNode
+	children := ws.kids[:0]
 	for _, id := range memberIDs {
-		ws.hs = beatAll(e.layers, id, adjOf(id), ws.hs[:0])
 		child := ws.node()
-		child.reg = n.reg.With(ws.hs...)
+		e.buildNodeRegion(child, n.reg, id, adjOf(id))
 		child.deepest = n.deepest
 		if li, ok := e.layers.LayerOf(id); ok && li > child.deepest {
 			child.deepest = li
@@ -359,22 +477,62 @@ func (e *explorer) partition(n *regionNode, ws *exploreWS) []*regionNode {
 		child.top = append(append(child.top, n.top...), id)
 		children = append(children, child)
 	}
+	ws.kids = children
 	return children
 }
 
-// beatAll appends the "id beats o" halfspaces for every o in others to hs
-// and returns it (scratch-buffer idiom: pass hs[:0] to reuse).
-func beatAll(ls *hull.Layers, id int, others []int, hs []region.Halfspace) []region.Halfspace {
-	p := ls.Point(id)
-	for _, o := range others {
-		hs = append(hs, region.Beat(p, ls.Point(o)))
+// beatAllScratch is beatAll with the normal vectors carved from a reusable
+// scratch buffer instead of a fresh backing array: for probe-and-discard
+// overlap tests whose halfspaces are never retained past the probe. It
+// returns the (possibly grown) scratch buffer for the caller to keep; the
+// emitted halfspaces alias it and are invalidated by the next call with the
+// same buffer.
+//
+//ordlint:noalloc
+func beatAllScratch(ls *hull.Layers, id int, others []int, hs []region.Halfspace, back []float64) ([]region.Halfspace, []float64) {
+	if len(others) == 0 {
+		return hs, back
 	}
-	return hs
+	p := ls.Point(id)
+	d := len(p)
+	if cap(back) < len(others)*d {
+		back = make([]float64, len(others)*d*2) //ordlint:allow noalloc — scratch growth, amortised across probes
+	}
+	back = back[:cap(back)]
+	for i, o := range others {
+		q := ls.Point(o)
+		a := back[i*d : (i+1)*d : (i+1)*d]
+		for j := 0; j < d; j++ {
+			a[j] = p[j] - q[j]
+		}
+		hs = append(hs, region.Halfspace{A: a, B: 0})
+	}
+	return hs, back
+}
+
+// witnessInside reports whether the point clearly (beyond the QP solver's
+// feasibility tolerance) satisfies every halfspace — a sufficient certificate
+// that a region containing the point still intersects the halfspaces.
+//
+//ordlint:noalloc
+func witnessInside(w geom.Vector, hs []region.Halfspace) bool {
+	for _, h := range hs {
+		s := -h.B
+		for j, a := range h.A {
+			s += a * w[j]
+		}
+		if s <= 1e-8 {
+			return false
+		}
+	}
+	return true
 }
 
 // finalize records a completed region and its newly confirmed records, then
-// recycles the node (the retained TopKRegion copies the region value and
-// the top ids, so the node's buffers are free to reuse).
+// recycles the node. The retained TopKRegion keeps n.reg's constraint rows
+// by reference, so the node's pooled buffers are detached (left to the
+// output) before the node returns to the free list; the next region built
+// on the recycled node simply grows fresh buffers.
 func (e *explorer) finalize(n *regionNode) {
 	e.stats.RegionsFinalized++
 	tk := make([]Record, len(n.top))
@@ -386,6 +544,9 @@ func (e *explorer) finalize(n *regionNode) {
 		}
 	}
 	e.regions = append(e.regions, TopKRegion{Region: n.reg, TopK: tk, MinDist: n.mindist})
+	n.reg = region.Region{}
+	n.hsBuf = nil
+	n.hsBack = nil
 	e.ws.recycle(n)
 }
 
@@ -413,7 +574,7 @@ func estimateRhoBar(ctx context.Context, tree *rtree.Tree, w geom.Vector, target
 		// were fetched; past that, the exact (QP-backed) count is checked
 		// only every few fetches — overshooting the stop by a handful of
 		// skyline records merely loosens the (already over-) estimate.
-		if fetched >= target && (fetched-target)%8 == 0 && b.VertexCount() >= target {
+		if fetched >= target && (fetched-target)%8 == 0 && b.MemberCount() >= target {
 			return rho, false, fetched, nil
 		}
 	}

@@ -38,6 +38,14 @@ func (e *explorer) exploreParallel(ctx context.Context, targetM, workers int) (c
 		var batch []*regionNode
 		for len(batch) < workers && e.h.Len() > 0 && len((*e.h.Peek()).top) < e.k {
 			n := e.h.Pop()
+			if !n.exact {
+				// Bound-keyed child: resolve sequentially (the shared region
+				// workspace belongs to the main goroutine) and re-insert.
+				if e.resolve(n) {
+					e.h.Push(n)
+				}
+				continue
+			}
 			if len(n.top) == 1 {
 				l0 := e.layers.Layer(0)
 				for _, a := range l0.Adj[n.top[0]] {
@@ -85,15 +93,22 @@ func (e *explorer) exploreParallel(ctx context.Context, targetM, workers int) (c
 					}
 					continue
 				}
+				bound := n.mindist
 				e.ws.recycle(n)
 				for _, c := range children[i] {
-					e.push(c)
+					e.pushBound(c, bound)
 				}
 			}
 			continue
 		}
 		// Heap top is a finalized-depth region: handle sequentially.
 		n := e.h.Pop()
+		if !n.exact {
+			if e.resolve(n) {
+				e.h.Push(n)
+			}
+			continue
+		}
 		if len(n.top) == 1 {
 			l0 := e.layers.Layer(0)
 			for _, a := range l0.Adj[n.top[0]] {

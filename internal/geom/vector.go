@@ -99,29 +99,42 @@ func (v Vector) Equal(u Vector) bool {
 	return true
 }
 
+// b2i converts a comparison outcome to an integer flag; the compiler
+// lowers it to a SETcc, keeping the dominance sweeps branch-free.
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // Dominates reports whether v dominates u under the maximisation convention:
 // v is at least as large in every dimension and strictly larger in at least
-// one. A vector does not dominate itself.
+// one. A vector does not dominate itself. The sweep is branch-free
+// (arithmetic flag accumulation, mirroring the rtree kernels): dominance
+// outcomes on skyband workloads are close to random, so an early-exit loop
+// would mispredict on most calls while d flag updates are pipelined.
+//
+//ordlint:noalloc
 func (v Vector) Dominates(u Vector) bool {
-	strict := false
-	for i := range v {
-		if v[i] < u[i] {
-			return false
-		}
-		if v[i] > u[i] {
-			strict = true
-		}
+	ge, gt := 1, 0
+	u = u[:len(v)]
+	for i, x := range v {
+		ge &= b2i(x >= u[i])
+		gt |= b2i(x > u[i])
 	}
-	return strict
+	return ge&gt == 1
 }
 
 // WeakDominates reports whether v is at least as large as u in every
-// dimension (ties allowed everywhere).
+// dimension (ties allowed everywhere). Branch-free like Dominates.
+//
+//ordlint:noalloc
 func (v Vector) WeakDominates(u Vector) bool {
-	for i := range v {
-		if v[i] < u[i] {
-			return false
-		}
+	ge := 1
+	u = u[:len(v)]
+	for i, x := range v {
+		ge &= b2i(x >= u[i])
 	}
-	return true
+	return ge == 1
 }

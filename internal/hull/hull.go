@@ -85,17 +85,44 @@ type Builder struct {
 	horizon    []ridge
 	newFacets  []*facet
 	pending    map[string]facetSlot
+	pendingA   map[ridgeKey]facetSlot // allocation-free keys for d <= 9
+	pendingP   map[uint64]facetSlot   // packed keys for d <= 6 (fast64 map path)
 	keyBuf     []byte
 	fpts       [][]float64
 	ridgeVerts []int // backing storage for the current horizon's ridge verts
 	vertBuf    []int
 	freeFacets []*facet
 
+	// Point arena: Add copies incoming coordinates into fixed-size chunks
+	// that Reset rewinds instead of freeing, so a pooled builder stops
+	// allocating per point once warm.
+	chunks   [][]float64
+	chunkI   int
+	chunkOff int
+
 	// Membership-test scratch (canTop), reused across Upper calls.
 	qpws     qp.Workspace
 	qppr     qp.Problem
 	diffFlat []float64
+
+	// MemberCount/UpperAdjInto scratch: per-internal-index generation
+	// stamps, the packed co-facet pair list, and the member ordering buffer.
+	gen         int
+	nbrGen      int
+	fastStamp   []int
+	hullStamp   []int
+	nbrStamp    []int
+	nbrBuf      []int
+	memberStamp []int
+	pairBuf     []int64
+	pairBuf2    []int64
+	pairCnt     []int32
+	extBuf      []int
 }
+
+// ridgeKey is a sub-ridge (up to 8 sorted vertex indices, -1 padded) as a
+// comparable map key: hashing it allocates nothing, unlike a string key.
+type ridgeKey [8]int32
 
 // ridge is one horizon ridge during insertion: d-1 vertices (sorted),
 // stored as a range into the builder's flat ridgeVerts buffer (offsets stay
@@ -126,6 +153,62 @@ const (
 	upperTol    = 1e-7
 )
 
+// Reset returns the builder to its empty state for dimension d, retaining
+// the facet free list, the point arena and every scratch buffer. A pooled
+// builder Reset between hulls constructs each one without re-paying the
+// allocation cost of a fresh Builder — the pattern ORU's partition loop
+// relies on. Outputs of earlier Upper calls remain valid (they do not alias
+// builder state); points previously Added are forgotten.
+func (b *Builder) Reset(d int) {
+	if d < 2 {
+		panic(fmt.Sprintf("hull: dimension %d < 2", d)) //ordlint:allow nopanic — documented precondition; caller bug, not data-dependent
+	}
+	// Every facet still on the list is unreachable after the reset: recycle
+	// alive and not-yet-compacted dead ones alike. (Dead facets referenced
+	// by alive neighbors were dropped from the list at compaction time and
+	// stay out of the pool.)
+	for _, f := range b.facets {
+		b.freeFacet(f)
+	}
+	b.facets = b.facets[:0]
+	b.dim = d
+	b.pts = b.pts[:0]
+	b.ids = b.ids[:0]
+	b.started = false
+	b.chunkI = 0
+	b.chunkOff = 0
+}
+
+// allocPoint carves one d-vector from the point arena. The returned slice
+// aliases the builder's chunk arena: it stays valid (and keeps its contents)
+// until the builder is garbage-collected — Reset recycles the arena cursor
+// but never frees or overwrites chunks mid-build, so points handed out
+// during one build remain stable for that build's lifetime.
+//
+//ordlint:noalloc
+func (b *Builder) allocPoint() []float64 {
+	const chunkFloats = 2048
+	// Advance past an exhausted chunk (every chunk holds chunkFloats
+	// floats, so the next recycled chunk always fits a point).
+	if b.chunkI < len(b.chunks) && b.chunkOff+b.dim > len(b.chunks[b.chunkI]) && b.chunkI+1 < len(b.chunks) {
+		b.chunkI++
+		b.chunkOff = 0
+	}
+	if b.chunkI >= len(b.chunks) || b.chunkOff+b.dim > len(b.chunks[b.chunkI]) {
+		sz := chunkFloats
+		if b.dim > sz {
+			sz = b.dim
+		}
+		b.chunks = append(b.chunks, make([]float64, sz)) //ordlint:allow noalloc — arena growth: amortised over the chunk's point count
+		b.chunkI = len(b.chunks) - 1
+		b.chunkOff = 0
+	}
+	c := b.chunks[b.chunkI]
+	w := c[b.chunkOff : b.chunkOff+b.dim : b.chunkOff+b.dim]
+	b.chunkOff += b.dim
+	return w
+}
+
 // jitter deterministically perturbs coordinate j of a point based on the
 // point's coordinate bits, enforcing general position while keeping results
 // reproducible across runs and across subsets.
@@ -150,7 +233,7 @@ func (b *Builder) Add(id int, p geom.Vector) {
 	if len(p) != b.dim {
 		panic(fmt.Sprintf("hull: point dim %d, builder dim %d", len(p), b.dim)) //ordlint:allow nopanic — documented precondition; caller bug, not data-dependent
 	}
-	w := make([]float64, b.dim)
+	w := b.allocPoint()
 	for j := range w {
 		w[j] = p[j] + jitterScale*jitter(p, j)
 	}
@@ -171,17 +254,16 @@ func (b *Builder) bootstrap(first []float64) {
 			span = 4 * a
 		}
 	}
-	base := make([]float64, d)
+	base := b.allocPoint()
 	for j := range base {
 		base[j] = first[j] - span
 	}
 	// Sentinels: base, and base - span*e_i for i = 0..d-1.
-	b.pts = make([][]float64, 0, d+1)
-	b.ids = make([]int, 0, d+1)
-	b.pts = append(b.pts, base)
-	b.ids = append(b.ids, -1)
+	b.pts = append(b.pts[:0], base)
+	b.ids = append(b.ids[:0], -1)
 	for i := 0; i < d; i++ {
-		s := append([]float64(nil), base...)
+		s := b.allocPoint()
+		copy(s, base)
 		s[i] -= span
 		// Tiny asymmetry to keep the sentinel simplex in general position
 		// with respect to jittered data points.
@@ -189,25 +271,28 @@ func (b *Builder) bootstrap(first []float64) {
 		b.pts = append(b.pts, s)
 		b.ids = append(b.ids, -1)
 	}
-	b.interior = make([]float64, d)
+	if cap(b.interior) < d {
+		b.interior = make([]float64, d)
+	}
+	b.interior = b.interior[:d]
+	for j := range b.interior {
+		b.interior[j] = 0
+	}
 	for _, p := range b.pts {
 		for j := range p {
 			b.interior[j] += p[j] / float64(d+1)
 		}
 	}
 	// Initial facets: all d-subsets of the d+1 sentinels.
-	all := make([]int, d+1)
-	for i := range all {
-		all[i] = i
-	}
-	fs := make([]*facet, 0, d+1)
+	fs := b.facets[:0]
 	for skip := 0; skip <= d; skip++ {
-		verts := make([]int, 0, d)
-		for _, v := range all {
+		verts := b.vertBuf[:0]
+		for v := 0; v <= d; v++ {
 			if v != skip {
 				verts = append(verts, v)
 			}
 		}
+		b.vertBuf = verts[:0]
 		f, err := b.newFacet(verts)
 		if err != nil {
 			panic("hull: degenerate sentinel simplex: " + err.Error()) //ordlint:allow nopanic — unreachable invariant: sentinels are constructed in general position
@@ -363,12 +448,35 @@ func (b *Builder) insert(pi int) {
 	// Build new facets: ridge + p.
 	newFacets := b.newFacets[:0]
 	// pending maps a sorted sub-ridge (d-1 vertices including p) to the
-	// facet+slot waiting for its partner.
-	if b.pending == nil {
-		b.pending = make(map[string]facetSlot)
+	// facet+slot waiting for its partner. Every pending ridge contains p, so
+	// p is omitted from the key: up to d = 6 the remaining <= 4 sorted
+	// vertex indices pack into one uint64 (p is the newest and hence highest
+	// index, so all indices fit 16 bits whenever p does), taking the
+	// runtime's fast 64-bit map path. Up to d = 9 the d-1 ridge vertices
+	// fit a fixed int32 array key, which hashes without the string
+	// conversion's per-insertion copy; larger dimensions fall back to the
+	// string-keyed map.
+	packKeys := b.dim <= 6 && pi < (1<<16)
+	arrayKeys := !packKeys && b.dim <= 9
+	if packKeys {
+		if b.pendingP == nil {
+			b.pendingP = make(map[uint64]facetSlot)
+		}
+		clear(b.pendingP)
+	} else if arrayKeys {
+		if b.pendingA == nil {
+			b.pendingA = make(map[ridgeKey]facetSlot)
+		}
+		clear(b.pendingA)
+	} else {
+		if b.pending == nil {
+			b.pending = make(map[string]facetSlot)
+		}
+		clear(b.pending)
 	}
 	pending := b.pending
-	clear(pending)
+	pendingA := b.pendingA
+	pendingP := b.pendingP
 	keyOf := b.keyOf
 	for _, r := range horizon {
 		verts := append(append(b.vertBuf[:0], rv[r.lo:r.hi]...), pi)
@@ -397,6 +505,28 @@ func (b *Builder) insert(pi int) {
 		// Wire among new facets via sub-ridges containing p.
 		for i, v := range nf.verts {
 			if v == pi {
+				continue
+			}
+			if packKeys {
+				key := packedRidgeKeyOf(nf.verts, i, pi)
+				if other, ok := pendingP[key]; ok {
+					nf.neighbors[i] = other.f
+					other.f.neighbors[other.i] = nf
+					delete(pendingP, key)
+				} else {
+					pendingP[key] = facetSlot{f: nf, i: i}
+				}
+				continue
+			}
+			if arrayKeys {
+				key := ridgeKeyOf(nf.verts, i)
+				if other, ok := pendingA[key]; ok {
+					nf.neighbors[i] = other.f
+					other.f.neighbors[other.i] = nf
+					delete(pendingA, key)
+				} else {
+					pendingA[key] = facetSlot{f: nf, i: i}
+				}
 				continue
 			}
 			key := keyOf(nf.verts, i)
@@ -467,6 +597,42 @@ func (b *Builder) keyOf(verts []int, skip int) string {
 	}
 	b.keyBuf = buf
 	return string(buf) //ordlint:allow noalloc — map-key strings must be immutable; the copy is the point
+}
+
+// ridgeKeyOf packs the sub-ridge of verts that skips index skip into a
+// fixed array key (-1 padded). Callers guarantee len(verts)-1 <= 8.
+//
+//ordlint:noalloc
+func ridgeKeyOf(verts []int, skip int) ridgeKey {
+	key := ridgeKey{-1, -1, -1, -1, -1, -1, -1, -1}
+	w := 0
+	for k, v := range verts {
+		if k == skip {
+			continue
+		}
+		key[w] = int32(v)
+		w++
+	}
+	return key
+}
+
+// packedRidgeKeyOf packs the sub-ridge of verts that skips index skip and
+// omits vertex pi (present in every pending ridge) into one uint64, 16 bits
+// per index. Every pending key of one insert batch has exactly d-2 entries
+// (d sorted verts minus the skipped one minus pi), so equal keys mean equal
+// ridges with no length ambiguity. Callers guarantee len(verts) <= 6 and
+// every index < 1<<16.
+//
+//ordlint:noalloc
+func packedRidgeKeyOf(verts []int, skip int, pi int) uint64 {
+	key := uint64(0)
+	for k, v := range verts {
+		if k == skip || v == pi {
+			continue
+		}
+		key = key<<16 | uint64(v)
+	}
+	return key
 }
 
 // matchesExcept reports whether verts with index skip removed equals want
@@ -683,7 +849,301 @@ func normOf(f *facet) geom.Vector {
 // upper hull. ORU's rho-bar estimation keeps feeding the incremental
 // rho-skyline until this count reaches m (Section 5.3).
 func (b *Builder) VertexCount() int {
-	return len(b.Upper().MemberIDs)
+	return b.MemberCount()
+}
+
+// MemberCount counts the real points currently on the upper hull without
+// materialising the full Upper structure: one facet scan stamps the certain
+// members (vertices of a facet with non-negative normal), and only the rare
+// boundary-confined vertices run the QP membership test, with adjacency
+// gathered on demand. Repeated calls reuse the builder's stamp buffers —
+// this is the polling primitive of the rho-bar estimation loop.
+func (b *Builder) MemberCount() int {
+	if !b.started {
+		return 0
+	}
+	n := len(b.pts)
+	if cap(b.fastStamp) < n {
+		b.fastStamp = make([]int, 2*n)
+		b.hullStamp = make([]int, 2*n)
+		b.nbrStamp = make([]int, 2*n)
+	}
+	fast := b.fastStamp[:n]
+	hullv := b.hullStamp[:n]
+	b.gen++
+	gen := b.gen
+	for _, f := range b.facets {
+		if f.dead {
+			continue
+		}
+		nonneg := true
+		for _, x := range f.normal {
+			if x < -1e-12 {
+				nonneg = false
+				break
+			}
+		}
+		for _, v := range f.verts {
+			if b.ids[v] < 0 {
+				continue
+			}
+			hullv[v] = gen
+			if nonneg {
+				fast[v] = gen
+			}
+		}
+	}
+	count := 0
+	for v := 0; v < n; v++ {
+		if hullv[v] != gen {
+			continue
+		}
+		if fast[v] == gen {
+			count++
+			continue
+		}
+		// Boundary candidate: gather its co-facet neighbours (deduped by a
+		// per-candidate stamp) and run the exact feasibility test.
+		nbrs := b.nbrBuf[:0]
+		nstamp := b.nbrStamp[:n]
+		b.nbrGen++
+		for _, f := range b.facets {
+			if f.dead {
+				continue
+			}
+			onFacet := false
+			for _, fv := range f.verts {
+				if fv == v {
+					onFacet = true
+					break
+				}
+			}
+			if !onFacet {
+				continue
+			}
+			for _, o := range f.verts {
+				if o != v && b.ids[o] >= 0 && nstamp[o] != b.nbrGen {
+					nstamp[o] = b.nbrGen
+					nbrs = append(nbrs, o)
+				}
+			}
+		}
+		b.nbrBuf = nbrs[:0]
+		if b.canTopIdx(v, nbrs) {
+			count++
+		}
+	}
+	return count
+}
+
+// AdjSnapshot is the members+adjacency part of an upper hull in compressed
+// row form, built by UpperAdjInto into caller-reusable buffers. It carries
+// exactly what ORU's partition step consumes (MemberIDs and per-member
+// adjacency) without the full Upper's per-call maps.
+type AdjSnapshot struct {
+	// MemberIDs lists the upper-hull member ids, ascending.
+	MemberIDs []int
+	adjOff    []int32 // row offsets into adjIDs; len(MemberIDs)+1
+	adjIDs    []int   // concatenated adjacency rows (member ids, sorted)
+}
+
+// Adj returns the adjacent member ids of id (sorted), or nil for non-members.
+// The row aliases the snapshot's buffer: valid until the next UpperAdjInto.
+func (s *AdjSnapshot) Adj(id int) []int {
+	i := sort.SearchInts(s.MemberIDs, id)
+	if i >= len(s.MemberIDs) || s.MemberIDs[i] != id {
+		return nil
+	}
+	return s.adjIDs[s.adjOff[i]:s.adjOff[i+1]]
+}
+
+// UpperAdjInto extracts the current upper hull's members and member
+// adjacency into s, reusing both the snapshot's and the builder's buffers.
+// Membership follows exactly the criterion of Upper (fast facet-normal path,
+// QP test for boundary-confined vertices); the result is identical to
+// Upper()'s MemberIDs/Adj with none of its map construction. This is the
+// extraction ORU's partition loop runs once per L_upd hull.
+func (b *Builder) UpperAdjInto(s *AdjSnapshot) {
+	s.MemberIDs = s.MemberIDs[:0]
+	s.adjOff = append(s.adjOff[:0], 0)
+	s.adjIDs = s.adjIDs[:0]
+	if !b.started {
+		return
+	}
+	n := len(b.pts)
+	if cap(b.fastStamp) < n {
+		b.fastStamp = make([]int, 2*n)
+		b.hullStamp = make([]int, 2*n)
+		b.nbrStamp = make([]int, 2*n)
+		b.memberStamp = make([]int, 2*n)
+	}
+	if cap(b.memberStamp) < n { // builder predates the snapshot buffers
+		b.memberStamp = make([]int, 2*n)
+	}
+	fast := b.fastStamp[:n]
+	hullv := b.hullStamp[:n]
+	member := b.memberStamp[:n]
+	b.gen++
+	gen := b.gen
+	// One facet sweep: stamp hull/fast vertices and pack the co-facet pairs
+	// (v, o) of real vertices for sorting into per-vertex adjacency runs.
+	pairs := b.pairBuf[:0]
+	for _, f := range b.facets {
+		if f.dead {
+			continue
+		}
+		nonneg := true
+		for _, x := range f.normal {
+			if x < -1e-12 {
+				nonneg = false
+				break
+			}
+		}
+		for _, v := range f.verts {
+			if b.ids[v] < 0 {
+				continue
+			}
+			hullv[v] = gen
+			if nonneg {
+				fast[v] = gen
+			}
+			for _, o := range f.verts {
+				if o != v && b.ids[o] >= 0 {
+					pairs = append(pairs, int64(v)<<32|int64(o))
+				}
+			}
+		}
+	}
+	// Sort the pairs by (v, o) with a stable two-pass LSD counting sort —
+	// first on the low word (the neighbour), then on the high word (the
+	// source vertex). Both words are vertex indices below n, so two linear
+	// passes leave the pairs fully sorted with no comparison sort at all.
+	if cap(b.pairCnt) < n+1 {
+		b.pairCnt = make([]int32, 2*(n+1))
+	}
+	cnt := b.pairCnt[:n+1]
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for _, p := range pairs {
+		cnt[int(uint32(p))+1]++
+	}
+	for v := 0; v < n; v++ {
+		cnt[v+1] += cnt[v]
+	}
+	if cap(b.pairBuf2) < len(pairs) {
+		b.pairBuf2 = make([]int64, len(pairs)*2)
+	}
+	tmp := b.pairBuf2[:len(pairs)]
+	for _, p := range pairs {
+		o := int(uint32(p))
+		tmp[cnt[o]] = p
+		cnt[o]++
+	}
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for _, p := range tmp {
+		cnt[int(p>>32)+1]++
+	}
+	for v := 0; v < n; v++ {
+		cnt[v+1] += cnt[v]
+	}
+	dst := pairs // pass 2 writes back into the append buffer (tmp is separate)
+	for _, p := range tmp {
+		v := int(p >> 32)
+		dst[cnt[v]] = p
+		cnt[v]++
+	}
+	// Dedup in place (facets share ridges, so pairs repeat).
+	w := 0
+	for i, p := range dst {
+		if i == 0 || p != dst[w-1] {
+			dst[w] = p
+			w++
+		}
+	}
+	b.pairBuf2 = tmp[:0]
+	pairs = dst[:w]
+	// Membership: walk the per-vertex runs.
+	i := 0
+	for v := 0; v < n; v++ {
+		lo := i
+		for i < len(pairs) && int(pairs[i]>>32) == v {
+			i++
+		}
+		if hullv[v] != gen {
+			continue
+		}
+		if fast[v] == gen {
+			member[v] = gen
+			continue
+		}
+		nbrs := b.nbrBuf[:0]
+		for k := lo; k < i; k++ {
+			nbrs = append(nbrs, int(uint32(pairs[k])))
+		}
+		b.nbrBuf = nbrs[:0]
+		if b.canTopIdx(v, nbrs) {
+			member[v] = gen
+		}
+	}
+	// Emit members ordered by external id, rows filtered to members.
+	ext := b.extBuf[:0]
+	for v := 0; v < n; v++ {
+		if member[v] == gen {
+			ext = append(ext, v)
+		}
+	}
+	sort.Slice(ext, func(a, c int) bool { return b.ids[ext[a]] < b.ids[ext[c]] })
+	for _, v := range ext {
+		s.MemberIDs = append(s.MemberIDs, b.ids[v])
+		lo := sort.Search(len(pairs), func(k int) bool { return pairs[k] >= int64(v)<<32 })
+		row0 := len(s.adjIDs)
+		for k := lo; k < len(pairs) && int(pairs[k]>>32) == v; k++ {
+			if o := int(uint32(pairs[k])); member[o] == gen {
+				s.adjIDs = append(s.adjIDs, b.ids[o])
+			}
+		}
+		sort.Ints(s.adjIDs[row0:])
+		s.adjOff = append(s.adjOff, int32(len(s.adjIDs)))
+	}
+	b.extBuf = ext[:0]
+	b.pairBuf = pairs[:0]
+}
+
+// canTopIdx is canTop over internal point indices: can point v score at
+// least as high as all of nbrs somewhere on the simplex?
+//
+//ordlint:noalloc
+func (b *Builder) canTopIdx(v int, nbrs []int) bool {
+	if len(nbrs) == 0 {
+		return true
+	}
+	d := b.dim
+	p := b.pts[v]
+	pr := &b.qppr
+	pr.P = geom.SimplexOnes(d)
+	pr.EqA = append(pr.EqA[:0], geom.SimplexOnes(d))
+	pr.EqB = append(pr.EqB[:0], 1)
+	pr.InA = append(pr.InA[:0], geom.SimplexAxes(d)...)
+	pr.InB = append(pr.InB[:0], geom.SimplexZeros(d)...)
+	need := len(nbrs) * d
+	if cap(b.diffFlat) < need {
+		b.diffFlat = make([]float64, need)
+	}
+	flat := b.diffFlat[:0]
+	for _, o := range nbrs {
+		q := b.pts[o]
+		lo := len(flat)
+		for j := 0; j < d; j++ {
+			flat = append(flat, p[j]-q[j])
+		}
+		pr.InA = append(pr.InA, flat[lo:len(flat):len(flat)])
+		pr.InB = append(pr.InB, 0)
+	}
+	b.diffFlat = flat[:0]
+	return b.qpws.Feasible(pr)
 }
 
 // ComputeUpper computes the upper hull of the given records in one shot.

@@ -19,10 +19,13 @@ type Layers struct {
 	layers    []*Upper
 	layerOf   map[int]int
 
-	// Peeling scratch, reused across Layer calls (ComputeUpper copies what
-	// it keeps, so the buffers are free to reuse).
+	// Peeling scratch, reused across Layer calls (the Upper extraction
+	// copies what it keeps, so the buffers are free to reuse). The builder
+	// is pooled across layers: each peel Resets it instead of paying for a
+	// fresh one.
 	idsBuf []int
 	ptsBuf []geom.Vector
+	b      *Builder
 }
 
 // NewLayers prepares lazy layer computation over the given records.
@@ -66,7 +69,15 @@ func (ls *Layers) Layer(t int) *Upper {
 		}
 		ls.idsBuf = ids
 		ls.ptsBuf = pts
-		u := ComputeUpper(ids, pts)
+		if ls.b == nil {
+			ls.b = NewBuilder(ls.dim)
+		} else {
+			ls.b.Reset(ls.dim)
+		}
+		for i, id := range ids {
+			ls.b.Add(id, pts[i])
+		}
+		u := ls.b.Upper()
 		if len(u.MemberIDs) == 0 {
 			// Cannot happen for non-empty input (the degenerate fallback
 			// returns maximal points), but guard against infinite loops.

@@ -1,0 +1,89 @@
+package hull
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ordu/internal/geom"
+)
+
+// TestBuilderResetMatchesFresh pins that a pooled builder (Reset between
+// hulls, warm free list and point arena) produces output identical to a
+// fresh builder for every hull in a sequence of randomized point sets.
+func TestBuilderResetMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	pooled := NewBuilder(2)
+	for trial := 0; trial < 40; trial++ {
+		d := 2 + rng.Intn(4)
+		n := 3 + rng.Intn(60)
+		ids := make([]int, n)
+		pts := make([]geom.Vector, n)
+		for i := range pts {
+			ids[i] = i * 3
+			p := make(geom.Vector, d)
+			for j := range p {
+				p[j] = rng.Float64()
+			}
+			pts[i] = p
+		}
+		pooled.Reset(d)
+		for i, id := range ids {
+			pooled.Add(id, pts[i])
+		}
+		got := pooled.Upper()
+		want := ComputeUpper(ids, pts)
+		if !reflect.DeepEqual(got.MemberIDs, want.MemberIDs) {
+			t.Fatalf("trial %d (d=%d n=%d): members %v vs fresh %v", trial, d, n, got.MemberIDs, want.MemberIDs)
+		}
+		if !reflect.DeepEqual(got.Adj, want.Adj) {
+			t.Fatalf("trial %d (d=%d n=%d): adjacency diverges", trial, d, n)
+		}
+		if !reflect.DeepEqual(got.Facets, want.Facets) || !reflect.DeepEqual(got.Norms, want.Norms) {
+			t.Fatalf("trial %d (d=%d n=%d): facet structure diverges", trial, d, n)
+		}
+		if gc, wc := pooled.MemberCount(), len(want.MemberIDs); gc != wc {
+			t.Fatalf("trial %d (d=%d n=%d): MemberCount %d, Upper members %d", trial, d, n, gc, wc)
+		}
+		var snap AdjSnapshot
+		pooled.UpperAdjInto(&snap)
+		if !reflect.DeepEqual(snap.MemberIDs, want.MemberIDs) {
+			t.Fatalf("trial %d (d=%d n=%d): snapshot members %v vs Upper %v", trial, d, n, snap.MemberIDs, want.MemberIDs)
+		}
+		for _, id := range want.MemberIDs {
+			row := append([]int(nil), snap.Adj(id)...)
+			if len(row) == 0 {
+				row = nil
+			}
+			wrow := want.Adj[id]
+			if len(wrow) == 0 {
+				wrow = nil
+			}
+			if !reflect.DeepEqual(row, wrow) {
+				t.Fatalf("trial %d (d=%d n=%d): snapshot adj[%d] = %v, Upper %v", trial, d, n, id, row, wrow)
+			}
+		}
+	}
+}
+
+// TestMemberCountIncremental checks the cheap count against the full Upper
+// extraction as the hull grows point by point — the exact access pattern of
+// the rho-bar estimation loop.
+func TestMemberCountIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(137))
+	for _, d := range []int{2, 3, 4, 5} {
+		b := NewBuilder(d)
+		for i := 0; i < 120; i++ {
+			p := make(geom.Vector, d)
+			for j := range p {
+				p[j] = rng.Float64()
+			}
+			b.Add(i, p)
+			if i%7 == 0 {
+				if got, want := b.MemberCount(), len(b.Upper().MemberIDs); got != want {
+					t.Fatalf("d=%d after %d adds: MemberCount %d, Upper members %d", d, i+1, got, want)
+				}
+			}
+		}
+	}
+}

@@ -82,6 +82,7 @@ type Workspace struct {
 	cols     []float64   // flat k x d active-column buffer
 	gramFlat []float64   // flat k x k Gram matrix
 	gramRows [][]float64 // row headers into gramFlat
+	actFlag  []bool      // per-constraint active marks for the violation scan
 
 	// Current problem, valid during one Solve call.
 	pr     *Problem
@@ -127,22 +128,34 @@ func (ws *Workspace) Solve(pr *Problem) (x []float64, dist float64, err error) {
 			return nil, 0, err
 		}
 	}
-	// Then repeatedly add the most violated inequality.
+	// Then repeatedly add the most violated inequality. The scan marks the
+	// active set once per pass (instead of probing it per constraint) and
+	// evaluates slacks directly against InA/InB, keeping the dot product in
+	// a tight inlinable loop.
+	if cap(ws.actFlag) < ws.ne+ws.ni {
+		ws.actFlag = make([]bool, ws.ne+ws.ni)
+	}
 	for iter := 0; iter < maxIter; iter++ {
+		flag := ws.actFlag[:ws.ne+ws.ni]
+		for i := range flag {
+			flag[i] = false
+		}
+		for _, a := range ws.active {
+			flag[a.idx] = true
+		}
 		worst, q := -tol, -1
-		for i := ws.ne; i < ws.ne+ws.ni; i++ {
-			inActive := false
-			for _, a := range ws.active {
-				if a.idx == i {
-					inActive = true
-					break
-				}
-			}
-			if inActive {
+		xv := ws.x
+		for ii := 0; ii < ws.ni; ii++ {
+			if flag[ws.ne+ii] {
 				continue
 			}
-			if s := ws.slack(i, 1); s < worst {
-				worst, q = s, i
+			n := pr.InA[ii]
+			s := -pr.InB[ii]
+			for j := 0; j < d; j++ {
+				s += n[j] * xv[j]
+			}
+			if s < worst {
+				worst, q = s, ws.ne+ii
 			}
 		}
 		if q < 0 {

@@ -37,13 +37,6 @@ func Beat(r, q geom.Vector) Halfspace {
 type Region struct {
 	Dim int
 	Hs  []Halfspace
-
-	// inA/inB cache the QP rows of Hs (inA[i] aliases Hs[i].A). They are
-	// maintained incrementally by With/Box; regions whose Hs was mutated
-	// directly fall back to reading Hs row by row (same result, same
-	// allocation profile — the rows are slice headers either way).
-	inA [][]float64
-	inB []float64
 }
 
 // Full returns the whole preference domain (the unit simplex).
@@ -53,23 +46,16 @@ func Full(d int) Region {
 
 // With returns a new region additionally constrained by the given
 // halfspaces. The receiver is unchanged; the halfspace slice is copied so
-// regions can be extended independently along different search branches.
-// The cached constraint matrix is extended alongside (only slice headers
-// are copied; the normal vectors themselves are shared).
+// regions can be extended independently along different search branches
+// (only the Halfspace headers are copied; the normal vectors themselves
+// are shared).
 func (r Region) With(hs ...Halfspace) Region {
-	n := len(r.Hs) + len(hs)
 	out := Region{
 		Dim: r.Dim,
-		Hs:  make([]Halfspace, 0, n),
-		inA: make([][]float64, 0, n),
-		inB: make([]float64, 0, n),
+		Hs:  make([]Halfspace, 0, len(r.Hs)+len(hs)),
 	}
 	out.Hs = append(out.Hs, r.Hs...)
 	out.Hs = append(out.Hs, hs...)
-	for _, h := range out.Hs {
-		out.inA = append(out.inA, h.A)
-		out.inB = append(out.inB, h.B)
-	}
 	return out
 }
 
@@ -97,8 +83,7 @@ type Workspace struct {
 
 // problemWS assembles the QP constraint system for the region into the
 // workspace's reusable Problem: the cached simplex rows (shared, read-only)
-// followed by the region's halfspace rows (cached by With, or read from Hs
-// for hand-built regions).
+// followed by the region's halfspace rows.
 //
 //ordlint:noalloc
 func (r Region) problemWS(target geom.Vector, ws *Workspace) *qp.Problem {
@@ -109,14 +94,9 @@ func (r Region) problemWS(target geom.Vector, ws *Workspace) *qp.Problem {
 	pr.EqB = append(pr.EqB[:0], 1)
 	pr.InA = append(pr.InA[:0], geom.SimplexAxes(d)...)
 	pr.InB = append(pr.InB[:0], geom.SimplexZeros(d)...)
-	if len(r.inA) == len(r.Hs) && len(r.Hs) > 0 {
-		pr.InA = append(pr.InA, r.inA...)
-		pr.InB = append(pr.InB, r.inB...)
-	} else {
-		for _, h := range r.Hs {
-			pr.InA = append(pr.InA, h.A)
-			pr.InB = append(pr.InB, h.B)
-		}
+	for _, h := range r.Hs {
+		pr.InA = append(pr.InA, h.A)
+		pr.InB = append(pr.InB, h.B)
 	}
 	return pr
 }
@@ -165,13 +145,44 @@ func (r Region) EmptyWS(ws *Workspace) bool {
 //
 //ordlint:noalloc
 func (r Region) ProbeEmpty(hs []Halfspace, ws *Workspace) bool {
-	pr := r.problemWS(geom.SimplexBarycentre(r.Dim), ws)
+	return r.ProbeEmptyAt(geom.SimplexBarycentre(r.Dim), hs, ws)
+}
+
+// ProbeEmptyAt is ProbeEmpty with a caller-chosen projection point. The
+// emptiness answer does not depend on the point, but a point already deep
+// inside r (e.g. a cached witness of a prior mindist solve) starts the
+// solver with most constraints satisfied, cutting its active-set
+// iterations on the dominant non-empty outcome.
+//
+//ordlint:noalloc
+func (r Region) ProbeEmptyAt(at geom.Vector, hs []Halfspace, ws *Workspace) bool {
+	pr := r.problemWS(at, ws)
 	for _, h := range hs {
 		pr.InA = append(pr.InA, h.A)
 		pr.InB = append(pr.InB, h.B)
 	}
 	_, _, err := ws.qp.Solve(pr)
 	return err != nil
+}
+
+// ProbeMinDist is MinDistWS over the region intersected with extra
+// halfspaces, without materialising the combined region: the extra rows are
+// appended to the workspace's assembled constraint system directly. It is
+// the allocation-free form of r.With(hs...).MinDistWS(w, ws). The returned
+// closest point aliases the workspace's solution buffer.
+//
+//ordlint:noalloc
+func (r Region) ProbeMinDist(hs []Halfspace, w geom.Vector, ws *Workspace) (dist float64, closest geom.Vector, ok bool) {
+	pr := r.problemWS(w, ws)
+	for _, h := range hs {
+		pr.InA = append(pr.InA, h.A)
+		pr.InB = append(pr.InB, h.B)
+	}
+	x, d2, err := ws.qp.Solve(pr)
+	if err != nil {
+		return 0, nil, false
+	}
+	return d2, x, true
 }
 
 // FeasiblePoint returns a point of the region (the projection of the

@@ -1,0 +1,180 @@
+package rtree
+
+import (
+	"sort"
+
+	"ordu/internal/geom"
+)
+
+// BulkLoad builds a tree over the given points using Sort-Tile-Recursive
+// packing. Record i is assigned id i. Packed slots are allocated in leaf
+// order, so each leaf's points form one contiguous run of the chunk
+// storage and the branch-and-bound kernels sweep sequential memory.
+func BulkLoad(points []geom.Vector, opts ...Option) *Tree {
+	if len(points) == 0 {
+		return New(1, opts...)
+	}
+	t := New(len(points[0]), opts...)
+	t.size = len(points)
+	t.freeNode(t.root) // the packing rebuilds the root
+	perm := make([]int32, len(points))
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	t.root = t.packPoints(points, perm)
+	return t
+}
+
+// bulkEnt is one child entry of the upper-level STR packing.
+type bulkEnt struct {
+	ref    NodeRef
+	lo, hi []float64
+}
+
+// packPoints packs the level-0 tiles and recurses upward.
+func (t *Tree) packPoints(points []geom.Vector, perm []int32) NodeRef {
+	if len(perm) <= t.fanout {
+		return t.newLeafNode(points, perm)
+	}
+	groups := t.tilePoints(points, perm, 0, nil)
+	parents := make([]bulkEnt, 0, len(groups))
+	for _, g := range groups {
+		n := t.newLeafNode(points, g)
+		lo := make([]float64, t.dim)
+		hi := make([]float64, t.dim)
+		t.computeNodeRect(n, lo, hi)
+		parents = append(parents, bulkEnt{ref: n, lo: lo, hi: hi})
+	}
+	return t.packUpper(parents, 1)
+}
+
+// newLeafNode materialises one leaf over the points listed in group,
+// allocating their packed slots in group order.
+func (t *Tree) newLeafNode(points []geom.Vector, group []int32) NodeRef {
+	n := t.newNode(0)
+	t.count[n] = int16(len(group))
+	eb := t.eb(n)
+	for i, pi := range group {
+		t.ents[eb+i] = t.allocSlot(int(pi), points[pi])
+	}
+	return n
+}
+
+// packUpper recursively packs child entries into internal nodes of the
+// given level using the same tiling as the leaf phase.
+func (t *Tree) packUpper(ents []bulkEnt, lvl int) NodeRef {
+	if len(ents) <= t.fanout {
+		return t.newUpperNode(ents, lvl)
+	}
+	groups := t.tileEnts(ents, 0, nil)
+	parents := make([]bulkEnt, 0, len(groups))
+	for _, g := range groups {
+		n := t.newUpperNode(g, lvl)
+		lo := make([]float64, t.dim)
+		hi := make([]float64, t.dim)
+		t.computeNodeRect(n, lo, hi)
+		parents = append(parents, bulkEnt{ref: n, lo: lo, hi: hi})
+	}
+	return t.packUpper(parents, lvl+1)
+}
+
+// newUpperNode materialises one internal node over the given child entries.
+func (t *Tree) newUpperNode(ents []bulkEnt, lvl int) NodeRef {
+	n := t.newNode(lvl)
+	t.count[n] = int16(len(ents))
+	eb := t.eb(n)
+	for i, e := range ents {
+		t.ents[eb+i] = int32(e.ref)
+		rb := t.rb(n, i)
+		copy(t.rects[rb:rb+t.dim], e.lo)
+		copy(t.rects[rb+t.dim:rb+2*t.dim], e.hi)
+	}
+	return n
+}
+
+// tilePoints splits the point permutation into groups of at most fanout,
+// tiling axis-by-axis — the exact recursion (slab counts, sort keys, cut
+// points) of the legacy strTile.
+func (t *Tree) tilePoints(points []geom.Vector, perm []int32, axis int, out [][]int32) [][]int32 {
+	n := len(perm)
+	leafCount := (n + t.fanout - 1) / t.fanout
+	if leafCount <= 1 || axis >= t.dim-1 {
+		sortPermByAxis(points, perm, axis)
+		for i := 0; i < n; i += t.fanout {
+			out = append(out, perm[i:min(i+t.fanout, n)])
+		}
+		return out
+	}
+	// Number of slabs along this axis: ceil(leafCount^(1/(remaining axes))).
+	slabs := intRoot(leafCount, t.dim-axis)
+	if slabs < 1 {
+		slabs = 1
+	}
+	sortPermByAxis(points, perm, axis)
+	per := (n + slabs - 1) / slabs
+	for i := 0; i < n; i += per {
+		out = t.tilePoints(points, perm[i:min(i+per, n)], axis+1, out)
+	}
+	return out
+}
+
+// tileEnts is tilePoints over child entries, keyed by the entry MBRs.
+func (t *Tree) tileEnts(ents []bulkEnt, axis int, out [][]bulkEnt) [][]bulkEnt {
+	n := len(ents)
+	leafCount := (n + t.fanout - 1) / t.fanout
+	if leafCount <= 1 || axis >= t.dim-1 {
+		sortEntsByAxis(ents, axis)
+		for i := 0; i < n; i += t.fanout {
+			out = append(out, ents[i:min(i+t.fanout, n)])
+		}
+		return out
+	}
+	slabs := intRoot(leafCount, t.dim-axis)
+	if slabs < 1 {
+		slabs = 1
+	}
+	sortEntsByAxis(ents, axis)
+	per := (n + slabs - 1) / slabs
+	for i := 0; i < n; i += per {
+		out = t.tileEnts(ents[i:min(i+per, n)], axis+1, out)
+	}
+	return out
+}
+
+// sortPermByAxis orders the permutation by the legacy sort key
+// Lo[axis]+Hi[axis], which for points is p[axis]+p[axis].
+func sortPermByAxis(points []geom.Vector, perm []int32, axis int) {
+	sort.Slice(perm, func(i, j int) bool {
+		pi, pj := points[perm[i]], points[perm[j]]
+		return pi[axis]+pi[axis] < pj[axis]+pj[axis]
+	})
+}
+
+func sortEntsByAxis(ents []bulkEnt, axis int) {
+	sort.Slice(ents, func(i, j int) bool {
+		return ents[i].lo[axis]+ents[i].hi[axis] < ents[j].lo[axis]+ents[j].hi[axis]
+	})
+}
+
+// intRoot returns ceil(n^(1/k)) computed by search.
+func intRoot(n, k int) int {
+	if k <= 1 {
+		return n
+	}
+	r := 1
+	for pow(r, k) < n {
+		r++
+	}
+	return r
+}
+
+func pow(b, e int) int {
+	p := 1
+	for i := 0; i < e; i++ {
+		p *= b
+		if p < 0 || p > 1<<40 {
+			return 1 << 40
+		}
+	}
+	return p
+}

@@ -1,0 +1,44 @@
+package rtree
+
+// Branch-free dominance kernels over raw coordinate runs. The
+// branch-and-bound walks (CountDominated, CountDominators, the BBS
+// frontier) test dominance against a stream of rectangle corners whose
+// outcomes are close to random, so an early-exit loop pays a branch
+// mispredict on most calls. These kernels instead sweep the full run and
+// accumulate the <=/< outcomes arithmetically: d predictable iterations,
+// no data-dependent branches.
+
+// b2i converts a comparison outcome to an integer flag; the compiler
+// lowers it to a SETcc, keeping the accumulation loops branch-free.
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// weakDom reports p >= q componentwise (ties allowed everywhere).
+//
+//ordlint:noalloc
+func weakDom(p, q []float64) bool {
+	ge := 1
+	q = q[:len(p)]
+	for i, x := range p {
+		ge &= b2i(x >= q[i])
+	}
+	return ge == 1
+}
+
+// dom reports strict dominance: p >= q componentwise with at least one
+// strict coordinate. A vector does not dominate itself.
+//
+//ordlint:noalloc
+func dom(p, q []float64) bool {
+	ge, gt := 1, 0
+	q = q[:len(p)]
+	for i, x := range p {
+		ge &= b2i(x >= q[i])
+		gt |= b2i(x > q[i])
+	}
+	return ge&gt == 1
+}

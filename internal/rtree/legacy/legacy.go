@@ -1,0 +1,532 @@
+// Package legacy preserves the original pointer-per-node R-tree that
+// predated the flat, cache-conscious core now in internal/rtree. It is the
+// reference implementation for the parity tests: the flat tree replicates
+// this package's STR tiling, quadratic-split and condensation tie-breaks
+// exactly, and the tests assert identical structure, query results and BBS
+// pop order between the two. No production code path imports this package.
+package legacy
+
+import (
+	"fmt"
+	"sort"
+
+	"ordu/internal/geom"
+)
+
+// DefaultFanout is the default maximum number of entries per node. The
+// paper's datasets are memory-resident, so a moderately wide fanout
+// balances heap pressure in branch-and-bound traversals against tree depth.
+const DefaultFanout = 32
+
+// Entry is one slot of a node: either a child pointer (internal nodes) or a
+// record id (leaves).
+type Entry struct {
+	Rect  geom.Rect
+	Child *Node // nil at leaves
+	ID    int   // record id, valid at leaves
+}
+
+// Node is an R-tree node. Level 0 is a leaf.
+type Node struct {
+	Level   int
+	Entries []Entry
+}
+
+// Tree is an in-memory R-tree over point data.
+type Tree struct {
+	root    *Node
+	dim     int
+	fanout  int
+	minFill int
+	size    int
+	points  map[int]geom.Vector // id -> point, for delete validation
+}
+
+// Option configures tree construction.
+type Option func(*Tree)
+
+// WithFanout sets the maximum node fanout (minimum 4).
+func WithFanout(f int) Option {
+	return func(t *Tree) {
+		if f < 4 {
+			f = 4
+		}
+		t.fanout = f
+		t.minFill = f * 2 / 5
+	}
+}
+
+// New returns an empty tree for points of the given dimensionality.
+func New(dim int, opts ...Option) *Tree {
+	t := &Tree{
+		dim:     dim,
+		fanout:  DefaultFanout,
+		minFill: DefaultFanout * 2 / 5,
+		points:  make(map[int]geom.Vector),
+		root:    &Node{Level: 0},
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// BulkLoad builds a tree over the given points using Sort-Tile-Recursive
+// packing. Record i is assigned id i.
+func BulkLoad(points []geom.Vector, opts ...Option) *Tree {
+	if len(points) == 0 {
+		return New(1, opts...)
+	}
+	t := New(len(points[0]), opts...)
+	entries := make([]Entry, len(points))
+	for i, p := range points {
+		entries[i] = Entry{Rect: geom.PointRect(p), ID: i}
+		t.points[i] = p
+	}
+	t.size = len(points)
+	t.root = t.strPack(entries, 0)
+	return t
+}
+
+// strPack recursively packs entries into a node of the given level using the
+// STR tiling: sort by the first axis, cut into vertical slabs, sort each
+// slab by the next axis, and so on.
+func (t *Tree) strPack(entries []Entry, level int) *Node {
+	if len(entries) <= t.fanout {
+		return &Node{Level: level, Entries: append([]Entry(nil), entries...)}
+	}
+	groups := t.strTile(entries, 0)
+	children := make([]Entry, 0, len(groups))
+	for _, g := range groups {
+		// Copy each tile: the tiles are subslices of one shared array, and
+		// node entry slices must own their storage so later appends (splits,
+		// reinsertion) cannot clobber a sibling's entries.
+		child := &Node{Level: level, Entries: append([]Entry(nil), g...)}
+		children = append(children, Entry{Rect: nodeRect(child), Child: child})
+	}
+	return t.strPack(children, level+1)
+}
+
+// strTile splits entries into groups of at most fanout, tiling axis-by-axis.
+func (t *Tree) strTile(entries []Entry, axis int) [][]Entry {
+	n := len(entries)
+	leafCount := (n + t.fanout - 1) / t.fanout
+	if leafCount <= 1 || axis >= t.dim-1 {
+		sortByAxis(entries, axis)
+		out := make([][]Entry, 0, leafCount)
+		for i := 0; i < n; i += t.fanout {
+			out = append(out, entries[i:min(i+t.fanout, n)])
+		}
+		return out
+	}
+	// Number of slabs along this axis: ceil(leafCount^(1/(remaining axes))).
+	slabs := intRoot(leafCount, t.dim-axis)
+	if slabs < 1 {
+		slabs = 1
+	}
+	sortByAxis(entries, axis)
+	per := (n + slabs - 1) / slabs
+	var out [][]Entry
+	for i := 0; i < n; i += per {
+		out = append(out, t.strTile(entries[i:min(i+per, n)], axis+1)...)
+	}
+	return out
+}
+
+func sortByAxis(entries []Entry, axis int) {
+	sort.Slice(entries, func(i, j int) bool {
+		ci := entries[i].Rect.Lo[axis] + entries[i].Rect.Hi[axis]
+		cj := entries[j].Rect.Lo[axis] + entries[j].Rect.Hi[axis]
+		return ci < cj
+	})
+}
+
+// intRoot returns ceil(n^(1/k)) computed by search.
+func intRoot(n, k int) int {
+	if k <= 1 {
+		return n
+	}
+	r := 1
+	for pow(r, k) < n {
+		r++
+	}
+	return r
+}
+
+func pow(b, e int) int {
+	p := 1
+	for i := 0; i < e; i++ {
+		p *= b
+		if p < 0 || p > 1<<40 {
+			return 1 << 40
+		}
+	}
+	return p
+}
+
+func nodeRect(n *Node) geom.Rect {
+	r := n.Entries[0].Rect.Clone()
+	for _, e := range n.Entries[1:] {
+		r.Extend(e.Rect)
+	}
+	return r
+}
+
+// Root returns the root node for branch-and-bound traversal; it is nil only
+// for an empty tree.
+func (t *Tree) Root() *Node {
+	if t.size == 0 {
+		return nil
+	}
+	return t.root
+}
+
+// Dim returns the dimensionality of the indexed points.
+func (t *Tree) Dim() int { return t.dim }
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return t.size }
+
+// Point returns the point stored under id.
+func (t *Tree) Point(id int) (geom.Vector, bool) {
+	p, ok := t.points[id]
+	return p, ok
+}
+
+// Insert adds a point under the given id. It returns an error when the id is
+// already present or the dimensionality disagrees.
+func (t *Tree) Insert(id int, p geom.Vector) error {
+	if len(p) != t.dim {
+		return fmt.Errorf("rtree: point dim %d, tree dim %d", len(p), t.dim)
+	}
+	if _, dup := t.points[id]; dup {
+		return fmt.Errorf("rtree: duplicate id %d", id)
+	}
+	t.points[id] = p
+	t.size++
+	split := t.insert(t.root, Entry{Rect: geom.PointRect(p), ID: id}, 0)
+	if split != nil {
+		old := t.root
+		t.root = &Node{
+			Level: old.Level + 1,
+			Entries: []Entry{
+				{Rect: nodeRect(old), Child: old},
+				{Rect: nodeRect(split), Child: split},
+			},
+		}
+	}
+	return nil
+}
+
+// insert places e at the target level, returning a new sibling if n split.
+func (t *Tree) insert(n *Node, e Entry, level int) *Node {
+	if n.Level == level {
+		n.Entries = append(n.Entries, e)
+		if len(n.Entries) > t.fanout {
+			return t.splitNode(n)
+		}
+		return nil
+	}
+	// Choose subtree with least enlargement, ties by smallest area.
+	best, bestEnl, bestArea := -1, 0.0, 0.0
+	for i := range n.Entries {
+		enl := n.Entries[i].Rect.Enlargement(e.Rect)
+		area := n.Entries[i].Rect.Area()
+		// The equality arm is a heuristic tie-break (least area among equal
+		// enlargements, typically both exactly zero for containment); either
+		// outcome yields a correct, merely differently balanced tree.
+		if best < 0 || enl < bestEnl || (enl == bestEnl && area < bestArea) { //ordlint:allow floatcmp — heuristic tie-break, both outcomes valid
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	child := n.Entries[best].Child
+	split := t.insert(child, e, level)
+	n.Entries[best].Rect = nodeRect(child)
+	if split != nil {
+		n.Entries = append(n.Entries, Entry{Rect: nodeRect(split), Child: split})
+		if len(n.Entries) > t.fanout {
+			return t.splitNode(n)
+		}
+	}
+	return nil
+}
+
+// splitNode performs a quadratic split of an overfull node in place,
+// returning the new sibling.
+func (t *Tree) splitNode(n *Node) *Node {
+	entries := n.Entries
+	// Pick seeds: the pair wasting the most area.
+	s1, s2, worst := 0, 1, -1.0
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			u := entries[i].Rect.Union(entries[j].Rect)
+			waste := u.Area() - entries[i].Rect.Area() - entries[j].Rect.Area()
+			if waste > worst {
+				s1, s2, worst = i, j, waste
+			}
+		}
+	}
+	g1 := []Entry{entries[s1]}
+	g2 := []Entry{entries[s2]}
+	r1 := entries[s1].Rect.Clone()
+	r2 := entries[s2].Rect.Clone()
+	rest := make([]Entry, 0, len(entries)-2)
+	for i, e := range entries {
+		if i != s1 && i != s2 {
+			rest = append(rest, e)
+		}
+	}
+	for len(rest) > 0 {
+		// Force assignment when one group must absorb all remaining entries
+		// to reach minimum fill.
+		if len(g1)+len(rest) <= t.minFill {
+			g1 = append(g1, rest...)
+			for _, e := range rest {
+				r1.Extend(e.Rect)
+			}
+			break
+		}
+		if len(g2)+len(rest) <= t.minFill {
+			g2 = append(g2, rest...)
+			for _, e := range rest {
+				r2.Extend(e.Rect)
+			}
+			break
+		}
+		// Pick the entry with the greatest preference difference.
+		pick, pref := -1, -1.0
+		for i, e := range rest {
+			d1 := r1.Enlargement(e.Rect)
+			d2 := r2.Enlargement(e.Rect)
+			if df := abs(d1 - d2); df > pref {
+				pick, pref = i, df
+			}
+		}
+		e := rest[pick]
+		rest = append(rest[:pick], rest[pick+1:]...)
+		if r1.Enlargement(e.Rect) <= r2.Enlargement(e.Rect) {
+			g1 = append(g1, e)
+			r1.Extend(e.Rect)
+		} else {
+			g2 = append(g2, e)
+			r2.Extend(e.Rect)
+		}
+	}
+	n.Entries = g1
+	return &Node{Level: n.Level, Entries: g2}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Delete removes the point stored under id. It returns false when the id is
+// unknown. Underfull nodes are condensed by reinsertion, as in Guttman's
+// original algorithm.
+func (t *Tree) Delete(id int) bool {
+	p, ok := t.points[id]
+	if !ok {
+		return false
+	}
+	var orphans []Entry
+	removed := t.remove(t.root, id, p, &orphans)
+	if !removed {
+		return false
+	}
+	delete(t.points, id)
+	t.size--
+	// Collapse a root with a single internal child.
+	for t.root.Level > 0 && len(t.root.Entries) == 1 {
+		t.root = t.root.Entries[0].Child
+	}
+	if t.root.Level > 0 && len(t.root.Entries) == 0 {
+		t.root = &Node{Level: 0}
+	}
+	// Reinsert orphaned entries at their original level.
+	for _, o := range orphans {
+		t.reinsertEntry(o)
+	}
+	return true
+}
+
+func (t *Tree) reinsertEntry(e Entry) {
+	level := 0
+	if e.Child != nil {
+		level = e.Child.Level + 1
+	}
+	if t.root.Level < level {
+		// Degenerate: tree shrank below the orphan's level; graft children.
+		for _, c := range e.Child.Entries {
+			t.reinsertEntry(c)
+		}
+		return
+	}
+	split := t.insert(t.root, e, level)
+	if split != nil {
+		old := t.root
+		t.root = &Node{
+			Level: old.Level + 1,
+			Entries: []Entry{
+				{Rect: nodeRect(old), Child: old},
+				{Rect: nodeRect(split), Child: split},
+			},
+		}
+	}
+}
+
+func (t *Tree) remove(n *Node, id int, p geom.Vector, orphans *[]Entry) bool {
+	if n.Level == 0 {
+		for i, e := range n.Entries {
+			if e.ID == id {
+				n.Entries = append(n.Entries[:i], n.Entries[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	for i := range n.Entries {
+		if !n.Entries[i].Rect.Contains(p) {
+			continue
+		}
+		child := n.Entries[i].Child
+		if t.remove(child, id, p, orphans) {
+			if len(child.Entries) < t.minFill {
+				// Condense: orphan the whole child for reinsertion.
+				*orphans = append(*orphans, child.Entries...)
+				n.Entries = append(n.Entries[:i], n.Entries[i+1:]...)
+			} else {
+				n.Entries[i].Rect = nodeRect(child)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// RangeQuery returns the ids of all points inside rect (borders included).
+func (t *Tree) RangeQuery(rect geom.Rect) []int {
+	return t.RangeQueryAppend(rect, nil)
+}
+
+// RangeQueryAppend appends the ids of all points inside rect (borders
+// included) to out and returns it — the scratch-buffer form of RangeQuery
+// for callers that issue many queries and want to reuse one buffer.
+func (t *Tree) RangeQueryAppend(rect geom.Rect, out []int) []int {
+	if t.size == 0 {
+		return out
+	}
+	return rangeWalk(t.root, rect, out)
+}
+
+func rangeWalk(n *Node, rect geom.Rect, out []int) []int {
+	for _, e := range n.Entries {
+		if !rect.Intersects(e.Rect) {
+			continue
+		}
+		if n.Level == 0 {
+			out = append(out, e.ID)
+		} else {
+			out = rangeWalk(e.Child, rect, out)
+		}
+	}
+	return out
+}
+
+// CountDominated returns the number of indexed points strictly dominated by
+// p under the maximisation convention. It is the dominance-count primitive
+// of the OSS-skyline baseline [49]: subtrees entirely dominated are counted
+// wholesale without visiting leaves.
+func (t *Tree) CountDominated(p geom.Vector) int {
+	if t.size == 0 {
+		return 0
+	}
+	count := 0
+	var walk func(n *Node) int
+	walk = func(n *Node) int {
+		c := 0
+		for _, e := range n.Entries {
+			// Prune subtrees that cannot contain dominated points: the
+			// subtree's best corner must be dominated-or-equal for overlap.
+			if !p.WeakDominates(e.Rect.Lo) {
+				continue
+			}
+			if n.Level == 0 {
+				if p.Dominates(geom.Vector(e.Rect.Lo)) {
+					c++
+				}
+				continue
+			}
+			if p.Dominates(e.Rect.Hi) {
+				c += subtreeSize(e.Child)
+				continue
+			}
+			c += walk(e.Child)
+		}
+		return c
+	}
+	count = walk(t.root)
+	return count
+}
+
+// CountDominators returns the number of indexed points that strictly
+// dominate p under the maximisation convention — the mirror of
+// CountDominated, used by the serving layer's cache keep-test (a mutated
+// point with at least k plain dominators cannot change any rho-skyband with
+// parameter k). Subtrees whose bottom corner dominates p are counted
+// wholesale without visiting leaves.
+func (t *Tree) CountDominators(p geom.Vector) int {
+	if t.size == 0 {
+		return 0
+	}
+	var walk func(n *Node) int
+	walk = func(n *Node) int {
+		c := 0
+		for _, e := range n.Entries {
+			// A dominator is componentwise >= p, so the subtree's top corner
+			// must weakly dominate p for any to exist inside.
+			if !e.Rect.Hi.WeakDominates(p) {
+				continue
+			}
+			if n.Level == 0 {
+				if e.Rect.Lo.Dominates(p) {
+					c++
+				}
+				continue
+			}
+			if e.Rect.Lo.Dominates(p) {
+				c += subtreeSize(e.Child)
+				continue
+			}
+			c += walk(e.Child)
+		}
+		return c
+	}
+	return walk(t.root)
+}
+
+func subtreeSize(n *Node) int {
+	if n.Level == 0 {
+		return len(n.Entries)
+	}
+	s := 0
+	for _, e := range n.Entries {
+		s += subtreeSize(e.Child)
+	}
+	return s
+}
+
+// Height returns the number of levels in the tree (1 for a leaf-only tree).
+func (t *Tree) Height() int { return t.root.Level + 1 }
+
+// Bounds returns the exact minimum bounding rectangle of the indexed points
+// (the root MBR) and true, or a zero rectangle and false for an empty tree.
+// The returned rectangle is a copy; mutating it does not affect the tree.
+func (t *Tree) Bounds() (geom.Rect, bool) {
+	if t.size == 0 {
+		return geom.Rect{}, false
+	}
+	return nodeRect(t.root), true
+}

@@ -68,54 +68,71 @@ func checkParity(t *testing.T, tr *Tree, ref refStore, rng *rand.Rand, step stri
 }
 
 // checkStructure validates the R-tree shape invariants that Insert/Delete
-// must preserve: entry rectangles exactly bound their subtrees, levels
-// decrease by one per edge, no node exceeds the fanout, and every non-root
-// node respects minimum fill (the underflow condensation contract).
+// must preserve in the flat arena: entry rectangles exactly bound their
+// subtrees, levels decrease by one per edge, no node exceeds the fanout,
+// every non-root node respects minimum fill (the underflow condensation
+// contract), and the slot maps stay mutually consistent.
 func checkStructure(t *testing.T, tr *Tree, step string) {
 	t.Helper()
 	if tr.size == 0 {
 		return
 	}
-	var walk func(n *Node, isRoot bool)
-	walk = func(n *Node, isRoot bool) {
-		if len(n.Entries) > tr.fanout {
-			t.Fatalf("%s: node at level %d holds %d entries, fanout %d", step, n.Level, len(n.Entries), tr.fanout)
+	lo := make([]float64, tr.dim)
+	hi := make([]float64, tr.dim)
+	var walk func(n NodeRef, isRoot bool)
+	walk = func(n NodeRef, isRoot bool) {
+		cnt := tr.Count(n)
+		if cnt > tr.fanout {
+			t.Fatalf("%s: node at level %d holds %d entries, fanout %d", step, tr.Level(n), cnt, tr.fanout)
 		}
-		if !isRoot && len(n.Entries) < tr.minFill {
-			t.Fatalf("%s: non-root node at level %d underfull: %d < minFill %d", step, n.Level, len(n.Entries), tr.minFill)
+		if !isRoot && cnt < tr.minFill {
+			t.Fatalf("%s: non-root node at level %d underfull: %d < minFill %d", step, tr.Level(n), cnt, tr.minFill)
 		}
-		for _, e := range n.Entries {
-			if n.Level == 0 {
-				if e.Child != nil {
-					t.Fatalf("%s: leaf entry with child pointer", step)
-				}
-				p, ok := tr.Point(e.ID)
+		if tr.Level(n) == 0 {
+			if tr.rseg[n] != -1 {
+				t.Fatalf("%s: leaf node %d owns a rect segment", step, n)
+			}
+			for i := 0; i < cnt; i++ {
+				id := tr.LeafID(n, i)
+				p, ok := tr.Point(id)
 				if !ok {
-					t.Fatalf("%s: leaf holds unknown id %d", step, e.ID)
+					t.Fatalf("%s: leaf holds unknown id %d", step, id)
 				}
-				if !geom.Vector(e.Rect.Lo).Equal(p) || !geom.Vector(e.Rect.Hi).Equal(p) {
-					t.Fatalf("%s: leaf rect for id %d is not the point", step, e.ID)
+				if !tr.LeafPoint(n, i).Equal(p) {
+					t.Fatalf("%s: leaf slot for id %d is not the point", step, id)
 				}
-				continue
+				slot := tr.ents[tr.eb(n)+i]
+				if got, ok := tr.slotOf[id]; !ok || got != slot {
+					t.Fatalf("%s: slotOf[%d] = %d (%v), leaf references slot %d", step, id, got, ok, slot)
+				}
 			}
-			if e.Child == nil {
-				t.Fatalf("%s: internal entry without child", step)
+			return
+		}
+		for i := 0; i < cnt; i++ {
+			c := tr.Child(n, i)
+			if tr.Level(c) != tr.Level(n)-1 {
+				t.Fatalf("%s: child level %d under node level %d", step, tr.Level(c), tr.Level(n))
 			}
-			if e.Child.Level != n.Level-1 {
-				t.Fatalf("%s: child level %d under node level %d", step, e.Child.Level, n.Level)
+			if tr.Count(c) == 0 {
+				t.Fatalf("%s: empty child node at level %d", step, tr.Level(c))
 			}
-			if len(e.Child.Entries) == 0 {
-				t.Fatalf("%s: empty child node at level %d", step, e.Child.Level)
-			}
-			want := nodeRect(e.Child)
-			if !geom.Vector(e.Rect.Lo).Equal(geom.Vector(want.Lo)) || !geom.Vector(e.Rect.Hi).Equal(geom.Vector(want.Hi)) {
+			tr.computeNodeRect(c, lo, hi)
+			if !tr.ChildLo(n, i).Equal(lo) || !tr.ChildHi(n, i).Equal(hi) {
 				t.Fatalf("%s: stale MBR at level %d: stored %v/%v, actual %v/%v",
-					step, n.Level, e.Rect.Lo, e.Rect.Hi, want.Lo, want.Hi)
+					step, tr.Level(n), tr.ChildLo(n, i), tr.ChildHi(n, i), geom.Vector(lo), geom.Vector(hi))
 			}
-			walk(e.Child, false)
+			walk(c, false)
 		}
 	}
 	walk(tr.root, true)
+	if len(tr.slotOf) != tr.size {
+		t.Fatalf("%s: slotOf holds %d ids, size %d", step, len(tr.slotOf), tr.size)
+	}
+	for id, slot := range tr.slotOf {
+		if tr.idAt[slot] != id {
+			t.Fatalf("%s: idAt[%d] = %d, slotOf says %d", step, slot, tr.idAt[slot], id)
+		}
+	}
 }
 
 // applyOps drives one interleaved Insert/Delete sequence against both the

@@ -1,0 +1,144 @@
+package rtree
+
+import "ordu/internal/geom"
+
+// RangeQuery returns the ids of all points inside rect (borders included).
+func (t *Tree) RangeQuery(rect geom.Rect) []int {
+	return t.RangeQueryAppend(rect, nil)
+}
+
+// RangeQueryAppend appends the ids of all points inside rect (borders
+// included) to out and returns it — the scratch-buffer form of RangeQuery
+// for callers that issue many queries and want to reuse one buffer.
+func (t *Tree) RangeQueryAppend(rect geom.Rect, out []int) []int {
+	if t.size == 0 {
+		return out
+	}
+	return t.rangeWalk(t.root, rect, out)
+}
+
+func (t *Tree) rangeWalk(n NodeRef, rect geom.Rect, out []int) []int {
+	cnt := int(t.count[n])
+	eb := t.eb(n)
+	d := t.dim
+	if t.level[n] == 0 {
+		for i := 0; i < cnt; i++ {
+			p := t.slotVec(t.ents[eb+i])
+			if rect.Contains(p) {
+				out = append(out, t.idAt[t.ents[eb+i]])
+			}
+		}
+		return out
+	}
+	for i := 0; i < cnt; i++ {
+		rb := t.rb(n, i)
+		overlap := true
+		for j := 0; j < d; j++ {
+			if t.rects[rb+d+j] < rect.Lo[j] || rect.Hi[j] < t.rects[rb+j] {
+				overlap = false
+				break
+			}
+		}
+		if overlap {
+			out = t.rangeWalk(NodeRef(t.ents[eb+i]), rect, out)
+		}
+	}
+	return out
+}
+
+// CountDominated returns the number of indexed points strictly dominated by
+// p under the maximisation convention. It is the dominance-count primitive
+// of the OSS-skyline baseline [49]: subtrees entirely dominated are counted
+// wholesale without visiting leaves.
+func (t *Tree) CountDominated(p geom.Vector) int {
+	if t.size == 0 {
+		return 0
+	}
+	return t.countDominated(t.root, p)
+}
+
+func (t *Tree) countDominated(n NodeRef, p []float64) int {
+	c := 0
+	cnt := int(t.count[n])
+	eb := t.eb(n)
+	if t.level[n] == 0 {
+		for i := 0; i < cnt; i++ {
+			if dom(p, t.slotVec(t.ents[eb+i])) {
+				c++
+			}
+		}
+		return c
+	}
+	d := t.dim
+	for i := 0; i < cnt; i++ {
+		rb := t.rb(n, i)
+		// Prune subtrees that cannot contain dominated points: the subtree's
+		// best corner must be dominated-or-equal for overlap.
+		if !weakDom(p, t.rects[rb:rb+d]) {
+			continue
+		}
+		child := NodeRef(t.ents[eb+i])
+		if dom(p, t.rects[rb+d:rb+2*d]) {
+			c += t.subtreeSize(child)
+			continue
+		}
+		c += t.countDominated(child, p)
+	}
+	return c
+}
+
+// CountDominators returns the number of indexed points that strictly
+// dominate p under the maximisation convention — the mirror of
+// CountDominated, used by the serving layer's cache keep-test (a mutated
+// point with at least k plain dominators cannot change any rho-skyband with
+// parameter k). Subtrees whose bottom corner dominates p are counted
+// wholesale without visiting leaves.
+func (t *Tree) CountDominators(p geom.Vector) int {
+	if t.size == 0 {
+		return 0
+	}
+	return t.countDominators(t.root, p)
+}
+
+func (t *Tree) countDominators(n NodeRef, p []float64) int {
+	c := 0
+	cnt := int(t.count[n])
+	eb := t.eb(n)
+	if t.level[n] == 0 {
+		for i := 0; i < cnt; i++ {
+			if dom(t.slotVec(t.ents[eb+i]), p) {
+				c++
+			}
+		}
+		return c
+	}
+	d := t.dim
+	for i := 0; i < cnt; i++ {
+		rb := t.rb(n, i)
+		// A dominator is componentwise >= p, so the subtree's top corner
+		// must weakly dominate p for any to exist inside.
+		if !weakDom(t.rects[rb+d:rb+2*d], p) {
+			continue
+		}
+		child := NodeRef(t.ents[eb+i])
+		if dom(t.rects[rb:rb+d], p) {
+			c += t.subtreeSize(child)
+			continue
+		}
+		c += t.countDominators(child, p)
+	}
+	return c
+}
+
+func (t *Tree) subtreeSize(n NodeRef) int {
+	if t.level[n] == 0 {
+		return int(t.count[n])
+	}
+	s := 0
+	cnt := int(t.count[n])
+	eb := t.eb(n)
+	for i := 0; i < cnt; i++ {
+		s += t.subtreeSize(NodeRef(t.ents[eb+i]))
+	}
+	return s
+}

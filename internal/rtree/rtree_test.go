@@ -20,34 +20,46 @@ func randPoints(rng *rand.Rand, n, d int) []geom.Vector {
 	return pts
 }
 
+// checkInvariants walks the flat arena and validates the basic shape: child
+// levels decrease by one, leaf entry count sums to size, and every stored
+// entry rectangle exactly equals the recomputed MBR of its child.
 func checkInvariants(t *testing.T, tr *Tree) {
 	t.Helper()
 	if tr.size == 0 {
 		return
 	}
-	var walk func(n *Node) int
-	walk = func(n *Node) int {
-		count := 0
-		for _, e := range n.Entries {
-			if n.Level == 0 {
-				if e.Child != nil {
-					t.Fatal("leaf entry with child pointer")
+	lo := make([]float64, tr.dim)
+	hi := make([]float64, tr.dim)
+	var walk func(n NodeRef) int
+	walk = func(n NodeRef) int {
+		cnt := tr.Count(n)
+		if cnt > tr.fanout {
+			t.Fatalf("node %d at level %d holds %d entries, fanout %d", n, tr.Level(n), cnt, tr.fanout)
+		}
+		if tr.Level(n) == 0 {
+			for i := 0; i < cnt; i++ {
+				p, ok := tr.Point(tr.LeafID(n, i))
+				if !ok {
+					t.Fatalf("leaf holds unknown id %d", tr.LeafID(n, i))
 				}
-				count++
-				continue
+				if !tr.LeafPoint(n, i).Equal(p) {
+					t.Fatalf("leaf slot for id %d disagrees with Point", tr.LeafID(n, i))
+				}
 			}
-			if e.Child == nil {
-				t.Fatal("internal entry without child")
+			return cnt
+		}
+		count := 0
+		for i := 0; i < cnt; i++ {
+			c := tr.Child(n, i)
+			if tr.Level(c) != tr.Level(n)-1 {
+				t.Fatalf("child level %d under node level %d", tr.Level(c), tr.Level(n))
 			}
-			if e.Child.Level != n.Level-1 {
-				t.Fatalf("child level %d under node level %d", e.Child.Level, n.Level)
+			tr.computeNodeRect(c, lo, hi)
+			if !tr.ChildLo(n, i).Equal(lo) || !tr.ChildHi(n, i).Equal(hi) {
+				t.Fatalf("stale MBR at level %d: stored %v/%v, actual %v/%v",
+					tr.Level(n), tr.ChildLo(n, i), tr.ChildHi(n, i), geom.Vector(lo), geom.Vector(hi))
 			}
-			// MBR must tightly cover the child.
-			r := nodeRect(e.Child)
-			if !e.Rect.ContainsRect(r) {
-				t.Fatalf("entry rect %v does not cover child rect %v", e.Rect, r)
-			}
-			count += walk(e.Child)
+			count += walk(c)
 		}
 		return count
 	}
@@ -236,5 +248,44 @@ func TestHeightGrows(t *testing.T) {
 	big := BulkLoad(randPoints(rng, 5000, 2))
 	if small.Height() >= big.Height() {
 		t.Errorf("heights: small %d, big %d", small.Height(), big.Height())
+	}
+}
+
+// TestSlotStability pins the packed-slot contract: LeafPoint views taken
+// before a long run of inserts still read the same coordinates afterwards
+// (point chunks are never reallocated, only appended).
+func TestSlotStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pts := randPoints(rng, 200, 3)
+	tr := BulkLoad(pts)
+	type held struct {
+		id int
+		v  geom.Vector
+	}
+	var views []held
+	root := tr.Root()
+	var collect func(n NodeRef)
+	collect = func(n NodeRef) {
+		if tr.Level(n) == 0 {
+			for i := 0; i < tr.Count(n); i++ {
+				views = append(views, held{tr.LeafID(n, i), tr.LeafPoint(n, i)})
+			}
+			return
+		}
+		for i := 0; i < tr.Count(n); i++ {
+			collect(tr.Child(n, i))
+		}
+	}
+	collect(root)
+	for i := 0; i < 5000; i++ {
+		p := geom.Vector{rng.Float64(), rng.Float64(), rng.Float64()}
+		if err := tr.Insert(1000+i, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, h := range views {
+		if !h.v.Equal(pts[h.id]) {
+			t.Fatalf("held view for id %d changed after growth: %v != %v", h.id, h.v, pts[h.id])
+		}
 	}
 }

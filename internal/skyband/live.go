@@ -315,39 +315,49 @@ func (l *Live) delContrib(dom, y int) {
 func (l *Live) dominatorsOf(z int, p geom.Vector) (doms []int, truncated bool) {
 	sz := p.Dot(l.w)
 	doms = make([]int, 0, l.cap)
-	var walk func(n *rtree.Node, allDom bool) bool
-	walk = func(n *rtree.Node, allDom bool) bool {
-		for i := range n.Entries {
-			e := &n.Entries[i]
-			sub := allDom
-			if !sub {
-				if e.Rect.Hi.Dot(l.w) < sz {
-					continue
+	t := l.tree
+	var walk func(n rtree.NodeRef, allDom bool) bool
+	walk = func(n rtree.NodeRef, allDom bool) bool {
+		cnt := t.Count(n)
+		if t.Level(n) > 0 {
+			for i := 0; i < cnt; i++ {
+				sub := allDom
+				if !sub {
+					if t.ChildHi(n, i).Dot(l.w) < sz {
+						continue
+					}
+					sub = t.ChildLo(n, i).Dominates(p)
 				}
-				sub = e.Rect.Lo.Dominates(p)
-			}
-			if n.Level > 0 {
-				if !walk(e.Child, sub) {
+				if !walk(t.Child(n, i), sub) {
 					return false
 				}
+			}
+			return true
+		}
+		for i := 0; i < cnt; i++ {
+			q := t.LeafPoint(n, i)
+			sub := allDom
+			if !sub {
+				if q.Dot(l.w) < sz {
+					continue
+				}
+				sub = q.Dominates(p)
+			}
+			if t.LeafID(n, i) == z {
 				continue
 			}
-			if e.ID == z {
-				continue
-			}
-			q := e.Rect.Lo
 			if sub || q.Dominates(p) || RhoDominatesWS(l.w, q, p, l.rho, &l.ws) {
 				if len(doms) == l.cap {
 					truncated = true
 					return false
 				}
-				doms = append(doms, e.ID)
+				doms = append(doms, t.LeafID(n, i))
 			}
 		}
 		return true
 	}
-	if l.tree.Len() > 0 {
-		walk(l.tree.Root(), false)
+	if t.Len() > 0 {
+		walk(t.Root(), false)
 	}
 	return doms, truncated
 }
@@ -361,31 +371,41 @@ func (l *Live) dominateesOf(z int, p geom.Vector, visit func(y int, q geom.Vecto
 		return
 	}
 	sz := p.Dot(l.w)
-	var walk func(n *rtree.Node, allDom bool)
-	walk = func(n *rtree.Node, allDom bool) {
-		for i := range n.Entries {
-			e := &n.Entries[i]
+	t := l.tree
+	var walk func(n rtree.NodeRef, allDom bool)
+	walk = func(n rtree.NodeRef, allDom bool) {
+		cnt := t.Count(n)
+		if t.Level(n) > 0 {
+			for i := 0; i < cnt; i++ {
+				sub := allDom
+				if !sub {
+					if t.ChildLo(n, i).Dot(l.w) > sz {
+						continue
+					}
+					sub = p.Dominates(t.ChildHi(n, i))
+				}
+				walk(t.Child(n, i), sub)
+			}
+			return
+		}
+		for i := 0; i < cnt; i++ {
+			q := t.LeafPoint(n, i)
 			sub := allDom
 			if !sub {
-				if e.Rect.Lo.Dot(l.w) > sz {
+				if q.Dot(l.w) > sz {
 					continue
 				}
-				sub = p.Dominates(e.Rect.Hi)
+				sub = p.Dominates(q)
 			}
-			if n.Level > 0 {
-				walk(e.Child, sub)
+			if t.LeafID(n, i) == z {
 				continue
 			}
-			if e.ID == z {
-				continue
-			}
-			q := e.Rect.Lo
 			if sub || p.Dominates(q) || RhoDominatesWS(l.w, p, q, l.rho, &l.ws) {
-				visit(e.ID, q)
+				visit(t.LeafID(n, i), q)
 			}
 		}
 	}
-	walk(l.tree.Root(), false)
+	walk(t.Root(), false)
 }
 
 func containsID(s []int, id int) bool {

@@ -23,6 +23,8 @@ type Workspace struct {
 	a   []float64
 	pr  qp.Problem
 	mds []float64 // inflection-radius scratch, used by IRD and core's ORD
+	v   []float64 // active-set projection: candidate point
+	fr  []bool    // active-set projection: free-coordinate mask
 }
 
 // Mindist returns rho_{i,j}: the largest radius at which rj still
@@ -93,15 +95,30 @@ func MindistWS(w, ri, rj geom.Vector, ws *Workspace) float64 {
 	if feasible {
 		return dist
 	}
-	// Foot outside the simplex: exact QP projection. The constraint system
-	// is assembled from the cached per-dimension simplex rows plus the
-	// workspace's hyperplane-normal buffer — no per-call matrices.
+	// Foot outside the simplex: exact projection onto the constrained set.
 	if cap(ws.a) < d {
 		ws.a = make([]float64, d)
 	}
 	a := ws.a[:d]
+	amin, amax := math.Inf(1), math.Inf(-1)
 	for i := 0; i < d; i++ {
 		a[i] = ri[i] - rj[i]
+		amin = math.Min(amin, a[i])
+		amax = math.Max(amax, a[i])
+	}
+	// O(d) infeasibility pre-check: the tie hyperplane a·v = 0 meets the
+	// simplex only if a takes both signs (or a zero); otherwise rj outscores
+	// ri on the whole domain and no solver call is needed.
+	if amin > 0 || amax < 0 {
+		return math.Inf(1)
+	}
+	// Specialized two-constraint active-set projection: with only sum(v)=1
+	// and a·v=0 as equalities, each free-set subproblem is a closed-form 2x2
+	// solve, so the projection runs in O(d) per iteration with no matrix
+	// factorization. It verifies its own KKT conditions; the general QP
+	// solver below remains as the fallback for the rare non-converged case.
+	if qd, ok := projectTieSimplex(w, a, ws); ok {
+		return qd
 	}
 	pr := &ws.pr
 	pr.P = w
@@ -115,6 +132,105 @@ func MindistWS(w, ri, rj geom.Vector, ws *Workspace) float64 {
 		return math.Inf(1)
 	}
 	return qdist
+}
+
+// projectTieSimplex computes the distance from w to its Euclidean projection
+// onto {v : v >= 0, sum(v) = 1, a.v = 0} by primal active set. On the free
+// coordinates F the stationarity condition is v_i = w_i + lambda + mu*a_i
+// with (lambda, mu) from the 2x2 normal equations of the two equality
+// constraints; negative coordinates are clamped to the boundary en masse
+// (Michelot-style), and a clamped coordinate whose multiplier has the wrong
+// sign is released one per iteration. The returned distance is exact (the
+// full KKT system is verified before returning); ok=false means the
+// iteration cap or a degenerate free set was hit and the caller must use
+// the general solver.
+//
+//ordlint:noalloc
+func projectTieSimplex(w, a []float64, ws *Workspace) (float64, bool) {
+	d := len(w)
+	if cap(ws.v) < d {
+		ws.v = make([]float64, d)
+		ws.fr = make([]bool, d)
+	}
+	v := ws.v[:d]
+	fr := ws.fr[:d]
+	for i := range fr {
+		fr[i] = true
+	}
+	free := d
+	for iter := 0; iter < 4*d+8; iter++ {
+		var m, sw, sa, saw, saa float64
+		for i := 0; i < d; i++ {
+			if !fr[i] {
+				continue
+			}
+			m++
+			sw += w[i]
+			sa += a[i]
+			saw += a[i] * w[i]
+			saa += a[i] * a[i]
+		}
+		det := m*saa - sa*sa // >= 0 by Cauchy-Schwarz; 0 iff a constant on F
+		var lam, mu float64
+		if det <= 1e-14*(m*saa+sa*sa) || saa == 0 { //ordlint:allow floatcmp — exact zero guards the all-zero row
+			if saa > 1e-24 {
+				// a is a nonzero constant on the free set: a.v = 0 and
+				// sum(v) = 1 conflict on F alone. Let the general solver
+				// sort out which boundary resolves it.
+				return 0, false
+			}
+			// a vanishes on F: plain simplex projection of the free block.
+			lam = (1 - sw) / m
+		} else {
+			b1 := 1 - sw
+			b2 := -saw
+			lam = (b1*saa - b2*sa) / det
+			mu = (m*b2 - sa*b1) / det
+		}
+		clamped := false
+		for i := 0; i < d; i++ {
+			if !fr[i] {
+				v[i] = 0
+				continue
+			}
+			v[i] = w[i] + lam + mu*a[i]
+			if v[i] < -1e-12 {
+				fr[i] = false
+				free--
+				clamped = true
+			}
+		}
+		if clamped {
+			if free == 0 {
+				return 0, false
+			}
+			continue
+		}
+		// Dual feasibility: a clamped coordinate with positive would-be
+		// value wants back in; release the worst violator and re-solve.
+		rel, relV := -1, 1e-10
+		for i := 0; i < d; i++ {
+			if fr[i] {
+				continue
+			}
+			if g := w[i] + lam + mu*a[i]; g > relV {
+				relV = g
+				rel = i
+			}
+		}
+		if rel >= 0 {
+			fr[rel] = true
+			free++
+			continue
+		}
+		var dist2 float64
+		for i := 0; i < d; i++ {
+			dv := v[i] - w[i]
+			dist2 += dv * dv
+		}
+		return math.Sqrt(dist2), true
+	}
+	return 0, false
 }
 
 // InflectionRadius computes the inflection radius of a record given the

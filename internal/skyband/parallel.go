@@ -1,0 +1,233 @@
+// Parallel BBS frontier: the root's subtrees are partitioned across
+// workers, each running a shard-local best-first scan over its own heap and
+// workspace, and the per-shard record streams are merged back into the
+// sequential scan's exact emission order.
+//
+// Correctness rests on three facts. First, scanEntry.Less is a strict total
+// order on records under which a node sorts no later than anything in its
+// subtree, so every shard emits its records in globally comparable order
+// and a k-way merge by that order reconstructs the sequential sequence
+// byte-for-byte. Second, the authoritative pruner runs only on the merge
+// goroutine, in emission order — exactly the state the sequential scan
+// would have tested each record against (every potential dominator of a
+// record precedes it in the total order). Third, workers pre-prune against
+// a published snapshot of the authoritative pruner's record prefix; both
+// pruner families are monotone (records only accumulate, the radius is
+// fixed), so anything a stale snapshot prunes the authoritative pruner
+// would prune too — snapshot pruning discards work, never answers.
+package skyband
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync/atomic"
+
+	"ordu/internal/geom"
+	"ordu/internal/rtree"
+	"ordu/internal/xheap"
+)
+
+// pruneSnap is an immutable view of a skyband pruner's state: the records
+// registered so far (a stable prefix — elements are never mutated after
+// publication) plus the fixed parameters. With Rho = +Inf it is the plain
+// k-dominance test of SkybandPruner; otherwise the rho-dominance test of
+// RhoPruner at a fixed radius.
+type pruneSnap struct {
+	k    int
+	recs []geom.Vector
+	w    geom.Vector
+	rho  float64
+}
+
+// prune reports whether p is (rho-)dominated by at least k snapshot
+// records. The caller supplies the mindist workspace so concurrent readers
+// of one snapshot never share QP scratch.
+func (s *pruneSnap) prune(p geom.Vector, ws *Workspace) bool {
+	count := 0
+	for _, rec := range s.recs {
+		if rec.Dominates(p) {
+			count++
+		} else if !math.IsInf(s.rho, 1) && MindistWS(s.w, p, rec, ws) >= s.rho {
+			count++
+		}
+		if count >= s.k {
+			return true
+		}
+	}
+	return false
+}
+
+// shardScan is one worker's half-open scan over a subset of the root's
+// subtrees. It owns its heap and mindist workspace outright (one shardScan
+// per goroutine), reads the shared pruner snapshot, and streams surviving
+// records to the merge goroutine in decreasing scanEntry order.
+type shardScan struct {
+	tree *rtree.Tree
+	w    geom.Vector
+	h    xheap.Heap[scanEntry]
+	ws   Workspace // mindist scratch for snapshot rho-pruning; goroutine-local
+	snap *atomic.Pointer[pruneSnap]
+	out  chan scanEntry
+	done chan struct{}
+}
+
+// run drains the shard heap, expanding nodes locally and forwarding
+// records that survive the current snapshot. It exits when the heap is
+// empty or the merge goroutine signals completion via done.
+func (s *shardScan) run() {
+	defer close(s.out)
+	for i := 0; s.h.Len() > 0; i++ {
+		if i%64 == 0 {
+			select {
+			case <-s.done:
+				return
+			default:
+			}
+		}
+		e := s.h.Pop()
+		if s.snap.Load().prune(e.pt, &s.ws) {
+			continue
+		}
+		if e.node == rtree.NilNode {
+			select {
+			case s.out <- e: //ordlint:allow wsescape — scanEntry is sent by value, and its point aliases the immutable tree storage, not the heap's backing array
+			case <-s.done:
+				return
+			}
+			continue
+		}
+		t := s.tree
+		cnt := t.Count(e.node)
+		if t.Level(e.node) == 0 {
+			for j := 0; j < cnt; j++ {
+				p := t.LeafPoint(e.node, j)
+				s.h.Push(scanEntry{score: s.w.Dot(p), sum: p.Sum(), node: rtree.NilNode, id: t.LeafID(e.node, j), pt: p})
+			}
+		} else {
+			for j := 0; j < cnt; j++ {
+				top := t.ChildHi(e.node, j)
+				s.h.Push(scanEntry{score: s.w.Dot(top), sum: top.Sum(), node: t.Child(e.node, j), pt: top})
+			}
+		}
+	}
+}
+
+// KSkybandParallel is KSkyband with the frontier sharded across workers
+// (workers <= 0 selects GOMAXPROCS). The member sequence is byte-identical
+// to KSkyband's.
+func KSkybandParallel(tree *rtree.Tree, k, workers int) []Member {
+	d := tree.Dim()
+	w := make(geom.Vector, d)
+	for i := range w {
+		w[i] = 1 / float64(d)
+	}
+	out, _ := KSkybandParallelCtx(context.Background(), tree, w, k, workers) //ordlint:allow senterr — context.Background never cancels, so the error is structurally nil
+	return out
+}
+
+// KSkybandParallelCtx is KSkybandForCtx with a sharded parallel frontier.
+func KSkybandParallelCtx(ctx context.Context, tree *rtree.Tree, w geom.Vector, k, workers int) ([]Member, error) {
+	return scanParallel(ctx, tree, w, k, math.Inf(1), workers)
+}
+
+// RhoSkybandParallel is RhoSkyband with the frontier sharded across
+// workers (workers <= 0 selects GOMAXPROCS). The member sequence is
+// byte-identical to RhoSkyband's.
+func RhoSkybandParallel(tree *rtree.Tree, w geom.Vector, k int, rho float64, workers int) []Member {
+	out, _ := RhoSkybandParallelCtx(context.Background(), tree, w, k, rho, workers) //ordlint:allow senterr — context.Background never cancels, so the error is structurally nil
+	return out
+}
+
+// RhoSkybandParallelCtx is RhoSkybandCtx with a sharded parallel frontier.
+func RhoSkybandParallelCtx(ctx context.Context, tree *rtree.Tree, w geom.Vector, k int, rho float64, workers int) ([]Member, error) {
+	return scanParallel(ctx, tree, w, k, rho, workers)
+}
+
+// scanParallel is the shared driver: shard the root's children, run the
+// shard scans concurrently, and k-way-merge their streams under the
+// authoritative pruner. rho = +Inf selects plain k-dominance.
+func scanParallel(ctx context.Context, tree *rtree.Tree, w geom.Vector, k int, rho float64, workers int) ([]Member, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	root := tree.Root()
+	if workers == 1 || root == rtree.NilNode || tree.Level(root) == 0 {
+		// Nothing to shard: a single worker, an empty tree, or a root leaf.
+		if math.IsInf(rho, 1) {
+			return KSkybandForCtx(ctx, tree, w, k)
+		}
+		return RhoSkybandCtx(ctx, tree, w, k, rho)
+	}
+	rootCnt := tree.Count(root)
+	nshards := workers
+	if rootCnt < nshards {
+		nshards = rootCnt
+	}
+	var snap atomic.Pointer[pruneSnap]
+	snap.Store(&pruneSnap{k: k, w: w, rho: rho})
+	done := make(chan struct{})
+	defer close(done)
+	shards := make([]*shardScan, nshards)
+	for i := range shards {
+		shards[i] = &shardScan{tree: tree, w: w, snap: &snap, out: make(chan scanEntry, 64), done: done}
+	}
+	for j := 0; j < rootCnt; j++ {
+		top := tree.ChildHi(root, j)
+		sh := shards[j%nshards]
+		sh.h.Push(scanEntry{score: w.Dot(top), sum: top.Sum(), node: tree.Child(root, j), pt: top})
+	}
+	for _, sh := range shards {
+		go sh.run()
+	}
+	// K-way merge: repeatedly emit the earliest head in scanEntry order.
+	// Each shard stream is itself ordered, so the merged sequence is the
+	// sequential scan's emission order exactly.
+	heads := make([]scanEntry, nshards)
+	live := make([]bool, nshards)
+	for i, sh := range shards {
+		if e, ok := <-sh.out; ok {
+			heads[i], live[i] = e, true
+		}
+	}
+	auth := pruneSnap{k: k, w: w, rho: rho}
+	var authWS Workspace
+	var out []Member
+	for i := 0; ; i++ {
+		if i%64 == 0 {
+			select {
+			case <-ctx.Done():
+				return nil, fmt.Errorf("skyband: retrieval cancelled: %w", ctx.Err())
+			default:
+			}
+		}
+		best := -1
+		for s := range heads {
+			if live[s] && (best < 0 || heads[s].Less(heads[best])) {
+				best = s
+			}
+		}
+		if best < 0 {
+			return out, nil
+		}
+		e := heads[best]
+		if next, ok := <-shards[best].out; ok {
+			heads[best] = next
+		} else {
+			live[best] = false
+		}
+		if auth.prune(e.pt, &authWS) {
+			continue
+		}
+		auth.recs = append(auth.recs, e.pt)
+		out = append(out, Member{ID: e.id, Point: e.pt})
+		if len(auth.recs)%32 == 0 {
+			// Publish the grown record prefix for worker pre-pruning. The
+			// published slice header pins the prefix length; later appends
+			// only ever write past it, so readers race with nothing.
+			published := auth
+			snap.Store(&published)
+		}
+	}
+}

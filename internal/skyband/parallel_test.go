@@ -1,0 +1,111 @@
+package skyband
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ordu/internal/geom"
+	"ordu/internal/rtree"
+)
+
+// TestKSkybandParallelByteIdentical requires the sharded frontier to emit
+// exactly the sequential member sequence — ids, points and order — on
+// tie-heavy quantized datasets, across worker counts that exercise the
+// round-robin sharding (fewer, equal, and more shards than root children).
+func TestKSkybandParallelByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for _, cfg := range []struct{ n, d, levels, k int }{
+		{400, 2, 8, 1},
+		{1500, 3, 6, 2},
+		{900, 4, 4, 3},
+		{2500, 5, 16, 4},
+	} {
+		pts := tiePoints(rng, cfg.n, cfg.d, cfg.levels)
+		tree := rtree.BulkLoad(pts)
+		want := KSkyband(tree, cfg.k)
+		for _, workers := range []int{2, 3, 7, 64} {
+			got := KSkybandParallel(tree, cfg.k, workers)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d d=%d k=%d workers=%d: %d members vs sequential %d",
+					cfg.n, cfg.d, cfg.k, workers, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].ID != want[i].ID || !got[i].Point.Equal(want[i].Point) {
+					t.Fatalf("n=%d d=%d k=%d workers=%d member %d: (%d,%v) vs sequential (%d,%v)",
+						cfg.n, cfg.d, cfg.k, workers, i, got[i].ID, got[i].Point, want[i].ID, want[i].Point)
+				}
+			}
+		}
+	}
+}
+
+// TestRhoSkybandParallelByteIdentical repeats the byte-identity check for
+// the rho-dominance pruner, whose QP mindist calls are what the per-worker
+// workspaces exist for.
+func TestRhoSkybandParallelByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	pts := tiePoints(rng, 1100, 3, 12)
+	tree := rtree.BulkLoad(pts)
+	w := geom.Vector{0.5, 0.3, 0.2}
+	for _, rho := range []float64{0.05, 0.2} {
+		rho := rho
+		t.Run(fmt.Sprintf("rho=%v", rho), func(t *testing.T) {
+			want := RhoSkyband(tree, w, 3, rho)
+			for _, workers := range []int{2, 4} {
+				got := RhoSkybandParallel(tree, w, 3, rho, workers)
+				if len(got) != len(want) {
+					t.Fatalf("workers=%d: %d members vs sequential %d", workers, len(got), len(want))
+				}
+				for i := range got {
+					if got[i].ID != want[i].ID || !got[i].Point.Equal(want[i].Point) {
+						t.Fatalf("workers=%d member %d: (%d,%v) vs sequential (%d,%v)",
+							workers, i, got[i].ID, got[i].Point, want[i].ID, want[i].Point)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelSmallTreeFallback covers the degenerate shapes the sharding
+// cannot split: empty tree, root leaf, and single worker.
+func TestParallelSmallTreeFallback(t *testing.T) {
+	if got := KSkybandParallel(rtree.BulkLoad(nil), 2, 4); len(got) != 0 {
+		t.Fatalf("empty tree: %d members", len(got))
+	}
+	rng := rand.New(rand.NewSource(97))
+	pts := tiePoints(rng, 9, 2, 8) // fits one leaf: root is level 0
+	tree := rtree.BulkLoad(pts)
+	want := KSkyband(tree, 2)
+	for _, workers := range []int{1, 4} {
+		got := KSkybandParallel(tree, 2, workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d members vs sequential %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ID != want[i].ID {
+				t.Fatalf("workers=%d member %d: id %d vs %d", workers, i, got[i].ID, want[i].ID)
+			}
+		}
+	}
+}
+
+// TestParallelCancelled verifies the merge goroutine honours context
+// cancellation and that the worker teardown path (done channel) does not
+// leak or deadlock.
+func TestParallelCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	pts := tiePoints(rng, 3000, 3, 32)
+	tree := rtree.BulkLoad(pts)
+	w := geom.Vector{0.4, 0.35, 0.25}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := KSkybandParallelCtx(ctx, tree, w, 2, 4); err == nil {
+		t.Fatal("cancelled context: expected error")
+	}
+	if _, err := RhoSkybandParallelCtx(ctx, tree, w, 2, 0.1, 4); err == nil {
+		t.Fatal("cancelled context: expected error")
+	}
+}

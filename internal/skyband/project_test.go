@@ -1,0 +1,103 @@
+package skyband
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ordu/internal/geom"
+	"ordu/internal/qp"
+)
+
+// qpProject is the general-solver reference for projectTieSimplex: the exact
+// problem MindistWS's fallback used before the specialized active set.
+func qpProject(w, a geom.Vector) (float64, bool) {
+	d := len(w)
+	var ws qp.Workspace
+	var pr qp.Problem
+	pr.P = w
+	pr.EqA = [][]float64{geom.SimplexOnes(d), a}
+	pr.EqB = []float64{1, 0}
+	pr.InA = geom.SimplexAxes(d)
+	pr.InB = geom.SimplexZeros(d)
+	_, dist, err := ws.Solve(&pr)
+	return dist, err == nil
+}
+
+// TestProjectTieSimplexMatchesQP cross-validates the specialized projection
+// against the general Goldfarb-Idnani solver on randomized instances across
+// dimensions, including heavy-tie quantized coordinates.
+func TestProjectTieSimplexMatchesQP(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	var ws Workspace
+	for trial := 0; trial < 5000; trial++ {
+		d := 2 + rng.Intn(6)
+		w := make(geom.Vector, d)
+		sum := 0.0
+		for i := range w {
+			w[i] = rng.Float64() + 1e-3
+			sum += w[i]
+		}
+		for i := range w {
+			w[i] /= sum
+		}
+		a := make(geom.Vector, d)
+		pos, neg := false, false
+		for i := range a {
+			if trial%3 == 0 {
+				a[i] = float64(rng.Intn(7)-3) / 4 // quantized: exact ties and zeros
+			} else {
+				a[i] = rng.NormFloat64()
+			}
+			pos = pos || a[i] > 0
+			neg = neg || a[i] < 0
+		}
+		if !pos || !neg {
+			continue // infeasible instances are screened out before projection
+		}
+		got, ok := projectTieSimplex(w, a, &ws)
+		if !ok {
+			continue // fallback path; correctness covered by the QP solver
+		}
+		want, wok := qpProject(w, a)
+		if !wok {
+			t.Fatalf("trial %d: QP infeasible on mixed-sign a=%v", trial, a)
+		}
+		if math.Abs(got-want) > 1e-8*(1+want) {
+			t.Fatalf("trial %d: projectTieSimplex=%.12g qp=%.12g (w=%v a=%v)", trial, got, want, w, a)
+		}
+	}
+}
+
+// TestProjectTieSimplexNoFallback pins that the specialized projection
+// actually handles the overwhelming share of feasible instances itself —
+// the speedup depends on the general solver staying cold.
+func TestProjectTieSimplexNoFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	var ws Workspace
+	total, solved := 0, 0
+	for trial := 0; trial < 3000; trial++ {
+		d := 2 + rng.Intn(6)
+		w := make(geom.Vector, d)
+		for i := range w {
+			w[i] = rng.Float64() + 1e-3
+		}
+		a := make(geom.Vector, d)
+		pos, neg := false, false
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			pos = pos || a[i] > 0
+			neg = neg || a[i] < 0
+		}
+		if !pos || !neg {
+			continue
+		}
+		total++
+		if _, ok := projectTieSimplex(w, a, &ws); ok {
+			solved++
+		}
+	}
+	if solved*100 < total*99 {
+		t.Fatalf("active set solved %d/%d (<99%%)", solved, total)
+	}
+}

@@ -20,19 +20,41 @@ type scanEntry struct {
 	score float64
 	sum   float64 // coordinate sum; breaks score ties so that a dominating
 	// record is always popped before the record it dominates
-	node *rtree.Node // nil for records
+	node rtree.NodeRef // NilNode for records
 	id   int
 	pt   geom.Vector // record point, or node top corner
 	seq  uint64
 }
 
 // Less orders the scan max-heap: higher score first, larger coordinate sum
-// on ties (typed xheap element, no per-push boxing).
+// on ties (typed xheap element, no per-push boxing). The remaining keys —
+// lexicographically larger point, then nodes before records, then smaller
+// id — extend the comparison to a strict total order on records, so the
+// emission sequence of a scan is a property of the dataset alone, not of
+// heap internals. That is what lets the sharded parallel frontier
+// (parallel.go) merge per-subtree streams back into the exact sequential
+// order: a node always sorts no later than anything in its subtree (its
+// top corner weakly dominates every descendant point), so each shard's
+// record stream is already emitted in this total order.
 func (e scanEntry) Less(o scanEntry) bool {
 	if e.score != o.score { //ordlint:allow floatcmp — tie-break on stored keys
 		return e.score > o.score
 	}
-	return e.sum > o.sum
+	if e.sum != o.sum { //ordlint:allow floatcmp — tie-break on stored keys
+		return e.sum > o.sum
+	}
+	for j := range e.pt {
+		if e.pt[j] != o.pt[j] { //ordlint:allow floatcmp — tie-break on stored keys
+			return e.pt[j] > o.pt[j]
+		}
+	}
+	if (e.node == rtree.NilNode) != (o.node == rtree.NilNode) {
+		// A node whose top corner coincides with a record's point must be
+		// expanded first, so the record emission sequence never runs ahead
+		// of an unexpanded subtree with an equal bound.
+		return o.node == rtree.NilNode
+	}
+	return e.id < o.id
 }
 
 // Scanner is the paper's amended BBS (Sections 4.2, 5.3.2): it visits index
@@ -42,6 +64,7 @@ func (e scanEntry) Less(o scanEntry) bool {
 // dominate (or rho-dominate, for any rho) one emitted earlier, which is the
 // property BBS's correctness rests on.
 type Scanner struct {
+	tree    *rtree.Tree
 	w       geom.Vector
 	h       xheap.Heap[scanEntry]
 	seq     uint64
@@ -55,20 +78,12 @@ type Scanner struct {
 
 // NewScanner starts a scan of tree in decreasing score order for w.
 func NewScanner(tree *rtree.Tree, w geom.Vector) *Scanner {
-	s := &Scanner{w: w}
-	if root := tree.Root(); root != nil {
-		top := rootRect(root)
-		s.pushNode(root, top)
+	s := &Scanner{tree: tree, w: w}
+	if root := tree.Root(); root != rtree.NilNode {
+		b, _ := tree.Bounds()
+		s.pushNode(root, b.TopCorner())
 	}
 	return s
-}
-
-func rootRect(n *rtree.Node) geom.Vector {
-	r := n.Entries[0].Rect.Clone()
-	for _, e := range n.Entries[1:] {
-		r.Extend(e.Rect)
-	}
-	return r.TopCorner()
 }
 
 func (s *Scanner) push(e scanEntry) {
@@ -80,12 +95,12 @@ func (s *Scanner) push(e scanEntry) {
 	}
 }
 
-func (s *Scanner) pushNode(n *rtree.Node, top geom.Vector) {
+func (s *Scanner) pushNode(n rtree.NodeRef, top geom.Vector) {
 	s.push(scanEntry{score: s.w.Dot(top), sum: top.Sum(), node: n, pt: top})
 }
 
 func (s *Scanner) pushRecord(id int, p geom.Vector) {
-	s.push(scanEntry{score: s.w.Dot(p), sum: p.Sum(), id: id, pt: p})
+	s.push(scanEntry{score: s.w.Dot(p), sum: p.Sum(), node: rtree.NilNode, id: id, pt: p})
 }
 
 // Next returns the next surviving record in decreasing score order. The
@@ -103,14 +118,18 @@ func (s *Scanner) Next(pruner Pruner) (id int, p geom.Vector, ok bool) {
 		if pruner != nil && pruner.Prune(e.pt) {
 			continue
 		}
-		if e.node == nil {
+		if e.node == rtree.NilNode {
 			return e.id, e.pt, true
 		}
-		for _, ent := range e.node.Entries {
-			if e.node.Level == 0 {
-				s.pushRecord(ent.ID, geom.Vector(ent.Rect.Lo))
-			} else {
-				s.pushNode(ent.Child, ent.Rect.TopCorner())
+		t := s.tree
+		cnt := t.Count(e.node)
+		if t.Level(e.node) == 0 {
+			for i := 0; i < cnt; i++ {
+				s.pushRecord(t.LeafID(e.node, i), t.LeafPoint(e.node, i))
+			}
+		} else {
+			for i := 0; i < cnt; i++ {
+				s.pushNode(t.Child(e.node, i), t.ChildHi(e.node, i))
 			}
 		}
 	}

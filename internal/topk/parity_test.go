@@ -1,0 +1,96 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+
+	"ordu/internal/geom"
+	"ordu/internal/rtree"
+	"ordu/internal/rtree/legacy"
+	"ordu/internal/xheap"
+)
+
+// oracleEntry mirrors entry over the legacy pointer tree with the same
+// score key and the same heap implementation, so the pre-flat-layout BBR
+// serves as the ordering oracle for Searcher.TopK.
+type oracleEntry struct {
+	score float64
+	node  *legacy.Node
+	id    int
+	pt    geom.Vector
+}
+
+func (e oracleEntry) Less(o oracleEntry) bool { return e.score > o.score }
+
+func oracleTopK(tree *legacy.Tree, w geom.Vector, k int) []Result {
+	root := tree.Root()
+	if root == nil || k <= 0 {
+		return nil
+	}
+	var h xheap.Heap[oracleEntry]
+	d := len(root.Entries[0].Rect.Hi)
+	top := make(geom.Vector, d)
+	copy(top, root.Entries[0].Rect.Hi)
+	for _, e := range root.Entries[1:] {
+		for j, v := range e.Rect.Hi {
+			if v > top[j] {
+				top[j] = v
+			}
+		}
+	}
+	h.Push(oracleEntry{score: w.Dot(top), node: root, pt: top})
+	var out []Result
+	for h.Len() > 0 && len(out) < k {
+		e := h.Pop()
+		if e.node == nil {
+			out = append(out, Result{ID: e.id, Point: e.pt, Score: e.score})
+			continue
+		}
+		for _, ent := range e.node.Entries {
+			if e.node.Level == 0 {
+				p := geom.Vector(ent.Rect.Lo)
+				h.Push(oracleEntry{score: w.Dot(p), id: ent.ID, pt: p})
+			} else {
+				t := ent.Rect.TopCorner()
+				h.Push(oracleEntry{score: w.Dot(t), node: ent.Child, pt: t})
+			}
+		}
+	}
+	return out
+}
+
+// TestTopKParityVsLegacy compares flat-tree TopK against the legacy-tree
+// oracle on randomized datasets with quantized coordinates (frequent exact
+// score ties): identical ids, points and scores, in identical order.
+func TestTopKParityVsLegacy(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for _, cfg := range []struct{ n, d int }{{500, 2}, {2000, 3}, {1200, 4}} {
+		pts := make([]geom.Vector, cfg.n)
+		for i := range pts {
+			p := make(geom.Vector, cfg.d)
+			for j := range p {
+				p[j] = float64(rng.Intn(12)) / 11
+			}
+			pts[i] = p
+		}
+		ft := rtree.BulkLoad(pts)
+		lt := legacy.BulkLoad(pts)
+		w := make(geom.Vector, cfg.d)
+		for i := range w {
+			w[i] = rng.Float64() + 0.05
+		}
+		for _, k := range []int{1, 10, 100, cfg.n + 5} {
+			got := TopK(ft, w, k)
+			want := oracleTopK(lt, w, k)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d d=%d k=%d: %d results vs legacy %d", cfg.n, cfg.d, k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].ID != want[i].ID || got[i].Score != want[i].Score || !got[i].Point.Equal(want[i].Point) { //ordlint:allow floatcmp — parity demands identical floats
+					t.Fatalf("n=%d d=%d k=%d result %d: (%d,%v) vs legacy (%d,%v)",
+						cfg.n, cfg.d, k, i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+				}
+			}
+		}
+	}
+}

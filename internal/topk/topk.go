@@ -21,7 +21,7 @@ type Result struct {
 
 type entry struct {
 	score float64
-	node  *rtree.Node
+	node  rtree.NodeRef // NilNode for records
 	id    int
 	pt    geom.Vector
 }
@@ -47,20 +47,28 @@ type Searcher struct {
 //ordlint:noalloc
 func (s *Searcher) TopK(tree *rtree.Tree, w geom.Vector, k int) []Result {
 	root := tree.Root()
-	if root == nil || k <= 0 {
+	if root == rtree.NilNode || k <= 0 {
 		return nil
 	}
 	s.h.Reset()
 	// Upper corner of the root region, built in the searcher's scratch
-	// (Rect.Clone here would put two slices on the heap per query).
-	d := len(root.Entries[0].Rect.Hi)
+	// (tree.Bounds here would put two slices on the heap per query).
+	d := tree.Dim()
 	if cap(s.rootHi) < d {
 		s.rootHi = make(geom.Vector, d)
 	}
 	top := s.rootHi[:d]
-	copy(top, root.Entries[0].Rect.Hi)
-	for _, e := range root.Entries[1:] {
-		for j, v := range e.Rect.Hi {
+	rootLeaf := tree.Level(root) == 0
+	for i, cnt := 0, tree.Count(root); i < cnt; i++ {
+		hi := tree.LeafPoint(root, i)
+		if !rootLeaf {
+			hi = tree.ChildHi(root, i)
+		}
+		if i == 0 {
+			copy(top, hi)
+			continue
+		}
+		for j, v := range hi {
 			if v > top[j] {
 				top[j] = v
 			}
@@ -70,17 +78,20 @@ func (s *Searcher) TopK(tree *rtree.Tree, w geom.Vector, k int) []Result {
 	out := s.out[:0]
 	for s.h.Len() > 0 && len(out) < k {
 		e := s.h.Pop()
-		if e.node == nil {
+		if e.node == rtree.NilNode {
 			out = append(out, Result{ID: e.id, Point: e.pt, Score: e.score})
 			continue
 		}
-		for _, ent := range e.node.Entries {
-			if e.node.Level == 0 {
-				p := geom.Vector(ent.Rect.Lo)
-				s.h.Push(entry{score: w.Dot(p), id: ent.ID, pt: p})
-			} else {
-				t := ent.Rect.TopCorner()
-				s.h.Push(entry{score: w.Dot(t), node: ent.Child, pt: t})
+		cnt := tree.Count(e.node)
+		if tree.Level(e.node) == 0 {
+			for i := 0; i < cnt; i++ {
+				p := tree.LeafPoint(e.node, i)
+				s.h.Push(entry{score: w.Dot(p), node: rtree.NilNode, id: tree.LeafID(e.node, i), pt: p})
+			}
+		} else {
+			for i := 0; i < cnt; i++ {
+				t := tree.ChildHi(e.node, i)
+				s.h.Push(entry{score: w.Dot(t), node: tree.Child(e.node, i), pt: t})
 			}
 		}
 	}
