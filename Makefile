@@ -1,20 +1,36 @@
 GO ?= go
 
-.PHONY: all build lint test race cover bench benchdiff fuzz serve experiments examples clean
+.PHONY: all build lint lint-budget test race cover bench benchdiff fuzz serve experiments examples clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 
-# Project-specific static analysis, all sixteen checks: the syntactic suite
+# Project-specific static analysis, all twenty checks: the syntactic suite
 # (floatcmp, ctxpoll, senterr, nopanic, printguard), the CFG/dataflow suite
-# (wsescape, goroutinecap, poolpair, noalloc), and the interprocedural suite
-# (ctxflow, deepnoalloc, lockhold, maporder, borrowck, lockmode, atomicmix);
-# exits non-zero on any finding. This target is the single lint invocation:
-# `make test` and CI both go through it.
+# (wsescape, goroutinecap, poolpair, noalloc), the interprocedural suite
+# (ctxflow, deepnoalloc, lockhold, maporder, borrowck, lockmode, atomicmix),
+# and the concurrency suite (chanprotocol, wgbalance, atomicpub,
+# sharedwrite); exits non-zero on any finding. This target is the single
+# lint invocation: `make test` and CI both go through it.
 lint:
 	$(GO) run ./cmd/ordlint ./...
+
+# Lint wall-time budget: the suite must finish within LINT_BUDGET seconds.
+# The full 20-check run takes ~4.3s locally (dominated by type-checking the
+# stdlib closure from source); the default budget is 2x that plus headroom
+# for slower CI runners. A blown budget means a check went super-linear —
+# catch it here, not by watching CI get slower release by release.
+LINT_BUDGET ?= 20
+lint-budget:
+	@start=$$(date +%s); \
+	$(GO) run ./cmd/ordlint ./... || exit $$?; \
+	end=$$(date +%s); elapsed=$$((end - start)); \
+	echo "ordlint ./... took $${elapsed}s (budget $(LINT_BUDGET)s)"; \
+	if [ $$elapsed -gt $(LINT_BUDGET) ]; then \
+		echo "lint wall time $${elapsed}s exceeds budget $(LINT_BUDGET)s" >&2; exit 1; \
+	fi
 
 test: lint
 	$(GO) vet ./...

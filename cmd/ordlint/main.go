@@ -55,7 +55,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	suite := analysis.NewSuite(cfg)
 	if *list {
 		for _, a := range suite.Analyzers {
-			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-13s %-12s %s\n", a.Name, a.Layer, a.Doc)
 		}
 		return 0
 	}
@@ -138,7 +138,9 @@ type jsonFinding struct {
 }
 
 // emitStats writes the interprocedural layer's statistics as NDJSON: one
-// "graph" record, one "summaries" record with aggregate counts, and one
+// "graph" record, one "summaries" record with aggregate counts, one
+// "concurrency" record with spawn-site and channel/WaitGroup/atomic op
+// totals followed by a "spawn" record per go statement, and one
 // "unreachable" record per function no configured entry point reaches — the
 // input for dead-weight review and for tracking the server cone's growth
 // over time in CI artifacts.
@@ -184,6 +186,48 @@ func emitStats(w io.Writer, cfg analysis.Config, pkgs []*analysis.Package) error
 		"may_panic": counts["may_panic"],
 	}); err != nil {
 		return err
+	}
+
+	// Concurrency layer: one aggregate record, then one record per spawn
+	// site — the same facts the chanprotocol/wgbalance/sharedwrite checks
+	// verify, so a new goroutine shows up in the CI artifact diff.
+	conc := analysis.ComputeConcFacts(g)
+	chanOps, wgOps, atomicOps := 0, 0, 0
+	for _, s := range conc {
+		chanOps += len(s.Chans)
+		wgOps += len(s.WGs)
+		atomicOps += len(s.Atomics)
+	}
+	type spawnRec struct{ caller, callee string }
+	var spawns []spawnRec
+	for _, n := range g.Nodes {
+		for _, e := range analysis.Spawns(n) {
+			spawns = append(spawns, spawnRec{n.Name, e.Callee.Name})
+		}
+	}
+	sort.Slice(spawns, func(i, j int) bool {
+		if spawns[i].caller != spawns[j].caller {
+			return spawns[i].caller < spawns[j].caller
+		}
+		return spawns[i].callee < spawns[j].callee
+	})
+	if err := enc.Encode(map[string]interface{}{
+		"kind":        "concurrency",
+		"spawn_sites": len(spawns),
+		"chan_ops":    chanOps,
+		"wg_ops":      wgOps,
+		"atomic_ops":  atomicOps,
+	}); err != nil {
+		return err
+	}
+	for _, s := range spawns {
+		if err := enc.Encode(map[string]interface{}{
+			"kind":   "spawn",
+			"caller": s.caller,
+			"callee": s.callee,
+		}); err != nil {
+			return err
+		}
 	}
 
 	reach := g.ReachableFrom(func(n *analysis.FuncNode) bool {

@@ -1,27 +1,103 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
+
+	"ordu/internal/analysis"
 )
 
-// TestListChecks pins that -list names every check in suite order.
+// suiteRows returns the default suite's (name, layer) pairs in order — the
+// source of truth the -list table and the README check table must match.
+func suiteRows(t *testing.T) [][2]string {
+	t.Helper()
+	_, modPath, err := analysis.FindModule(".")
+	if err != nil {
+		t.Fatalf("FindModule: %v", err)
+	}
+	var rows [][2]string
+	for _, a := range analysis.NewSuite(analysis.DefaultConfig(modPath)).Analyzers {
+		rows = append(rows, [2]string{a.Name, a.Layer})
+	}
+	return rows
+}
+
+// TestListChecks pins the -list table: one line per analyzer in suite
+// order, each carrying the check name, its layer, and a one-line doc.
 func TestListChecks(t *testing.T) {
 	var out, errw bytes.Buffer
 	if code := run([]string{"-list"}, &out, &errw); code != 0 {
 		t.Fatalf("run(-list) = %d, stderr: %s", code, errw.String())
 	}
-	for _, name := range []string{
-		"floatcmp", "ctxpoll", "senterr", "nopanic", "printguard",
-		"wsescape", "goroutinecap", "poolpair", "noalloc",
-		"ctxflow", "deepnoalloc", "lockhold", "maporder",
-		"borrowck", "lockmode", "atomicmix",
-	} {
-		if !strings.Contains(out.String(), name) {
-			t.Errorf("-list output is missing check %q", name)
+	rows := suiteRows(t)
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != len(rows) {
+		t.Fatalf("-list printed %d lines, suite has %d analyzers:\n%s", len(lines), len(rows), out.String())
+	}
+	lineRE := regexp.MustCompile(`^(\S+)\s+(\S+)\s+\S.*$`)
+	for i, line := range lines {
+		m := lineRE.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("-list line %d is not 'name layer doc': %q", i+1, line)
+			continue
 		}
+		if m[1] != rows[i][0] || m[2] != rows[i][1] {
+			t.Errorf("-list line %d = (%s, %s), suite row is (%s, %s)", i+1, m[1], m[2], rows[i][0], rows[i][1])
+		}
+	}
+}
+
+// TestReadmeCheckTable asserts the README's check table documents exactly
+// the default suite, in suite order: adding, renaming or reordering an
+// analyzer without updating the README fails here.
+func TestReadmeCheckTable(t *testing.T) {
+	root, _, err := analysis.FindModule(".")
+	if err != nil {
+		t.Fatalf("FindModule: %v", err)
+	}
+	f, err := os.Open(filepath.Join(root, "README.md"))
+	if err != nil {
+		t.Fatalf("open README: %v", err)
+	}
+	defer f.Close()
+
+	rowRE := regexp.MustCompile("^\\| `([a-z]+)` \\|")
+	var names []string
+	inTable := false
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "| Check |"):
+			inTable = true
+		case inTable && strings.HasPrefix(line, "| ---"):
+			// separator row
+		case inTable:
+			m := rowRE.FindStringSubmatch(line)
+			if m == nil {
+				inTable = false
+				continue
+			}
+			names = append(names, m[1])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan README: %v", err)
+	}
+
+	var want []string
+	for _, row := range suiteRows(t) {
+		want = append(want, row[0])
+	}
+	if got, wantJoined := strings.Join(names, " "), strings.Join(want, " "); got != wantJoined {
+		t.Errorf("README check table rows = %q,\nwant suite order %q", got, wantJoined)
 	}
 }
 
@@ -86,7 +162,7 @@ func TestStatsNDJSON(t *testing.T) {
 	if code := run([]string{"-stats", "./internal/linalg"}, &out, &errw); code != 0 {
 		t.Fatalf("run(-stats) = %d, stderr: %s", code, errw.String())
 	}
-	var graphs, summaries, unreachable int
+	var graphs, summaries, concurrency, unreachable int
 	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
 		var rec map[string]interface{}
 		if err := json.Unmarshal([]byte(line), &rec); err != nil {
@@ -103,6 +179,14 @@ func TestStatsNDJSON(t *testing.T) {
 			if n, _ := rec["functions"].(float64); n < 1 {
 				t.Errorf("summaries record reports %v functions", rec["functions"])
 			}
+		case "concurrency":
+			concurrency++
+			// linalg spawns nothing; the aggregate record still appears.
+			if n, _ := rec["spawn_sites"].(float64); n != 0 {
+				t.Errorf("concurrency record reports %v spawn sites in linalg", rec["spawn_sites"])
+			}
+		case "spawn":
+			t.Errorf("spawn record %v in linalg, which starts no goroutines", rec)
 		case "unreachable":
 			unreachable++
 			if name, _ := rec["func"].(string); !strings.Contains(name, "linalg.") {
@@ -112,10 +196,40 @@ func TestStatsNDJSON(t *testing.T) {
 			t.Errorf("unexpected record kind %v", rec["kind"])
 		}
 	}
-	if graphs != 1 || summaries != 1 {
-		t.Errorf("got %d graph and %d summaries records, want 1 and 1", graphs, summaries)
+	if graphs != 1 || summaries != 1 || concurrency != 1 {
+		t.Errorf("got %d graph, %d summaries, %d concurrency records, want 1 each", graphs, summaries, concurrency)
 	}
 	if unreachable == 0 {
 		t.Error("no unreachable records: linalg is outside the server entry cone")
+	}
+}
+
+// TestStatsSpawns pins the spawn records over a package that does start
+// goroutines: the skyband merge spawning its shard workers.
+func TestStatsSpawns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the full module plus its stdlib closure")
+	}
+	var out, errw bytes.Buffer
+	if code := run([]string{"-stats", "./internal/skyband"}, &out, &errw); code != 0 {
+		t.Fatalf("run(-stats) = %d, stderr: %s", code, errw.String())
+	}
+	found := false
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		var rec map[string]interface{}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %q is not JSON: %v", line, err)
+		}
+		if rec["kind"] != "spawn" {
+			continue
+		}
+		caller, _ := rec["caller"].(string)
+		callee, _ := rec["callee"].(string)
+		if strings.HasSuffix(caller, "skyband.scanParallel") && strings.HasSuffix(callee, "shardScan.run") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no spawn record for scanParallel -> shardScan.run; the concurrency stats lost the parallel frontier")
 	}
 }

@@ -64,7 +64,13 @@ type Pass struct {
 type Analyzer struct {
 	Name string
 	Doc  string
-	Run  func(*Pass)
+	// Layer places the check in the suite's architecture: "syntactic"
+	// (single-file AST walks), "cfg" (intraprocedural dataflow),
+	// "interproc" (call-graph + summaries) or "concurrency" (spawn-edge
+	// protocols). cmd/ordlint -list prints it and the README table test
+	// keeps the docs in sync with it.
+	Layer string
+	Run   func(*Pass)
 }
 
 // Suite is an ordered set of analyzers plus the shared configuration that
@@ -88,6 +94,7 @@ func (s *Suite) Run(pkgs []*Package) []Diagnostic {
 	facts.Graph = BuildCallGraph(pkgs)
 	facts.Summaries = ComputeSummaries(facts.Graph, pkgs)
 	facts.Borrows = ComputeBorrowFacts(facts.Graph, s.fresh)
+	facts.Conc = ComputeConcFacts(facts.Graph)
 	for _, pkg := range pkgs {
 		allow := collectAllows(pkg)
 		fset := pkg.Fset

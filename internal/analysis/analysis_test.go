@@ -16,6 +16,7 @@ var fixtureNames = []string{
 	"wsescape", "goroutinecap", "poolpair", "noalloc",
 	"ctxflow", "deepnoalloc", "lockhold", "maporder",
 	"borrowck", "lockmode", "atomicmix",
+	"chanprotocol", "wgbalance", "atomicpub", "sharedwrite",
 }
 
 // fixtureConfig scopes the suite to the fixture package so path-based checks
@@ -85,6 +86,10 @@ func fixtureConfig(name string) Config {
 		}
 	case "atomicmix":
 		return Config{} // module-wide fact collection; no scoping needed
+	case "chanprotocol", "wgbalance", "sharedwrite":
+		return Config{ConcPackages: map[string]bool{name: true}}
+	case "atomicpub":
+		return Config{} // unscoped: the publication contract holds everywhere
 	}
 	return Config{}
 }

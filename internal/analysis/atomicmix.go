@@ -20,8 +20,9 @@ import (
 // an atomic increment in one package poisons plain access in every other.
 func NewAtomicmix() *Analyzer {
 	a := &Analyzer{
-		Name: "atomicmix",
-		Doc:  "a variable accessed via sync/atomic anywhere must never be read or written plainly elsewhere",
+		Name:  "atomicmix",
+		Doc:   "a variable accessed via sync/atomic anywhere must never be read or written plainly elsewhere",
+		Layer: "interproc",
 	}
 	a.Run = func(pass *Pass) {
 		vars := pass.Facts.atomicVars

@@ -28,8 +28,9 @@ import (
 // object's own storage into that object is ownership, not escape.
 func NewBorrowck(sinks map[string]string, fresh map[string]bool) *Analyzer {
 	a := &Analyzer{
-		Name: "borrowck",
-		Doc:  "borrows of lock-scoped storage (//ordlint:borrows) must not outlive the lock region: no undeclared returns, outliving stores, channel sends, goroutine captures, sink calls, or uses after unlock",
+		Name:  "borrowck",
+		Doc:   "borrows of lock-scoped storage (//ordlint:borrows) must not outlive the lock region: no undeclared returns, outliving stores, channel sends, goroutine captures, sink calls, or uses after unlock",
+		Layer: "interproc",
 	}
 	a.Run = func(pass *Pass) {
 		g, facts := pass.Facts.Graph, pass.Facts.Borrows

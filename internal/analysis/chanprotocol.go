@@ -1,0 +1,264 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ordu/internal/analysis/cfg"
+)
+
+// NewChanprotocol verifies the channel protocols of the scoped packages'
+// spawn edges: every channel operation a spawned goroutine performs must
+// have a reachable counterpart on the spawner's side (or in a sibling
+// goroutine) or a select escape the spawner can trigger — otherwise the
+// goroutine blocks forever and leaks. A range over a channel demands a
+// reachable close, the only thing that terminates it. Within each function
+// a may-closed CFG dataflow flags double-close and send-on-possibly-closed.
+//
+// Channels are matched by class (terminal field/variable name, see
+// concurrency.go); operations whose operand chain bottoms out in a call
+// ("<-ctx.Done()") have class "" and are exempt.
+func NewChanprotocol(packages map[string]bool) *Analyzer {
+	a := &Analyzer{
+		Name:  "chanprotocol",
+		Doc:   "spawned goroutines' channel sends/receives need a reachable counterpart or select escape; ranges need a reachable close; no double-close or send-on-closed paths",
+		Layer: "concurrency",
+	}
+	a.Run = func(pass *Pass) {
+		if !packages[pass.PkgPath] {
+			return
+		}
+		g, conc := pass.Facts.Graph, pass.Facts.Conc
+		if g == nil || conc == nil {
+			return
+		}
+		for _, n := range g.Nodes {
+			if n.Pkg.Path != pass.PkgPath || n.Body() == nil {
+				continue
+			}
+			checkClosePaths(pass, n)
+			for _, e := range Spawns(n) {
+				checkSpawnProtocol(pass, e, conc)
+			}
+		}
+	}
+	return a
+}
+
+// chanKey identifies one channel within a function: the root object when
+// the chain resolves, plus the class name to separate fields of one root.
+type chanKey struct {
+	root  types.Object
+	class string
+}
+
+// checkClosePaths runs the may-closed dataflow of one function body:
+// a close makes the channel may-closed on every path out of it; a second
+// close or a send on a may-closed channel is a runtime panic on that path.
+// Deferred closes run at function exit and are checked separately (two
+// deferred closes of one channel, or a deferred close over an inline one,
+// still double-close).
+func checkClosePaths(pass *Pass, n *FuncNode) {
+	s := pass.Facts.Conc[n]
+	if s == nil {
+		return
+	}
+	// Deferred close bookkeeping first: it needs no flow analysis.
+	deferredClose := map[chanKey]token.Pos{}
+	inlineClose := map[chanKey]bool{}
+	for _, op := range s.Chans {
+		if op.Kind != ChanClose || op.Class == "" {
+			continue
+		}
+		k := chanKey{op.Root, op.Class}
+		if op.Deferred {
+			if _, dup := deferredClose[k]; dup {
+				pass.Report(op.Pos, "channel %q is closed by two deferred calls; the second close panics at function exit", op.Class)
+				continue
+			}
+			deferredClose[k] = op.Pos
+		} else {
+			inlineClose[k] = true
+		}
+	}
+	for k := range inlineClose {
+		if pos, ok := deferredClose[k]; ok {
+			pass.Report(pos, "channel %q has both an inline and a deferred close; the deferred close double-closes at function exit", k.class)
+		}
+	}
+
+	info := n.Pkg.Info
+	graph := cfg.New(n.Body())
+	// events per block: inline close and send ops in execution order.
+	type cpEvent struct {
+		close bool
+		key   chanKey
+		pos   token.Pos
+	}
+	events := make([][]cpEvent, len(graph.Blocks))
+	for _, b := range graph.Blocks {
+		for _, nd := range b.Nodes {
+			inspectShallow(nd, func(x ast.Node) bool {
+				switch x := x.(type) {
+				case *ast.DeferStmt, *ast.GoStmt:
+					// Deferred ops run at exit; go-statement ops run on the
+					// spawned goroutine's schedule, not on this path.
+					_ = x
+					return false
+				case *ast.SendStmt:
+					if c := chanClass(x.Chan); c != "" {
+						events[b.Index] = append(events[b.Index], cpEvent{
+							key: chanKey{rootObj(info, x.Chan), c}, pos: x.Pos(),
+						})
+					}
+				case *ast.CallExpr:
+					if bi, ok := calleeObject(info, x).(*types.Builtin); ok && bi.Name() == "close" && len(x.Args) == 1 {
+						if c := chanClass(x.Args[0]); c != "" {
+							events[b.Index] = append(events[b.Index], cpEvent{
+								close: true,
+								key:   chanKey{rootObj(info, x.Args[0]), c}, pos: x.Pos(),
+							})
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	// Forward may-analysis to fixed point: in[b] = union of out[preds].
+	out := make([]map[chanKey]bool, len(graph.Blocks))
+	in := make([]map[chanKey]bool, len(graph.Blocks))
+	for i := range out {
+		out[i] = map[chanKey]bool{}
+		in[i] = map[chanKey]bool{}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range graph.Blocks {
+			cur := in[b.Index]
+			next := make(map[chanKey]bool, len(cur))
+			for k := range cur {
+				next[k] = true
+			}
+			for _, ev := range events[b.Index] {
+				if ev.close {
+					next[ev.key] = true
+				}
+			}
+			for k := range next {
+				if !out[b.Index][k] {
+					out[b.Index][k] = true
+					changed = true
+				}
+			}
+			for _, succ := range b.Succs {
+				for k := range out[b.Index] {
+					if !in[succ.Index][k] {
+						in[succ.Index][k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	// Report pass: replay each block's events over its stable in-state.
+	for _, b := range graph.Blocks {
+		state := make(map[chanKey]bool, len(in[b.Index]))
+		for k := range in[b.Index] {
+			state[k] = true
+		}
+		for _, ev := range events[b.Index] {
+			if ev.close {
+				if state[ev.key] {
+					pass.Report(ev.pos, "channel %q may already be closed on a path reaching this close; double close panics", ev.key.class)
+				}
+				state[ev.key] = true
+			} else if state[ev.key] {
+				pass.Report(ev.pos, "send on channel %q which may be closed on a path reaching this send; send on closed channel panics", ev.key.class)
+			}
+		}
+	}
+}
+
+// checkSpawnProtocol matches the channel operations of one spawned
+// goroutine's call cone against the counterpart operations available in the
+// spawner's cone and in sibling goroutines spawned from it.
+func checkSpawnProtocol(pass *Pass, e *CallEdge, conc map[*FuncNode]*ConcSummary) {
+	gcone := ConcCone(e.Callee, conc)
+	// Counterparts: the spawner's own cone plus every *other* goroutine it
+	// (or its callees) spawn — a pipeline's downstream drain counts.
+	counter := ConcCone(e.Caller, conc)
+	seen := map[*FuncNode]bool{e.Callee: true}
+	for _, m := range reachableCalls(e.Caller) {
+		for _, se := range Spawns(m) {
+			if se.Callee != e.Callee && !seen[se.Callee] {
+				seen[se.Callee] = true
+				sib := ConcCone(se.Callee, conc)
+				counter.Chans = append(counter.Chans, sib.Chans...)
+			}
+		}
+	}
+	has := func(class string, kinds ...ChanOpKind) bool {
+		for _, op := range counter.Chans {
+			if op.Class != class {
+				continue
+			}
+			for _, k := range kinds {
+				if op.Kind == k {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	escapeOK := func(op ChanOp) bool {
+		if op.NonBlocking {
+			return true
+		}
+		for _, esc := range op.Escapes {
+			if has(esc, ChanClose, ChanSend) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, op := range gcone.Chans {
+		if op.Class == "" {
+			continue
+		}
+		switch op.Kind {
+		case ChanSend:
+			if !has(op.Class, ChanRecv, ChanRange) && !escapeOK(op) {
+				pass.Report(e.Pos, "goroutine %s sends on %q but the spawner side never receives and the send has no select escape; the goroutine can block forever", e.Callee.Name, op.Class)
+			}
+		case ChanRecv:
+			if !has(op.Class, ChanSend, ChanClose) && !escapeOK(op) {
+				pass.Report(e.Pos, "goroutine %s receives on %q but the spawner side never sends or closes it; the goroutine can block forever", e.Callee.Name, op.Class)
+			}
+		case ChanRange:
+			if !has(op.Class, ChanClose) {
+				pass.Report(e.Pos, "goroutine %s ranges over %q but the spawner side never closes it; the range never terminates", e.Callee.Name, op.Class)
+			}
+		}
+	}
+}
+
+// reachableCalls returns n plus every node reachable from it through
+// direct call and defer edges — the activation's own call cone. Interface
+// and dynamic edges are deliberately excluded: CHA resolves them to every
+// compatible address-taken function, far too coarse for protocol matching.
+func reachableCalls(n *FuncNode) []*FuncNode {
+	seen := map[*FuncNode]bool{n: true}
+	out := []*FuncNode{n}
+	for i := 0; i < len(out); i++ {
+		for _, e := range out[i].Out {
+			if (e.Kind == EdgeCall || e.Kind == EdgeDefer) && !seen[e.Callee] {
+				seen[e.Callee] = true
+				out = append(out, e.Callee)
+			}
+		}
+	}
+	return out
+}

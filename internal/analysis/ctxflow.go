@@ -23,8 +23,9 @@ import (
 // printed so the report explains *why* the loop is entry-reachable.
 func NewCtxflow(entryPackages, entryFuncs, scanCalls map[string]bool) *Analyzer {
 	a := &Analyzer{
-		Name: "ctxflow",
-		Doc:  "potentially-unbounded loops reachable from server handlers or facade entry points must be cancellable through the actual call chain",
+		Name:  "ctxflow",
+		Doc:   "potentially-unbounded loops reachable from server handlers or facade entry points must be cancellable through the actual call chain",
+		Layer: "interproc",
 	}
 	// The reachability front is a property of the whole analyzed set;
 	// cache it per Facts (Suite.Run is sequential over packages).

@@ -17,8 +17,9 @@ import (
 // schedule.
 func NewCtxpoll(packages, scanCalls map[string]bool) *Analyzer {
 	a := &Analyzer{
-		Name: "ctxpoll",
-		Doc:  "flag scan-advancing loops in the scoped packages that never poll their context",
+		Name:  "ctxpoll",
+		Doc:   "flag scan-advancing loops in the scoped packages that never poll their context",
+		Layer: "syntactic",
 	}
 	a.Run = func(pass *Pass) {
 		if !packages[pass.PkgPath] {

@@ -24,8 +24,9 @@ import (
 // the dynamic AllocsPerRun gates prove allocation-free.
 func NewDeepnoalloc(externAllowed, amortized map[string]bool) *Analyzer {
 	a := &Analyzer{
-		Name: "deepnoalloc",
-		Doc:  "//ordlint:noalloc kernels must not reach an allocating callee through any call chain",
+		Name:  "deepnoalloc",
+		Doc:   "//ordlint:noalloc kernels must not reach an allocating callee through any call chain",
+		Layer: "interproc",
 	}
 	a.Run = func(pass *Pass) {
 		g, sums := pass.Facts.Graph, pass.Facts.Summaries

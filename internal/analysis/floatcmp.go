@@ -16,8 +16,9 @@ import (
 // keys).
 func NewFloatcmp(approved map[string]bool) *Analyzer {
 	a := &Analyzer{
-		Name: "floatcmp",
-		Doc:  "flag ==, != and switch on floating-point expressions outside approved epsilon helpers",
+		Name:  "floatcmp",
+		Doc:   "flag ==, != and switch on floating-point expressions outside approved epsilon helpers",
+		Layer: "syntactic",
 	}
 	a.Run = func(pass *Pass) {
 		check := func(owner string, root ast.Node) {

@@ -19,8 +19,9 @@ import (
 // per-worker slice (wss[i]) both carry an index or loop-local root.
 func NewGoroutinecap(pkgs map[string]bool, pooled map[string]bool, wsPkg func(pkgPath string) bool) *Analyzer {
 	a := &Analyzer{
-		Name: "goroutinecap",
-		Doc:  "goroutines must not share non-synchronized workspaces, builders, or pooled nodes; use per-worker slots or per-iteration arguments",
+		Name:  "goroutinecap",
+		Doc:   "goroutines must not share non-synchronized workspaces, builders, or pooled nodes; use per-worker slots or per-iteration arguments",
+		Layer: "cfg",
 	}
 	a.Run = func(pass *Pass) {
 		if !pkgs[pass.PkgPath] {

@@ -27,8 +27,9 @@ import (
 // reported as a self-deadlock.
 func NewLockhold(packages map[string]bool) *Analyzer {
 	a := &Analyzer{
-		Name: "lockhold",
-		Doc:  "a mutex may not be held across channel ops or calls that may block (per interprocedural summary)",
+		Name:  "lockhold",
+		Doc:   "a mutex may not be held across channel ops or calls that may block (per interprocedural summary)",
+		Layer: "interproc",
 	}
 	a.Run = func(pass *Pass) {
 		if !packages[pass.PkgPath] {

@@ -27,8 +27,9 @@ import (
 // LockModePure (reads of construction-immutable state) are exempt.
 func NewLockmode(packages, guarded, fresh, pure map[string]bool) *Analyzer {
 	a := &Analyzer{
-		Name: "lockmode",
-		Doc:  "RWMutex mode discipline: writers on guarded types need the write lock, readers the read lock; no RLock→Lock upgrades or mode-mismatched unlocks",
+		Name:  "lockmode",
+		Doc:   "RWMutex mode discipline: writers on guarded types need the write lock, readers the read lock; no RLock→Lock upgrades or mode-mismatched unlocks",
+		Layer: "interproc",
 	}
 	a.Run = func(pass *Pass) {
 		if !packages[pass.PkgPath] {

@@ -18,8 +18,9 @@ import (
 // by `sort.Ints(ids)`), which re-establishes a canonical order.
 func NewMaporder(packages map[string]bool) *Analyzer {
 	a := &Analyzer{
-		Name: "maporder",
-		Doc:  "appends inside map-range iteration feed randomized order into results unless the destination is sorted afterwards",
+		Name:  "maporder",
+		Doc:   "appends inside map-range iteration feed randomized order into results unless the destination is sorted afterwards",
+		Layer: "interproc",
 	}
 	a.Run = func(pass *Pass) {
 		if !packages[pass.PkgPath] {

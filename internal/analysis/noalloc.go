@@ -18,8 +18,9 @@ import (
 // dynamic testing.AllocsPerRun gates measure as zero after warm-up.
 func NewNoalloc(wsPkg func(pkgPath string) bool) *Analyzer {
 	a := &Analyzer{
-		Name: "noalloc",
-		Doc:  "functions annotated //ordlint:noalloc must be free of allocation sites (growth-guarded warm-up is exempt)",
+		Name:  "noalloc",
+		Doc:   "functions annotated //ordlint:noalloc must be free of allocation sites (growth-guarded warm-up is exempt)",
+		Layer: "cfg",
 	}
 	a.Run = func(pass *Pass) {
 		for _, f := range pass.Files {

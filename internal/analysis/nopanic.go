@@ -15,8 +15,9 @@ import (
 // an `//ordlint:allow nopanic — reason` annotation.
 func NewNopanic(include func(pkgPath string) bool) *Analyzer {
 	a := &Analyzer{
-		Name: "nopanic",
-		Doc:  "flag panic/log.Fatal/os.Exit in library packages outside init-time validation",
+		Name:  "nopanic",
+		Doc:   "flag panic/log.Fatal/os.Exit in library packages outside init-time validation",
+		Layer: "syntactic",
 	}
 	fatal := map[string]map[string]bool{
 		"os":  {"Exit": true},

@@ -28,6 +28,10 @@ type Facts struct {
 	// Borrows holds the borrow/writer facts of the lock-discipline checks
 	// (borrowck, lockmode), computed over Graph after Summaries.
 	Borrows map[*FuncNode]*BorrowInfo
+	// Conc holds the per-function concurrency summaries (channel ops,
+	// WaitGroup deltas, atomic publish/load sites) behind the concurrency
+	// layer (chanprotocol, wgbalance, atomicpub, sharedwrite).
+	Conc map[*FuncNode]*ConcSummary
 	// atomicVars maps every variable (field or package var) whose address
 	// feeds a sync/atomic function anywhere in the module to the position
 	// of one such use, rendered for diagnostics. atomicmix flags plain

@@ -25,8 +25,9 @@ type PoolPair struct {
 // graphs, so early returns, loops, and panics are all accounted for.
 func NewPoolpair(pairs []PoolPair) *Analyzer {
 	a := &Analyzer{
-		Name: "poolpair",
-		Doc:  "every pool/free-list Get needs a Put on all paths; no double-Put; no use after Put",
+		Name:  "poolpair",
+		Doc:   "every pool/free-list Get needs a Put on all paths; no double-Put; no use after Put",
+		Layer: "cfg",
 	}
 	a.Run = func(pass *Pass) {
 		if len(pairs) == 0 {

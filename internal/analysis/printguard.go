@@ -13,8 +13,9 @@ import (
 // print/println.
 func NewPrintguard(include func(pkgPath string) bool) *Analyzer {
 	a := &Analyzer{
-		Name: "printguard",
-		Doc:  "flag fmt.Print* and builtin print/println in library packages",
+		Name:  "printguard",
+		Doc:   "flag fmt.Print* and builtin print/println in library packages",
+		Layer: "syntactic",
 	}
 	fmtFuncs := map[string]bool{"Print": true, "Printf": true, "Println": true}
 	a.Run = func(pass *Pass) {

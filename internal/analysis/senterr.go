@@ -16,8 +16,9 @@ import (
 // to go/defer, or assigned to the blank identifier.
 func NewSenterr(include func(pkgPath string) bool) *Analyzer {
 	a := &Analyzer{
-		Name: "senterr",
-		Doc:  "flag discarded error results from functions of sentinel-error packages",
+		Name:  "senterr",
+		Doc:   "flag discarded error results from functions of sentinel-error packages",
+		Layer: "syntactic",
 	}
 	sentinelPkg := make(map[*types.Package]bool)
 	declares := func(pkg *types.Package) bool {

@@ -1,0 +1,430 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ordu/internal/analysis/cfg"
+)
+
+// NewSharedwrite is a lightweight static race check over literal spawn
+// edges in the scoped packages: a variable captured by a spawned function
+// literal and *written* on one side of the spawn while the other side
+// accesses it needs a happens-before edge. The edges the check recognizes
+// when scanning the spawner's post-spawn paths are the ones the rest of the
+// suite verifies: a Wait on a WaitGroup class the goroutine Dones, and a
+// receive/range on a channel class the goroutine sends or closes — beyond
+// such a join point the spawner's accesses are ordered after the goroutine.
+// Synchronization state itself (channels, sync.* and sync/atomic values) is
+// exempt, as are per-slot writes (an index containing a goroutine-local
+// variable, the workers-write-disjoint-slots idiom goroutinecap audits) and
+// spawn pairs where both sides acquire a common mutex class.
+//
+// Goroutine-side accesses are the literal's direct captured uses (nested
+// literals included); writes hidden behind method calls are the lock-mode
+// checks' territory. Method-valued spawns (go sh.run()) are covered by the
+// chanprotocol/wgbalance layer instead: their receiver is almost always a
+// per-iteration shard whose fields are goroutine-private by construction.
+func NewSharedwrite(packages map[string]bool) *Analyzer {
+	a := &Analyzer{
+		Name:  "sharedwrite",
+		Doc:   "variables written on one side of a spawn edge and accessed on the other need a lock/channel/WaitGroup/atomic happens-before edge",
+		Layer: "concurrency",
+	}
+	a.Run = func(pass *Pass) {
+		if !packages[pass.PkgPath] {
+			return
+		}
+		g, conc := pass.Facts.Graph, pass.Facts.Conc
+		if g == nil || conc == nil {
+			return
+		}
+		for _, n := range g.Nodes {
+			if n.Pkg.Path != pass.PkgPath || n.Body() == nil {
+				continue
+			}
+			for _, e := range Spawns(n) {
+				if e.Callee.Lit != nil {
+					checkSharedWrite(pass, n, e, conc)
+				}
+			}
+		}
+	}
+	return a
+}
+
+// swAccess is one access to a captured variable: root object plus the
+// field selector closest to the root ("" for bare or indexed access, which
+// matches any field).
+type swAccess struct {
+	obj     types.Object
+	field   string
+	write   bool
+	perSlot bool // indexed by a goroutine-local variable: disjoint slots
+	pos     token.Pos
+}
+
+func (a swAccess) matches(b swAccess) bool {
+	return a.obj == b.obj && (a.field == "" || b.field == "" || a.field == b.field)
+}
+
+func (a swAccess) name() string {
+	if a.field != "" {
+		return a.obj.Name() + "." + a.field
+	}
+	return a.obj.Name()
+}
+
+// isSyncObj exempts synchronization state: channels, sync.* and
+// sync/atomic values (directly or behind a pointer).
+func isSyncObj(o types.Object) bool {
+	t := o.Type()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+		switch named.Obj().Pkg().Path() {
+		case "sync", "sync/atomic", "context":
+			return true
+		}
+	}
+	return false
+}
+
+// firstField walks an lhs/operand chain to the root, returning the
+// selector closest to the root and whether any index along the way uses a
+// variable declared inside span (the per-slot idiom).
+func firstField(info *types.Info, e ast.Expr, span [2]token.Pos) (field string, perSlot bool) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return field, perSlot
+		case *ast.SelectorExpr:
+			field = x.Sel.Name
+			e = x.X
+		case *ast.IndexExpr:
+			field = ""
+			ast.Inspect(x.Index, func(nd ast.Node) bool {
+				if id, ok := nd.(*ast.Ident); ok {
+					if o := info.Uses[id]; o != nil && o.Pos() >= span[0] && o.Pos() < span[1] {
+						perSlot = true
+					}
+				}
+				return true
+			})
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return field, perSlot
+			}
+			e = x.X
+		default:
+			return field, perSlot
+		}
+	}
+}
+
+// collectAccessesIn gathers the captured-variable accesses of one AST
+// fragment. outer decides whether an object counts as captured; span is
+// the goroutine-local extent for the per-slot exemption (zero span when
+// collecting on the spawner side). deep walks nested literals too (they
+// run on the same goroutine as the enclosing literal).
+func collectAccessesIn(info *types.Info, frag ast.Node, outer func(types.Object) bool, span [2]token.Pos, deep bool) []swAccess {
+	var out []swAccess
+	var lhsSpans [][2]token.Pos
+	record := func(lhs ast.Expr) {
+		lhsSpans = append(lhsSpans, [2]token.Pos{lhs.Pos(), lhs.End()})
+		o := rootObj(info, lhs)
+		if o == nil || !outer(o) || isSyncObj(o) {
+			return
+		}
+		field, perSlot := firstField(info, lhs, span)
+		out = append(out, swAccess{obj: o, field: field, write: true, perSlot: perSlot, pos: lhs.Pos()})
+	}
+	visit := func(nd ast.Node) bool {
+		switch x := nd.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				record(lhs)
+			}
+		case *ast.IncDecStmt:
+			record(x.X)
+		case *ast.Ident:
+			v, ok := info.Uses[x].(*types.Var)
+			if !ok || v.IsField() || !outer(v) || isSyncObj(v) {
+				return true
+			}
+			for _, sp := range lhsSpans {
+				if x.Pos() >= sp[0] && x.Pos() < sp[1] {
+					return true // already accounted as (part of) a write
+				}
+			}
+			out = append(out, swAccess{obj: v, pos: x.Pos()})
+		}
+		return true
+	}
+	if deep {
+		ast.Inspect(frag, visit)
+	} else {
+		inspectShallow(frag, visit)
+	}
+	return out
+}
+
+// lockClassesOf collects the mutex classes a node's call cone acquires.
+func lockClassesOf(n *FuncNode) map[string]bool {
+	out := map[string]bool{}
+	for _, m := range reachableCalls(n) {
+		body := m.Body()
+		if body == nil || m.Pkg.Info == nil {
+			continue
+		}
+		inspectShallow(body, func(nd ast.Node) bool {
+			call, ok := nd.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, tn := range [2]string{"Mutex", "RWMutex"} {
+				if name, recv, ok := syncMethodCall(m.Pkg.Info, call, "sync", tn); ok {
+					if name == "Lock" || name == "RLock" {
+						if c := chanClass(recv); c != "" {
+							out[c] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func checkSharedWrite(pass *Pass, n *FuncNode, e *CallEdge, conc map[*FuncNode]*ConcSummary) {
+	info := n.Pkg.Info
+	lit := e.Callee.Lit
+	litSpan := [2]token.Pos{lit.Pos(), lit.End()}
+	outer := func(o types.Object) bool {
+		return o.Pos() < litSpan[0] || o.Pos() >= litSpan[1]
+	}
+
+	// Common-mutex suppression: when both the goroutine and the spawner
+	// acquire a shared lock class, the lockmode/lockhold layer owns the
+	// discipline and this check stays quiet.
+	gLocks := lockClassesOf(e.Callee)
+	if len(gLocks) > 0 {
+		for c := range lockClassesOf(n) {
+			if gLocks[c] {
+				return
+			}
+		}
+	}
+
+	gAcc := collectAccessesIn(info, lit.Body, outer, litSpan, true)
+
+	// Join classes: beyond a Wait on a class the goroutine Dones, or a
+	// recv/range on a class the goroutine sends or closes, the spawner is
+	// ordered after the goroutine.
+	gcone := ConcCone(e.Callee, conc)
+	doneClasses, chanClasses := map[string]bool{}, map[string]bool{}
+	for _, op := range gcone.WGs {
+		if op.Kind == WGDone && op.Class != "" {
+			doneClasses[op.Class] = true
+		}
+	}
+	for _, op := range gcone.Chans {
+		if (op.Kind == ChanSend || op.Kind == ChanClose) && op.Class != "" {
+			chanClasses[op.Class] = true
+		}
+	}
+	sAcc := spawnerAccessesAfter(info, n, e, doneClasses, chanClasses)
+
+	reported := map[token.Pos]bool{}
+	report := func(at swAccess, other swAccess, goroutineWrote bool) {
+		if reported[at.pos] {
+			return
+		}
+		reported[at.pos] = true
+		spawnLine := pass.Fset.Position(e.Pos).Line
+		if goroutineWrote {
+			pass.Report(at.pos, "%s is written by the goroutine spawned at line %d and accessed here without a happens-before edge (lock, channel, WaitGroup, or atomic)", other.name(), spawnLine)
+		} else {
+			pass.Report(at.pos, "%s is accessed by the goroutine spawned at line %d and written here without a happens-before edge (lock, channel, WaitGroup, or atomic)", other.name(), spawnLine)
+		}
+	}
+	for _, ga := range gAcc {
+		if ga.perSlot {
+			continue
+		}
+		for _, sa := range sAcc {
+			if !ga.matches(sa) || (!ga.write && !sa.write) || sa.perSlot {
+				continue
+			}
+			if ga.write {
+				report(sa, ga, true)
+			} else {
+				report(sa, ga, false)
+			}
+		}
+	}
+
+	// Loop fan-out: a spawn inside a loop runs one goroutine per
+	// iteration; a captured loop-invariant variable written by the literal
+	// is written by all of them concurrently.
+	loopSpan, inLoop := enclosingLoop(n.Body(), e.Pos)
+	if inLoop {
+		seen := map[string]bool{}
+		for _, ga := range gAcc {
+			if !ga.write || ga.perSlot || seen[ga.name()] {
+				continue
+			}
+			if ga.obj.Pos() >= loopSpan[0] && ga.obj.Pos() < loopSpan[1] {
+				continue // per-iteration variable: each goroutine gets its own
+			}
+			seen[ga.name()] = true
+			pass.Report(e.Pos, "%s is written by every goroutine spawned in this loop; concurrent goroutines race on it", ga.name())
+		}
+	}
+}
+
+// enclosingLoop returns the span of the innermost for/range statement
+// containing pos.
+func enclosingLoop(body *ast.BlockStmt, pos token.Pos) ([2]token.Pos, bool) {
+	var best [2]token.Pos
+	found := false
+	inspectShallow(body, func(nd ast.Node) bool {
+		switch nd.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			if pos >= nd.Pos() && pos < nd.End() {
+				if !found || nd.Pos() > best[0] {
+					best = [2]token.Pos{nd.Pos(), nd.End()}
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return best, found
+}
+
+// spawnerAccessesAfter walks the spawner's CFG from the spawn site and
+// collects captured-variable accesses on every path until a join point
+// (Wait on doneClasses, recv/range on chanClasses) orders the spawner
+// after the goroutine.
+func spawnerAccessesAfter(info *types.Info, n *FuncNode, e *CallEdge, doneClasses, chanClasses map[string]bool) []swAccess {
+	graph := cfg.New(n.Body())
+	spawnBlk, spawnIdx := -1, -1
+	for _, b := range graph.Blocks {
+		for i, nd := range b.Nodes {
+			if g, ok := nd.(*ast.GoStmt); ok && e.Pos >= g.Pos() && e.Pos < g.End() {
+				spawnBlk, spawnIdx = b.Index, i
+			}
+		}
+	}
+	if spawnBlk < 0 {
+		return nil
+	}
+	anyone := func(types.Object) bool { return true }
+	noSpan := [2]token.Pos{token.NoPos, token.NoPos}
+
+	isBarrier := func(nd ast.Node) bool {
+		barrier := false
+		inspectShallow(nd, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.CallExpr:
+				if name, recv, ok := syncMethodCall(info, x, "sync", "WaitGroup"); ok && name == "Wait" {
+					if doneClasses[chanClass(recv)] {
+						barrier = true
+					}
+				}
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW && chanClasses[chanClass(x.X)] {
+					barrier = true
+				}
+			case *ast.RangeStmt:
+				if chanClasses[chanClass(x.X)] {
+					barrier = true
+				}
+			}
+			return !barrier
+		})
+		return barrier
+	}
+
+	var out []swAccess
+	nodeAccesses := func(nd ast.Node) {
+		switch x := nd.(type) {
+		case *ast.GoStmt, *ast.DeferStmt:
+			// Another goroutine's work, or exit-time cleanup that in this
+			// module runs after the joins; neither is a post-spawn access
+			// on this path.
+			return
+		case *ast.RangeStmt:
+			// The CFG stores the whole range statement in the loop head;
+			// only the per-iteration key/value writes and the ranged
+			// expression belong to the head. Body statements sit in their
+			// own blocks.
+			for _, kv := range []ast.Expr{x.Key, x.Value} {
+				if kv == nil {
+					continue
+				}
+				if o := rootObj(info, kv); o != nil && !isSyncObj(o) {
+					field, _ := firstField(info, kv, noSpan)
+					out = append(out, swAccess{obj: o, field: field, write: true, pos: kv.Pos()})
+				}
+			}
+			out = append(out, collectAccessesIn(info, x.X, anyone, noSpan, false)...)
+		default:
+			out = append(out, collectAccessesIn(info, nd, anyone, noSpan, false)...)
+		}
+	}
+
+	// Worklist from the spawn statement onward; the spawn block itself
+	// re-enters from index 0 if it sits on a loop. A barrier stops the
+	// current path without blocking sibling paths.
+	visited := map[int]bool{}
+	var stack []int
+	b := graph.Blocks[spawnBlk]
+	blocked := false
+	for i := spawnIdx + 1; i < len(b.Nodes); i++ {
+		if isBarrier(b.Nodes[i]) {
+			blocked = true
+			break
+		}
+		nodeAccesses(b.Nodes[i])
+	}
+	if !blocked {
+		for _, s := range b.Succs {
+			stack = append(stack, s.Index)
+		}
+	}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if visited[blk] {
+			continue
+		}
+		visited[blk] = true
+		cur := graph.Blocks[blk]
+		blocked = false
+		for _, nd := range cur.Nodes {
+			if isBarrier(nd) {
+				blocked = true
+				break
+			}
+			nodeAccesses(nd)
+		}
+		if blocked {
+			continue
+		}
+		for _, s := range cur.Succs {
+			stack = append(stack, s.Index)
+		}
+	}
+	return out
+}

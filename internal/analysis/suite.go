@@ -72,6 +72,10 @@ type Config struct {
 	// LockModePure are qualified methods on guarded types that read only
 	// construction-immutable state and may run without the lock.
 	LockModePure map[string]bool
+	// ConcPackages are the packages whose spawn edges the concurrency
+	// layer (chanprotocol, wgbalance, sharedwrite) verifies. atomicpub
+	// runs everywhere, like atomicmix.
+	ConcPackages map[string]bool
 }
 
 // DefaultConfig is the configuration `cmd/ordlint` enforces on this module:
@@ -114,7 +118,13 @@ type Config struct {
 //     (construction-immutable) and the dataset constructors yield fresh
 //     unpublished objects;
 //   - atomicmix runs everywhere; the module's counters are typed atomics,
-//     so the check guards against regressions to address-based mixing.
+//     so the check guards against regressions to address-based mixing;
+//   - the concurrency layer (chanprotocol, wgbalance, sharedwrite) covers
+//     every package that spawns goroutines today — the parallel frontier
+//     (skyband), the preprocessing explorer (core), the query server and
+//     the live collection it guards, plus the load generator and daemon
+//     commands; atomicpub, like atomicmix, runs everywhere because a
+//     published snapshot is a module-wide contract.
 func DefaultConfig(modulePath string) Config {
 	internal := func(pkgPath string) bool {
 		return strings.HasPrefix(pkgPath, modulePath+"/internal/")
@@ -200,6 +210,14 @@ func DefaultConfig(modulePath string) Config {
 		LockModePure: map[string]bool{
 			modulePath + ".Dataset.Dim": true,
 		},
+		ConcPackages: map[string]bool{
+			modulePath + "/internal/core":       true,
+			modulePath + "/internal/skyband":    true,
+			modulePath + "/internal/server":     true,
+			modulePath + "/internal/collection": true,
+			modulePath + "/cmd/ordload":         true,
+			modulePath + "/cmd/ordud":           true,
+		},
 	}
 }
 
@@ -233,5 +251,9 @@ func NewSuite(cfg Config) *Suite {
 		NewBorrowck(cfg.BorrowSinks, cfg.FreshFuncs),
 		NewLockmode(cfg.LockModePackages, cfg.GuardedTypes, cfg.FreshFuncs, cfg.LockModePure),
 		NewAtomicmix(),
+		NewChanprotocol(cfg.ConcPackages),
+		NewWgbalance(cfg.ConcPackages),
+		NewAtomicpub(),
+		NewSharedwrite(cfg.ConcPackages),
 	}}
 }

@@ -1,0 +1,97 @@
+// Package sharedwrite exercises the spawn-edge race check: a captured
+// variable written on one side of a go statement and accessed on the other
+// needs a happens-before edge (lock, channel, WaitGroup, or atomic) between
+// the two sides.
+package sharedwrite
+
+import "sync"
+
+// leakyCounter reads total while the goroutine is still adding to it; the
+// read races and usually observes zero.
+func leakyCounter(xs []int) int {
+	total := 0
+	go func() {
+		for _, x := range xs {
+			total += x
+		}
+	}()
+	return total // want "total is written by the goroutine spawned at line \d+ and accessed here"
+}
+
+// writeAfterSpawn writes n while the goroutine reads it: both orders are
+// observable.
+func writeAfterSpawn() int {
+	n := 1
+	go func() {
+		_ = n
+	}()
+	n = 2 // want "n is accessed by the goroutine spawned at line \d+ and written here"
+	return n
+}
+
+// wgJoined is the blessed shape: Wait orders the spawner's read after the
+// goroutine's writes.
+func wgJoined(xs []int) int {
+	total := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, x := range xs {
+			total += x
+		}
+	}()
+	wg.Wait()
+	return total
+}
+
+// chanJoined orders through a channel: the receive happens after the close,
+// which happens after the write to res.
+func chanJoined() int {
+	res := 0
+	done := make(chan struct{})
+	go func() {
+		res = 1
+		close(done)
+	}()
+	<-done
+	return res
+}
+
+// loopRace spawns one goroutine per iteration, all incrementing the same
+// loop-invariant counter concurrently.
+func loopRace(n int) int {
+	hits := 0
+	for i := 0; i < n; i++ {
+		go func() { // want "hits is written by every goroutine spawned in this loop"
+			hits++
+		}()
+	}
+	return hits // want "hits is written by the goroutine spawned at line \d+ and accessed here"
+}
+
+// perSlot is the workers-write-disjoint-slots idiom: each goroutine owns
+// out[i] for its own i, and Wait joins before the slice is read.
+func perSlot(xs []int) []int {
+	out := make([]int, len(xs))
+	var wg sync.WaitGroup
+	for i := range xs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = xs[i] * 2
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// allowedPeek documents a deliberate racy read: the value is advisory.
+func allowedPeek(job func() int) int {
+	best := 0
+	go func() {
+		best = job()
+	}()
+	//ordlint:allow sharedwrite — racy progress peek; the value is advisory and a stale read is acceptable
+	return best
+}

@@ -1,0 +1,111 @@
+// Package wgbalance exercises the WaitGroup arithmetic check: Add/Done/Wait
+// must balance across a function's call cone and its spawn sites, Add must
+// precede the go statement it counts, and an inline Done must cover every
+// goroutine path.
+package wgbalance
+
+import "sync"
+
+func work() {}
+
+// addInsideGoroutine races: the spawner can reach Wait before the goroutine
+// has run its Add, observing the counter at zero.
+func addInsideGoroutine() {
+	var wg sync.WaitGroup
+	go func() { // want "calls Add on \"wg\" which the spawner Waits on"
+		wg.Add(1)
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// skipsDone leaks a count: the early-return path never reaches Done, so
+// Wait blocks forever when fail is set.
+func skipsDone(fail bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "skips wg.Done on some path"
+		if fail {
+			return
+		}
+		work()
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+// overcounted Adds two but only one goroutine ever Dones: Wait deadlocks.
+func overcounted() {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait() // want "net \+1 across this function's call cone; Wait deadlocks"
+}
+
+// undercounted Adds one but two goroutines Done: the counter goes negative.
+func undercounted() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait() // want "net -1 across this function's call cone; the counter goes negative and panics"
+}
+
+// addOutsideLoop counts one goroutine while the loop spawns n of them:
+// every iteration past the first is uncounted.
+func addOutsideLoop(n int) {
+	var wg sync.WaitGroup
+	wg.Add(1) // want "sits outside the loop that spawns one counted goroutine per iteration"
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// balancedLoop is the fixed shape: Add rides next to its go statement.
+func balancedLoop(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// prep registers one unit on behalf of its caller.
+func prep(wg *sync.WaitGroup) {
+	wg.Add(1)
+}
+
+// addsViaHelper balances interprocedurally: the Add lives in prep's body
+// but still counts toward this function's cone.
+func addsViaHelper() {
+	var wg sync.WaitGroup
+	prep(&wg)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// allowedImbalance documents a count settled outside the analyzable cone.
+func allowedImbalance() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	//ordlint:allow wgbalance — the matching Done is registered by a shutdown hook outside this call cone
+	wg.Wait()
+}

@@ -1,0 +1,270 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+
+	"ordu/internal/analysis/cfg"
+)
+
+// NewWgbalance verifies sync.WaitGroup arithmetic around the scoped
+// packages' spawn edges:
+//
+//   - Add inside the counted goroutine: a goroutine whose call cone calls
+//     Add on a class the spawner side Waits on races with that Wait (the
+//     counter can be observed at zero before the goroutine runs).
+//   - Done on every path: a spawned goroutine that calls Done inline (not
+//     deferred) must reach a Done on every CFG path to exit; a skipped
+//     Done deadlocks Wait forever.
+//   - Site balance: for a function that Waits on a class, the known
+//     per-site deltas across its call cone — constant Adds, direct Dones,
+//     and one guaranteed Done per spawned goroutine that Dones the class —
+//     must net to zero. Non-constant Adds or goroutine-side Adds make the
+//     class unknown and exempt.
+//   - Loop pairing: a single Add(1) outside a loop that spawns one counted
+//     goroutine per iteration undercounts every iteration but the first.
+//
+// Classes are terminal names (concurrency.go), so `wg`, `l.wg` and a
+// `*sync.WaitGroup` parameter named wg all match.
+func NewWgbalance(packages map[string]bool) *Analyzer {
+	a := &Analyzer{
+		Name:  "wgbalance",
+		Doc:   "WaitGroup Add/Done/Wait arithmetic must balance across spawn sites; no Add inside the counted goroutine; Done on every goroutine path",
+		Layer: "concurrency",
+	}
+	a.Run = func(pass *Pass) {
+		if !packages[pass.PkgPath] {
+			return
+		}
+		g, conc := pass.Facts.Graph, pass.Facts.Conc
+		if g == nil || conc == nil {
+			return
+		}
+		for _, n := range g.Nodes {
+			if n.Pkg.Path != pass.PkgPath || n.Body() == nil {
+				continue
+			}
+			checkWgFunction(pass, n, conc)
+		}
+	}
+	return a
+}
+
+// wgClassOps filters a summary's WaitGroup ops by kind.
+func wgHas(s *ConcSummary, kind WGOpKind, class string) bool {
+	for _, op := range s.WGs {
+		if op.Kind == kind && op.Class == class {
+			return true
+		}
+	}
+	return false
+}
+
+func checkWgFunction(pass *Pass, n *FuncNode, conc map[*FuncNode]*ConcSummary) {
+	cone := reachableCalls(n)
+
+	// Per-class site deltas over the cone: value is the net delta, with a
+	// presence-in-map-but-unknown state for poisoned classes.
+	delta := map[string]int{}
+	unknown := map[string]bool{}
+	waits := []WGOp{}
+	spawnDones := map[string]int{} // goroutines guaranteeing one Done per site
+
+	for _, m := range cone {
+		s := conc[m]
+		if s == nil {
+			continue
+		}
+		for _, op := range s.WGs {
+			if op.Class == "" {
+				unknown[op.Class] = true
+				continue
+			}
+			switch op.Kind {
+			case WGAdd:
+				if op.DeltaKnown {
+					delta[op.Class] += op.Delta
+				} else {
+					unknown[op.Class] = true
+				}
+			case WGDone:
+				delta[op.Class]--
+			case WGWait:
+				if m == n { // only this function's own Wait anchors the balance
+					waits = append(waits, op)
+				}
+			}
+		}
+		for _, e := range Spawns(m) {
+			gcone := ConcCone(e.Callee, conc)
+			seen := map[string]bool{}
+			for _, op := range gcone.WGs {
+				if op.Class == "" || seen[op.Class] {
+					continue
+				}
+				seen[op.Class] = true
+				switch op.Kind {
+				case WGAdd:
+					// Anti-pattern, reported below; balance is unknowable.
+					unknown[op.Class] = true
+				case WGDone:
+					delta[op.Class]--
+					spawnDones[op.Class]++
+				}
+			}
+		}
+	}
+
+	// Add inside the counted goroutine + Done-on-every-path, per spawn.
+	for _, e := range Spawns(n) {
+		gcone := ConcCone(e.Callee, conc)
+		flagged := map[string]bool{}
+		for _, op := range gcone.WGs {
+			if op.Kind != WGAdd || op.Class == "" || flagged[op.Class] {
+				continue
+			}
+			if coneWaits(n, op.Class, conc) {
+				flagged[op.Class] = true
+				pass.Report(e.Pos, "goroutine %s calls Add on %q which the spawner Waits on; Add inside the counted goroutine races with Wait — Add before the go statement", e.Callee.Name, op.Class)
+			}
+		}
+		checkDoneAllPaths(pass, e, conc)
+	}
+
+	// Site balance, anchored at this function's own Waits.
+	for _, w := range waits {
+		if unknown[w.Class] {
+			continue
+		}
+		if d, ok := delta[w.Class]; ok && d != 0 {
+			what := "Wait deadlocks"
+			if d < 0 {
+				what = "the counter goes negative and panics"
+			}
+			pass.Report(w.Pos, "WaitGroup %q Add/Done sites net %+d across this function's call cone; %s", w.Class, d, what)
+		}
+		checkLoopPairing(pass, n, w.Class, conc)
+	}
+}
+
+// coneWaits reports whether n's call cone Waits on class.
+func coneWaits(n *FuncNode, class string, conc map[*FuncNode]*ConcSummary) bool {
+	for _, m := range reachableCalls(n) {
+		if s := conc[m]; s != nil && wgHas(s, WGWait, class) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDoneAllPaths verifies that a spawned goroutine with an inline (not
+// deferred) Done reaches a Done on every CFG path to exit.
+func checkDoneAllPaths(pass *Pass, e *CallEdge, conc map[*FuncNode]*ConcSummary) {
+	s := conc[e.Callee]
+	if s == nil || e.Callee.Body() == nil {
+		return
+	}
+	byClass := map[string][]WGOp{}
+	for _, op := range s.WGs {
+		if op.Kind == WGDone && op.Class != "" {
+			byClass[op.Class] = append(byClass[op.Class], op)
+		}
+	}
+	for class, ops := range byClass {
+		deferred := false
+		for _, op := range ops {
+			if op.Deferred {
+				deferred = true
+			}
+		}
+		if deferred {
+			continue // a deferred Done covers every path
+		}
+		graph := cfg.New(e.Callee.Body())
+		covered := map[int]bool{}
+		for _, b := range graph.Blocks {
+			for _, nd := range b.Nodes {
+				for _, op := range ops {
+					if op.Pos >= nd.Pos() && op.Pos < nd.End() {
+						covered[b.Index] = true
+					}
+				}
+			}
+		}
+		// A path from entry to exit avoiding every Done block is a leak.
+		seen := map[int]bool{}
+		stack := []*cfg.Block{graph.Entry}
+		leak := false
+		for len(stack) > 0 && !leak {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[b.Index] || covered[b.Index] {
+				continue
+			}
+			seen[b.Index] = true
+			if b == graph.Exit {
+				leak = true
+			}
+			stack = append(stack, b.Succs...)
+		}
+		if leak {
+			pass.Report(e.Pos, "goroutine %s skips %s.Done on some path; a missed Done deadlocks Wait — use defer %s.Done()", e.Callee.Name, class, class)
+		}
+	}
+}
+
+// checkLoopPairing flags the Add(1)-outside-the-loop pattern: exactly one
+// constant Add of 1 at loop depth 0 while every counted goroutine is
+// spawned inside a loop.
+func checkLoopPairing(pass *Pass, n *FuncNode, class string, conc map[*FuncNode]*ConcSummary) {
+	s := conc[n]
+	if s == nil {
+		return
+	}
+	depthOf := loopDepths(n.Body())
+	var adds []WGOp
+	for _, op := range s.WGs {
+		if op.Kind == WGAdd && op.Class == class {
+			adds = append(adds, op)
+		}
+	}
+	if len(adds) != 1 || !adds[0].DeltaKnown || adds[0].Delta != 1 || depthOf(adds[0].Pos) != 0 {
+		return
+	}
+	spawns, inLoop := 0, 0
+	for _, e := range Spawns(n) {
+		gcone := ConcCone(e.Callee, conc)
+		if !wgHas(gcone, WGDone, class) {
+			continue
+		}
+		spawns++
+		if depthOf(e.Pos) > 0 {
+			inLoop++
+		}
+	}
+	if spawns > 0 && spawns == inLoop {
+		pass.Report(adds[0].Pos, "Add(1) on %q sits outside the loop that spawns one counted goroutine per iteration; move the Add next to the go statement", class)
+	}
+}
+
+// loopDepths returns a classifier for positions in body: the number of
+// enclosing for/range statements.
+func loopDepths(body *ast.BlockStmt) func(token.Pos) int {
+	var spans [][2]token.Pos
+	inspectShallow(body, func(nd ast.Node) bool {
+		switch nd.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			spans = append(spans, [2]token.Pos{nd.Pos(), nd.End()})
+		}
+		return true
+	})
+	return func(p token.Pos) int {
+		d := 0
+		for _, sp := range spans {
+			if p >= sp[0] && p < sp[1] {
+				d++
+			}
+		}
+		return d
+	}
+}

@@ -20,8 +20,9 @@ var wsEscapeDocRE = regexp.MustCompile(`(?i)alias|until|scratch|reus|shar|own|po
 // types ("not goroutine-safe") are always recognized.
 func NewWsescape(wsPkg func(pkgPath string) bool) *Analyzer {
 	a := &Analyzer{
-		Name: "wsescape",
-		Doc:  "workspace-backed memory must not escape: no undocumented returns, no stores into outliving objects, no channel sends",
+		Name:  "wsescape",
+		Doc:   "workspace-backed memory must not escape: no undocumented returns, no stores into outliving objects, no channel sends",
+		Layer: "cfg",
 	}
 	a.Run = func(pass *Pass) {
 		for _, f := range pass.Files {

@@ -1,0 +1,40 @@
+// Package leakcheck asserts that a function leaves no goroutines behind.
+// The parallel frontier's teardown contract (workers exit on the done
+// channel, the merge drains every out stream) is pinned statically by
+// ordlint's concurrency checks; this is the dynamic half, catching leaks
+// those approximations cannot see.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// settle polls runtime.NumGoroutine until it returns to at most base or the
+// deadline passes, giving exiting goroutines time to be reaped. It returns
+// the last observed count.
+func settle(base int, deadline time.Duration) int {
+	var n int
+	for start := time.Now(); ; {
+		n = runtime.NumGoroutine()
+		if n <= base || time.Since(start) > deadline {
+			return n
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Check runs fn and fails the test if the goroutine count has not settled
+// back to its starting value within two seconds. The count is a global, so
+// tests using Check must not run in parallel with tests that start
+// background goroutines of their own.
+func Check(t testing.TB, fn func()) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	fn()
+	if n := settle(base, 2*time.Second); n > base {
+		t.Errorf("goroutine leak: %d before, %d after (waited 2s)", base, n)
+	}
+}

@@ -1,0 +1,73 @@
+package skyband
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"ordu/internal/geom"
+	"ordu/internal/leakcheck"
+	"ordu/internal/rtree"
+)
+
+// TestParallelNoLeakOnCancel pins the teardown contract dynamically: an
+// early context cancellation must not strand shard workers. The merge's
+// deferred close(done) unblocks every worker select, and each worker's
+// deferred close(out) lets nothing linger — the static chanprotocol check
+// verifies the edges exist; this verifies they actually drain.
+func TestParallelNoLeakOnCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	pts := tiePoints(rng, 3000, 3, 32)
+	tree := rtree.BulkLoad(pts)
+	w := geom.Vector{0.4, 0.35, 0.25}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	leakcheck.Check(t, func() {
+		if _, err := KSkybandParallelCtx(ctx, tree, w, 2, 4); err == nil {
+			t.Fatal("cancelled context: expected error")
+		}
+	})
+	leakcheck.Check(t, func() {
+		if _, err := RhoSkybandParallelCtx(ctx, tree, w, 2, 0.1, 4); err == nil {
+			t.Fatal("cancelled context: expected error")
+		}
+	})
+}
+
+// TestParallelNoLeakOnCompletion covers the normal exit: after a full merge
+// every worker has been released (drained out streams or the done close).
+func TestParallelNoLeakOnCompletion(t *testing.T) {
+	rng := rand.New(rand.NewSource(127))
+	pts := tiePoints(rng, 1200, 3, 16)
+	tree := rtree.BulkLoad(pts)
+	w := geom.Vector{0.5, 0.3, 0.2}
+	leakcheck.Check(t, func() {
+		if got := KSkybandParallel(tree, 2, 4); len(got) == 0 {
+			t.Fatal("expected a non-empty skyband")
+		}
+	})
+	leakcheck.Check(t, func() {
+		if got := RhoSkybandParallel(tree, w, 2, 0.15, 4); len(got) == 0 {
+			t.Fatal("expected a non-empty rho-skyband")
+		}
+	})
+}
+
+// TestParallelNoLeakOnFallback covers the paths that never spawn: an empty
+// tree and the single-worker fallback both run sequentially, so the count
+// must be flat without any teardown protocol at all.
+func TestParallelNoLeakOnFallback(t *testing.T) {
+	leakcheck.Check(t, func() {
+		if got := KSkybandParallel(rtree.BulkLoad(nil), 2, 4); len(got) != 0 {
+			t.Fatalf("empty tree: %d members", len(got))
+		}
+	})
+	rng := rand.New(rand.NewSource(131))
+	pts := tiePoints(rng, 400, 2, 8)
+	tree := rtree.BulkLoad(pts)
+	leakcheck.Check(t, func() {
+		if got := KSkybandParallel(tree, 2, 1); len(got) == 0 {
+			t.Fatal("expected a non-empty skyband")
+		}
+	})
+}

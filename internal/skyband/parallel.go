@@ -220,6 +220,11 @@ func scanParallel(ctx context.Context, tree *rtree.Tree, w geom.Vector, k int, r
 		if auth.prune(e.pt, &authWS) {
 			continue
 		}
+		// The published copy shares auth.recs' backing array, but its slice
+		// header pins the length at publication time: this append writes
+		// only past that pinned prefix (or relocates into a fresh array),
+		// so concurrent snapshot readers never observe the write.
+		//ordlint:allow atomicpub — append-only past the published prefix; the snapshot's slice header freezes its visible length
 		auth.recs = append(auth.recs, e.pt)
 		out = append(out, Member{ID: e.id, Point: e.pt})
 		if len(auth.recs)%32 == 0 {
