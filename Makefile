@@ -7,19 +7,20 @@ all: build test
 build:
 	$(GO) build ./...
 
-# Project-specific static analysis, all twenty checks: the syntactic suite
-# (floatcmp, ctxpoll, senterr, nopanic, printguard), the CFG/dataflow suite
-# (wsescape, goroutinecap, poolpair, noalloc), the interprocedural suite
-# (ctxflow, deepnoalloc, lockhold, maporder, borrowck, lockmode, atomicmix),
-# and the concurrency suite (chanprotocol, wgbalance, atomicpub,
-# sharedwrite); exits non-zero on any finding. This target is the single
+# Project-specific static analysis, all twenty-four checks: the syntactic
+# suite (floatcmp, ctxpoll, senterr, nopanic, printguard), the CFG/dataflow
+# suite (wsescape, goroutinecap, poolpair, noalloc), the interprocedural
+# suite (ctxflow, deepnoalloc, lockhold, maporder, borrowck, lockmode,
+# atomicmix), the concurrency suite (chanprotocol, wgbalance, atomicpub,
+# sharedwrite), and the handle suite (handleprov, stridebound, genstale,
+# narrowcast); exits non-zero on any finding. This target is the single
 # lint invocation: `make test` and CI both go through it.
 lint:
 	$(GO) run ./cmd/ordlint ./...
 
 # Lint wall-time budget: the suite must finish within LINT_BUDGET seconds.
-# The full 20-check run takes ~4.3s locally (dominated by type-checking the
-# stdlib closure from source); the default budget is 2x that plus headroom
+# The full 24-check run takes ~5s locally (dominated by type-checking the
+# stdlib closure from source); the default budget is ~4x that plus headroom
 # for slower CI runners. A blown budget means a check went super-linear —
 # catch it here, not by watching CI get slower release by release.
 LINT_BUDGET ?= 20
@@ -60,6 +61,7 @@ benchdiff:
 fuzz:
 	$(GO) test ./internal/geom -fuzz FuzzDominates -fuzztime 30s
 	$(GO) test ./internal/lp -fuzz FuzzSimplexLP -fuzztime 30s
+	$(GO) test ./internal/rtree -fuzz FuzzFlatTreeMutations -fuzztime 30s
 
 # Start the query server on :8375 with a generated demo dataset.
 serve:

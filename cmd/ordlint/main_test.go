@@ -162,7 +162,7 @@ func TestStatsNDJSON(t *testing.T) {
 	if code := run([]string{"-stats", "./internal/linalg"}, &out, &errw); code != 0 {
 		t.Fatalf("run(-stats) = %d, stderr: %s", code, errw.String())
 	}
-	var graphs, summaries, concurrency, unreachable int
+	var graphs, summaries, concurrency, handles, unreachable int
 	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
 		var rec map[string]interface{}
 		if err := json.Unmarshal([]byte(line), &rec); err != nil {
@@ -187,6 +187,16 @@ func TestStatsNDJSON(t *testing.T) {
 			}
 		case "spawn":
 			t.Errorf("spawn record %v in linalg, which starts no goroutines", rec)
+		case "handles":
+			handles++
+			if n, _ := rec["functions"].(float64); n < 1 {
+				t.Errorf("handles record reports %v functions", rec["functions"])
+			}
+			// linalg is outside the flat core: its functions return no
+			// classed handles and mutate no handle-owning structure.
+			if n, _ := rec["mutators"].(float64); n != 0 {
+				t.Errorf("handles record reports %v mutators in linalg", rec["mutators"])
+			}
 		case "unreachable":
 			unreachable++
 			if name, _ := rec["func"].(string); !strings.Contains(name, "linalg.") {
@@ -196,8 +206,9 @@ func TestStatsNDJSON(t *testing.T) {
 			t.Errorf("unexpected record kind %v", rec["kind"])
 		}
 	}
-	if graphs != 1 || summaries != 1 || concurrency != 1 {
-		t.Errorf("got %d graph, %d summaries, %d concurrency records, want 1 each", graphs, summaries, concurrency)
+	if graphs != 1 || summaries != 1 || concurrency != 1 || handles != 1 {
+		t.Errorf("got %d graph, %d summaries, %d concurrency, %d handles records, want 1 each",
+			graphs, summaries, concurrency, handles)
 	}
 	if unreachable == 0 {
 		t.Error("no unreachable records: linalg is outside the server entry cone")

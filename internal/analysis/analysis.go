@@ -82,6 +82,10 @@ type Suite struct {
 	// derivation stops at them, since the borrows they assemble alias
 	// storage the returned object itself owns.
 	fresh map[string]bool
+
+	// handle scopes the handle layer's fact computation (nil-safe: an
+	// empty config yields empty facts and silent handle checks).
+	handle *HandleConfig
 }
 
 // Run applies every analyzer to every package and returns the surviving
@@ -95,6 +99,11 @@ func (s *Suite) Run(pkgs []*Package) []Diagnostic {
 	facts.Summaries = ComputeSummaries(facts.Graph, pkgs)
 	facts.Borrows = ComputeBorrowFacts(facts.Graph, s.fresh)
 	facts.Conc = ComputeConcFacts(facts.Graph)
+	hc := s.handle
+	if hc == nil {
+		hc = NewHandleConfig(Config{})
+	}
+	facts.Handles = ComputeHandleFacts(facts.Graph, facts.Borrows, hc)
 	for _, pkg := range pkgs {
 		allow := collectAllows(pkg)
 		fset := pkg.Fset

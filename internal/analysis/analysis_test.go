@@ -17,6 +17,7 @@ var fixtureNames = []string{
 	"ctxflow", "deepnoalloc", "lockhold", "maporder",
 	"borrowck", "lockmode", "atomicmix",
 	"chanprotocol", "wgbalance", "atomicpub", "sharedwrite",
+	"handleprov", "stridebound", "genstale", "narrowcast",
 }
 
 // fixtureConfig scopes the suite to the fixture package so path-based checks
@@ -90,6 +91,49 @@ func fixtureConfig(name string) Config {
 		return Config{ConcPackages: map[string]bool{name: true}}
 	case "atomicpub":
 		return Config{} // unscoped: the publication contract holds everywhere
+	case "handleprov":
+		return Config{
+			HandlePackages: map[string]bool{"handleprov": true},
+			HandleRuns: map[string]RunSpec{
+				"handleprov.tree.level": {Index: HandleNode},
+				"handleprov.tree.count": {Index: HandleNode},
+				"handleprov.tree.idAt":  {Index: HandleSlot},
+				"handleprov.tree.free":  {Elem: HandleSlot},
+				"handleprov.coll.idAt":  {Index: HandleSlot},
+			},
+			HandleTypes: map[string]HandleClass{"handleprov.ref": HandleNode},
+		}
+	case "stridebound":
+		return Config{
+			HandlePackages: map[string]bool{"stridebound": true},
+			HandleRuns: map[string]RunSpec{
+				"stridebound.tree.ents":  {Index: HandleNode, Elem: HandleNode, Stride: true},
+				"stridebound.tree.rects": {Index: HandleNode, Stride: true},
+				"stridebound.tree.count": {Index: HandleNode},
+			},
+			HandleTypes: map[string]HandleClass{"stridebound.ref": HandleNode},
+			HandleBoundFields: map[string]bool{
+				"stridebound.tree.dim":    true,
+				"stridebound.tree.fanout": true,
+				"stridebound.tree.count":  true,
+			},
+		}
+	case "genstale":
+		return Config{
+			HandlePackages: map[string]bool{"genstale": true},
+			HandleRuns: map[string]RunSpec{
+				"genstale.table.data": {Index: HandleNode},
+			},
+			HandleTypes:       map[string]HandleClass{"genstale.ref": HandleNode},
+			HandleGenFields:   map[string]bool{"genstale.table.gen": true},
+			HandleOwners:      map[string]bool{"genstale.table": true},
+			HandleStableViews: map[string]bool{"genstale.table.Stable": true},
+		}
+	case "narrowcast":
+		return Config{
+			HandlePackages:    map[string]bool{"narrowcast": true},
+			HandleBoundFields: map[string]bool{"narrowcast.packer.cap": true},
+		}
 	}
 	return Config{}
 }

@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewHandleprov builds the handleprov analyzer: an index subscripting a
+// flat run must derive from that structure's own handle APIs — returns of
+// classed functions, induction over its runs, the len-of-arena allocation
+// idiom, //ordlint:handle producers — never from plain arithmetic, and
+// never from a different structure's handle space. A slot index into the
+// node-id arenas (or vice versa) is the cross-structure mixing bug the
+// type system cannot see once everything is an int.
+func NewHandleprov(hc *HandleConfig) *Analyzer {
+	a := &Analyzer{
+		Name:  "handleprov",
+		Doc:   "flat-run subscripts must carry the run's own handle class, not plain or foreign indices",
+		Layer: "handle",
+	}
+	a.Run = func(pass *Pass) {
+		if hc == nil || !hc.Packages[pass.PkgPath] {
+			return
+		}
+		g := pass.Facts.Graph
+		for _, n := range g.Nodes {
+			if n.Pkg.Path != pass.PkgPath || n.Body() == nil {
+				continue
+			}
+			tr := newHandleTracker(n, g, pass.Facts.Handles, hc)
+			tr.solve()
+			tr.ownInspect(func(nd ast.Node) bool {
+				switch x := nd.(type) {
+				case *ast.IndexExpr:
+					if spec := tr.runSpecOf(x.X); spec != nil && spec.Index != 0 {
+						checkRunIndex(pass, tr, x.X, x.Index, spec)
+					}
+				case *ast.SliceExpr:
+					// Window bases must be classed; the extents beyond the
+					// base are stride offsets (stridebound's concern).
+					if spec := tr.runSpecOf(x.X); spec != nil && spec.Index != 0 {
+						checkRunIndex(pass, tr, x.X, x.Low, spec)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// checkRunIndex verifies one subscript (or slice bound) against the run's
+// required index class.
+func checkRunIndex(pass *Pass, tr *handleTracker, run, idx ast.Expr, spec *RunSpec) {
+	if idx == nil {
+		return // x[:n] windows start at the zero handle
+	}
+	c := tr.exprClass(idx)
+	if c&spec.Index != 0 {
+		return
+	}
+	runName := types.ExprString(run)
+	if c == 0 {
+		pass.Report(idx.Pos(),
+			"%s is indexed by %s handles, but this index derives from plain arithmetic — derive it from the structure's own APIs (or annotate the producer //ordlint:handle %s)",
+			runName, spec.Index, spec.Index)
+		return
+	}
+	pass.Report(idx.Pos(),
+		"%s is indexed by %s handles, but this index carries a %s handle — cross-structure handle mixing",
+		runName, spec.Index, c)
+}

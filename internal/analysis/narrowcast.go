@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewNarrowcast builds the narrowcast analyzer: every int→int32/uint32
+// conversion in the flat-core packages must be dominated by an explicit
+// range guard against a capacity bound, or covered by a documented
+// capacity sentinel (//ordlint:bounded on the function, or routing the
+// value through narrow.Index32, whose own guard this analyzer verifies).
+// An unguarded narrowing silently wraps once the arena crosses 2^31
+// records — the class of bug the ErrTooLarge sentinel exists to surface.
+func NewNarrowcast(hc *HandleConfig) *Analyzer {
+	a := &Analyzer{
+		Name:  "narrowcast",
+		Doc:   "int->int32/uint32 conversions feeding the flat core need a dominating range guard or //ordlint:bounded",
+		Layer: "handle",
+	}
+	a.Run = func(pass *Pass) {
+		if hc == nil || !hc.Packages[pass.PkgPath] {
+			return
+		}
+		g := pass.Facts.Graph
+		for _, n := range g.Nodes {
+			if n.Pkg.Path != pass.PkgPath || n.Body() == nil {
+				continue
+			}
+			if hi := pass.Facts.Handles[n]; hi != nil && hi.Bounded {
+				continue // documented capacity invariant
+			}
+			tr := newHandleTracker(n, g, pass.Facts.Handles, hc)
+			tr.solve()
+			tr.guardedWalk(func(nd ast.Node, gs *guardState) {
+				call, ok := nd.(*ast.CallExpr)
+				if !ok {
+					return
+				}
+				checkNarrowConv(pass, tr, gs, call)
+			})
+		}
+	}
+	return a
+}
+
+// checkNarrowConv flags one unguarded narrowing conversion.
+func checkNarrowConv(pass *Pass, tr *handleTracker, gs *guardState, call *ast.CallExpr) {
+	tv, ok := tr.info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	if !narrow32Target(tv.Type) {
+		return
+	}
+	arg := ast.Unparen(call.Args[0])
+	if !wideIntSource(typeOf(tr.info, arg)) {
+		return // already 32-bit or narrower (NodeRef→int32 round trips)
+	}
+	if tvArg, ok := tr.info.Types[arg]; ok && tvArg.Value != nil {
+		return // constant, checked by the compiler
+	}
+	if gs.Guarded(tr.info, arg) {
+		return // dominated by an upper-bound guard
+	}
+	pass.Report(call.Pos(),
+		"unguarded narrowing conversion %s of %s feeding the flat core — guard the range, route it through narrow.Index32, or annotate the function //ordlint:bounded",
+		types.ExprString(call.Fun), types.ExprString(arg))
+}
+
+// narrow32Target reports whether a conversion target is (a named type
+// over) int32 or uint32 — the flat core's handle widths.
+func narrow32Target(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Kind() == types.Int32 || b.Kind() == types.Uint32
+}
+
+// wideIntSource reports whether the operand type can exceed 32 bits:
+// int/uint (64-bit on every platform this module targets), int64/uint64,
+// uintptr.
+func wideIntSource(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int, types.Uint, types.Int64, types.Uint64, types.Uintptr:
+		return true
+	}
+	return false
+}

@@ -32,6 +32,11 @@ type Facts struct {
 	// WaitGroup deltas, atomic publish/load sites) behind the concurrency
 	// layer (chanprotocol, wgbalance, atomicpub, sharedwrite).
 	Conc map[*FuncNode]*ConcSummary
+	// Handles holds the arena-handle provenance summaries (return/param
+	// classes, mutator and bounded facts) behind the handle layer
+	// (handleprov, stridebound, genstale, narrowcast), computed over
+	// Graph after Borrows.
+	Handles map[*FuncNode]*HandleInfo
 	// atomicVars maps every variable (field or package var) whose address
 	// feeds a sync/atomic function anywhere in the module to the position
 	// of one such use, rendered for diagnostics. atomicmix flags plain

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewStridebound builds the stridebound analyzer: every subscript into a
+// capacity-strided window run (the children and rect arenas, addressed as
+// id*stride + offset) must be provably inside its window. The analyzer
+// decomposes the index into additive terms; each term must be a handle
+// (the window base), a constant, a capacity-derived expression (dim,
+// fanout, entCap, count-run reads, len results), or a variable under a
+// dominating guard against such a bound (loop conditions, early-out
+// if-return guards, range keys). Anything else is a finding unless the
+// function documents its caller contract with //ordlint:bounded.
+func NewStridebound(hc *HandleConfig) *Analyzer {
+	a := &Analyzer{
+		Name:  "stridebound",
+		Doc:   "stride-window subscripts must be guarded against the owning capacity or annotated //ordlint:bounded",
+		Layer: "handle",
+	}
+	a.Run = func(pass *Pass) {
+		if hc == nil || !hc.Packages[pass.PkgPath] {
+			return
+		}
+		g := pass.Facts.Graph
+		for _, n := range g.Nodes {
+			if n.Pkg.Path != pass.PkgPath || n.Body() == nil {
+				continue
+			}
+			if hi := pass.Facts.Handles[n]; hi != nil && hi.Bounded {
+				continue // the function's doc vouches for its windows
+			}
+			tr := newHandleTracker(n, g, pass.Facts.Handles, hc)
+			tr.solve()
+			tr.guardedWalk(func(nd ast.Node, gs *guardState) {
+				switch x := nd.(type) {
+				case *ast.IndexExpr:
+					if spec := tr.runSpecOf(x.X); spec != nil && spec.Stride {
+						checkStrideTerms(pass, tr, gs, x.X, x.Index)
+					}
+				case *ast.SliceExpr:
+					if spec := tr.runSpecOf(x.X); spec != nil && spec.Stride {
+						checkStrideTerms(pass, tr, gs, x.X, x.Low)
+						checkStrideTerms(pass, tr, gs, x.X, x.High)
+						checkStrideTerms(pass, tr, gs, x.X, x.Max)
+					}
+				}
+			})
+		}
+	}
+	return a
+}
+
+// strideTerms splits an index expression on top-level +/- into its terms.
+func strideTerms(e ast.Expr, out []ast.Expr) []ast.Expr {
+	if b, ok := ast.Unparen(e).(*ast.BinaryExpr); ok {
+		switch b.Op {
+		case token.ADD, token.SUB:
+			return strideTerms(b.Y, strideTerms(b.X, out))
+		}
+	}
+	return append(out, ast.Unparen(e))
+}
+
+// checkStrideTerms verifies every term of one window subscript.
+func checkStrideTerms(pass *Pass, tr *handleTracker, gs *guardState, run, idx ast.Expr) {
+	if idx == nil {
+		return
+	}
+	for _, term := range strideTerms(idx, nil) {
+		if tr.exprClass(term) != 0 {
+			continue // the window base: a classed handle expression
+		}
+		if tr.capacityDerived(term, 0) {
+			continue // constants, dim/fanout/entCap, count reads, len
+		}
+		if gs.Guarded(tr.info, term) {
+			continue // dominated by an upper-bound guard
+		}
+		pass.Report(term.Pos(),
+			"unguarded term %s in a stride-window subscript of %s — guard it against the owning count/capacity or annotate the function //ordlint:bounded",
+			types.ExprString(term), types.ExprString(run))
+	}
+}

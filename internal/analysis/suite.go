@@ -76,6 +76,28 @@ type Config struct {
 	// layer (chanprotocol, wgbalance, sharedwrite) verifies. atomicpub
 	// runs everywhere, like atomicmix.
 	ConcPackages map[string]bool
+	// HandlePackages are the packages whose bodies the handle layer
+	// (handleprov, stridebound, genstale, narrowcast) audits.
+	HandlePackages map[string]bool
+	// HandleRuns are the flat runs ("pkgpath.Type.field" -> RunSpec): the
+	// arena-backed slices and slot maps whose subscripts need provenance.
+	HandleRuns map[string]RunSpec
+	// HandleTypes are named integer types that carry a handle class
+	// wherever they appear (rtree.NodeRef).
+	HandleTypes map[string]HandleClass
+	// HandleBoundFields are capacity fields and count runs accepted as
+	// stride offsets and guard bounds ("pkgpath.Type.field").
+	HandleBoundFields map[string]bool
+	// HandleGenFields are generation-counter fields whose reads yield
+	// HandleGen values ("pkgpath.Type.field").
+	HandleGenFields map[string]bool
+	// HandleOwners are flat-core structures whose //ordlint:writer methods
+	// invalidate outstanding handles and views ("pkgpath.Type").
+	HandleOwners map[string]bool
+	// HandleStableViews are borrow-annotated functions whose views
+	// survive mutations (the slot-stability contract); unlisted borrow
+	// views are killed by genstale's invalidation points.
+	HandleStableViews map[string]bool
 }
 
 // DefaultConfig is the configuration `cmd/ordlint` enforces on this module:
@@ -124,11 +146,22 @@ type Config struct {
 //     (skyband), the preprocessing explorer (core), the query server and
 //     the live collection it guards, plus the load generator and daemon
 //     commands; atomicpub, like atomicmix, runs everywhere because a
-//     published snapshot is a module-wide contract.
+//     published snapshot is a module-wide contract;
+//   - the handle layer (handleprov, stridebound, genstale, narrowcast)
+//     covers the flat spatial core and every package that holds its
+//     integer handles — rtree (and the legacy oracle), collection,
+//     skyband, topk, the server (whose generation field is the configured
+//     gen counter), and narrow (the guarded conversion gate). The runs,
+//     capacity fields and stable views mirror the arena layout documented
+//     in internal/rtree: node-indexed level/count/rseg arenas, the
+//     stride-windowed ents/rects runs, slot-indexed chunk storage, and
+//     the free lists as element providers.
 func DefaultConfig(modulePath string) Config {
 	internal := func(pkgPath string) bool {
 		return strings.HasPrefix(pkgPath, modulePath+"/internal/")
 	}
+	rt := modulePath + "/internal/rtree"
+	col := modulePath + "/internal/collection"
 	return Config{
 		FloatcmpApproved: map[string]bool{
 			modulePath + "/internal/geom.Vector.Equal": true,
@@ -218,6 +251,66 @@ func DefaultConfig(modulePath string) Config {
 			modulePath + "/cmd/ordload":         true,
 			modulePath + "/cmd/ordud":           true,
 		},
+		HandlePackages: map[string]bool{
+			modulePath + "/internal/rtree":        true,
+			modulePath + "/internal/rtree/legacy": true,
+			modulePath + "/internal/collection":   true,
+			modulePath + "/internal/skyband":      true,
+			modulePath + "/internal/topk":         true,
+			modulePath + "/internal/server":       true,
+			modulePath + "/internal/narrow":       true,
+		},
+		HandleRuns: map[string]RunSpec{
+			rt + ".Tree.level":     {Index: HandleNode},
+			rt + ".Tree.count":     {Index: HandleNode},
+			rt + ".Tree.rseg":      {Index: HandleNode, Elem: HandleNode},
+			rt + ".Tree.ents":      {Index: HandleNode, Elem: HandleNode | HandleSlot, Stride: true},
+			rt + ".Tree.rects":     {Index: HandleNode, Stride: true},
+			rt + ".Tree.chunks":    {Index: HandleSlot},
+			rt + ".Tree.idAt":      {Index: HandleSlot},
+			rt + ".Tree.slotOf":    {Elem: HandleSlot},
+			rt + ".Tree.freeNodes": {Elem: HandleNode},
+			rt + ".Tree.freeSegs":  {Elem: HandleNode},
+			rt + ".Tree.freeSlots": {Elem: HandleSlot},
+			col + ".Collection.chunks": {Index: HandleSlot},
+			col + ".Collection.idAt":   {Index: HandleSlot},
+			col + ".Collection.slotOf": {Elem: HandleSlot},
+			col + ".Collection.free":   {Elem: HandleSlot},
+		},
+		HandleTypes: map[string]HandleClass{
+			rt + ".NodeRef": HandleNode,
+		},
+		HandleBoundFields: map[string]bool{
+			rt + ".Tree.dim":           true,
+			rt + ".Tree.fanout":        true,
+			rt + ".Tree.entCap":        true,
+			rt + ".Tree.count":         true,
+			col + ".Collection.dim":    true,
+		},
+		HandleGenFields: map[string]bool{
+			modulePath + "/internal/server.namedDataset.gen": true,
+		},
+		HandleOwners: map[string]bool{
+			modulePath + ".Dataset":      true,
+			col + ".Collection":          true,
+			modulePath + "/internal/skyband.Live": true,
+			rt + ".Tree":                 true,
+			rt + "/legacy.Tree":          true,
+		},
+		HandleStableViews: map[string]bool{
+			// Slot-backed vectors: the chunk storage never reallocates, so
+			// these views stay addressable across mutations (their
+			// coordinates may change — they track the live record).
+			rt + ".Tree.LeafPoint":    true,
+			rt + ".Tree.Point":        true,
+			rt + ".Tree.slotVec":      true,
+			col + ".Collection.Get":   true,
+			col + ".Collection.at":    true,
+			// Stable by construction: the tree pointer itself, and the
+			// Live's seed vector (fixed at construction).
+			col + ".Collection.Tree":             true,
+			modulePath + "/internal/skyband.Live.Seed": true,
+		},
 	}
 }
 
@@ -234,7 +327,8 @@ func NewSuite(cfg Config) *Suite {
 	if printguard == nil {
 		printguard = nope
 	}
-	return &Suite{fresh: cfg.FreshFuncs, Analyzers: []*Analyzer{
+	hc := NewHandleConfig(cfg)
+	return &Suite{fresh: cfg.FreshFuncs, handle: hc, Analyzers: []*Analyzer{
 		NewFloatcmp(cfg.FloatcmpApproved),
 		NewCtxpoll(cfg.CtxPollPackages, cfg.CtxPollScanCalls),
 		NewSenterr(senterr),
@@ -255,5 +349,9 @@ func NewSuite(cfg Config) *Suite {
 		NewWgbalance(cfg.ConcPackages),
 		NewAtomicpub(),
 		NewSharedwrite(cfg.ConcPackages),
+		NewHandleprov(hc),
+		NewStridebound(hc),
+		NewGenstale(hc),
+		NewNarrowcast(hc),
 	}}
 }

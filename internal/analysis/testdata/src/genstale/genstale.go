@@ -1,0 +1,121 @@
+// Package genstale exercises the structural-staleness analysis: node
+// handles, unstable borrowed views and generation values must not flow
+// across a mutates-structure call on their root — //ordlint:mutates
+// functions, or //ordlint:writer methods of configured owner structures
+// — without being re-derived. Slot-backed views configured as stable
+// survive (the slot-stability contract).
+package genstale
+
+import "sync/atomic"
+
+// ref is the node-handle type (configured as a node handle).
+type ref int32
+
+// table is a miniature mutable flat structure: a node arena, row
+// storage, and a generation counter bumped by every mutation.
+type table struct {
+	gen  atomic.Uint64
+	data []float64
+	rows [][]float64
+}
+
+// root returns the current root handle.
+func (t *table) root() ref { return 0 }
+
+// row returns a view aliasing the table's backing storage; it is NOT in
+// the stable-view set, so mutations invalidate it.
+//
+//ordlint:borrows — the row aliases the packed backing storage
+func (t *table) row(i int) []float64 { return t.rows[i] }
+
+// Stable returns a view the slot-stability contract keeps addressable
+// across mutations (configured in StableViews).
+//
+//ordlint:borrows — the vector aliases chunk storage that never reallocates
+func (t *table) Stable(i int) []float64 { return t.rows[i] }
+
+// insert grows the table: splits reassign node ids, so outstanding
+// handles and unstable views dangle.
+//
+//ordlint:mutates — rebalancing reassigns node ids and reallocates rows
+func (t *table) insert(x float64) {
+	t.data = append(t.data, x)
+	t.gen.Add(1)
+}
+
+// compact is an //ordlint:writer method of a configured owner type: the
+// writer annotation plus the owner config derives the mutates fact.
+//
+//ordlint:writer — compaction rewrites the arenas in place
+func (t *table) compact() {
+	t.gen.Add(1)
+}
+
+// staleHandle keeps a node id across the mutation.
+func staleHandle(t *table) float64 {
+	n := t.root()
+	t.insert(1)
+	return t.data[n] // want "stale node handle: n crosses"
+}
+
+// refetch re-derives the handle after the mutation. Quiet.
+func refetch(t *table) float64 {
+	n := t.root()
+	t.insert(2)
+	n = t.root()
+	return t.data[n]
+}
+
+// staleView uses an unstable borrowed row across the mutation.
+func staleView(t *table) float64 {
+	v := t.row(0)
+	t.insert(3)
+	return v[0] // want "stale view: v crosses"
+}
+
+// stableView survives the mutation: the slot-stability contract. Quiet.
+func stableView(t *table) float64 {
+	s := t.Stable(0)
+	t.insert(4)
+	return s[0]
+}
+
+// staleGen compares a generation read across the writer-derived mutator
+// instead of re-reading it.
+func staleGen(t *table) bool {
+	g := t.gen.Load()
+	t.compact()
+	return g == t.gen.Load() // want "stale generation value: g crosses"
+}
+
+// branchKill mutates on one path only: may-stale semantics still flag
+// the use, because the mutation does happen on that path.
+func branchKill(t *table, grow bool) float64 {
+	n := t.root()
+	if grow {
+		t.insert(5)
+	}
+	return t.data[n] // want "stale node handle: n crosses"
+}
+
+// freshUse stays on the pre-mutation side of the call. Quiet.
+func freshUse(t *table) float64 {
+	n := t.root()
+	x := t.data[n]
+	t.insert(6)
+	return x
+}
+
+// twoTables: mutating one table leaves the other's handles valid. Quiet.
+func twoTables(a, b *table) float64 {
+	n := a.root()
+	b.insert(7)
+	return a.data[n]
+}
+
+// pinned documents a deliberate cross-mutation read under an allow.
+func pinned(t *table) float64 {
+	n := t.root()
+	t.insert(8)
+	return t.data[n] //ordlint:allow genstale — the benchmark reads the pre-split arena deliberately
+}

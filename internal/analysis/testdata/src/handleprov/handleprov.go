@@ -1,0 +1,118 @@
+// Package handleprov exercises the handle-provenance analysis: a
+// subscript into a flat run must derive from the structure's own handle
+// APIs — returns of classed functions, induction over its runs, the
+// len-of-arena allocation idiom, //ordlint:handle producers — never from
+// plain arithmetic, and never from a different structure's handle space.
+package handleprov
+
+// ref is the tree's node-handle type (configured as a node handle).
+type ref int32
+
+// tree is a miniature flat spatial core: node arenas indexed by node
+// handles, slot arenas indexed by slot handles, a slot free list.
+type tree struct {
+	level []int8
+	count []int16
+	idAt  []int
+	free  []int
+}
+
+// coll owns a separate slot space from the tree's.
+type coll struct {
+	idAt []int
+}
+
+// root returns the root handle; the declared ref result classes it.
+func (t *tree) root() ref { return 0 }
+
+// alloc returns a fresh slot via the len-of-arena idiom: len of a
+// configured run carries the run's index class.
+func (t *tree) alloc(id int) int {
+	s := len(t.idAt)
+	t.idAt = append(t.idAt, id)
+	return s
+}
+
+// alloc mirrors the tree's slot allocation for the collection.
+func (c *coll) alloc(id int) int {
+	s := len(c.idAt)
+	c.idAt = append(c.idAt, id)
+	return s
+}
+
+// child computes a child id with plain arithmetic the inference cannot
+// see through; the //ordlint:handle directive documents the contract.
+//
+//ordlint:handle node — the computed child id addresses the node arenas
+func (t *tree) child(n ref, i int) int { return int(n)*4 + i + 1 }
+
+// levelOf reads the node arena under its own handle class. Quiet.
+func (t *tree) levelOf(n ref) int8 { return t.level[n] }
+
+// walk inducts over a run: range keys are valid handles into it. Quiet.
+func (t *tree) walk() int {
+	sum := 0
+	for n := range t.level {
+		sum += int(t.count[n])
+	}
+	return sum
+}
+
+// viaChild subscripts with the annotated producer's handle. Quiet.
+func (t *tree) viaChild(n ref, i int) int8 {
+	c := t.child(n, i)
+	return t.level[c]
+}
+
+// countOf reads through a parameter; the classes observed at its call
+// sites (the range key in total) flow into the summary. Quiet.
+func (t *tree) countOf(n int) int16 { return t.count[n] }
+
+// total drives countOf with run-induction handles.
+func (t *tree) total() int {
+	sum := 0
+	for n := range t.count {
+		sum += int(t.countOf(n))
+	}
+	return sum
+}
+
+// reuse pops the free list: its elements carry the slot class, and the
+// free list itself is index-free (any subscript is fine). Quiet.
+func (t *tree) reuse() int {
+	if len(t.free) > 0 {
+		s := t.free[len(t.free)-1]
+		t.free = t.free[:len(t.free)-1]
+		return t.idAt[s]
+	}
+	return -1
+}
+
+// tail slices a run from a slot handle; nil low bounds are the zero
+// handle. Quiet.
+func (t *tree) tail(id int) []int {
+	s := t.alloc(id)
+	_ = t.idAt[:s]
+	return t.idAt[s:]
+}
+
+// plainIndex derives a node-arena index by plain arithmetic.
+func (t *tree) plainIndex(i, j int) int8 {
+	return t.level[i*4+j] // want "derives from plain arithmetic"
+}
+
+// mixSlotNode indexes the node arena with a slot handle.
+func (t *tree) mixSlotNode(id int) int8 {
+	s := t.alloc(id)
+	return t.level[s] // want "carries a slot handle — cross-structure handle mixing"
+}
+
+// mixColl feeds the collection's slot into the collection's own arena
+// (quiet) and would be a finding against the tree's node arena — the
+// deliberate exception below documents a legacy compatibility read.
+func mixColl(t *tree, c *coll) int {
+	s := c.alloc(7)
+	sum := c.idAt[s]
+	sum += int(t.level[s]) //ordlint:allow handleprov — the legacy mirror keeps slot i at node i by construction
+	return sum
+}

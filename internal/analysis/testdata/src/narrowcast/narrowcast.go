@@ -1,0 +1,83 @@
+// Package narrowcast exercises the narrowing-conversion analysis: every
+// int->int32/uint32 conversion must be dominated by a range guard
+// against a capacity-derived bound (constants, configured capacity
+// fields, len results) or covered by a documented capacity sentinel
+// (//ordlint:bounded). Unguarded narrowing silently wraps once the arena
+// crosses 2^31 records.
+package narrowcast
+
+// ref is a 32-bit handle type; conversions into it narrow like int32.
+type ref int32
+
+// maxIndex is the arena capacity every producer guards against.
+const maxIndex = 1<<31 - 1
+
+// packer packs records into 32-bit-addressed arenas.
+type packer struct {
+	cap int
+	ids []int32
+}
+
+// raw narrows without any dominating guard.
+func raw(x int) int32 {
+	return int32(x) // want "unguarded narrowing conversion int32 of x"
+}
+
+// rawRef narrows into the named handle type: same width, same bug.
+func rawRef(x int) ref {
+	return ref(x) // want "unguarded narrowing conversion ref of x"
+}
+
+// checked guards with an early-out against the capacity constant. Quiet.
+func checked(x int) (int32, bool) {
+	if x > maxIndex {
+		return 0, false
+	}
+	return int32(x), true
+}
+
+// fill converts the induction variable under its len bound. Quiet.
+func (p *packer) fill(ids []int) {
+	for i := 0; i < len(ids); i++ {
+		p.ids = append(p.ids, int32(i))
+	}
+}
+
+// fromField guards against a configured capacity field. Quiet.
+func (p *packer) fromField(x int) int32 {
+	if x >= p.cap {
+		return -1
+	}
+	return int32(x)
+}
+
+// widen goes the other way: 32-bit sources never narrow. Quiet.
+func widen(r ref) int {
+	return int(r)
+}
+
+// fixed converts a compile-time constant the compiler range-checks. Quiet.
+func fixed() int32 {
+	return int32(maxIndex / 2)
+}
+
+// vouched documents the capacity invariant on the function instead.
+//
+//ordlint:bounded — one id per record: the caller gates the record count at 2^31
+func vouched(x int) int32 {
+	return int32(x)
+}
+
+// drifted reassigns after the guard: the conversion is unguarded again.
+func drifted(x int) int32 {
+	if x > maxIndex {
+		return 0
+	}
+	x = x + x
+	return int32(x) // want "unguarded narrowing conversion int32 of x"
+}
+
+// legacy keeps a known-wrapping hash conversion under an allow.
+func legacy(x int) uint32 {
+	return uint32(x) //ordlint:allow narrowcast — the hash mixes the wrapped bits deliberately
+}

@@ -1,0 +1,97 @@
+// Package stridebound exercises the stride-window subscript analysis:
+// every index into a capacity-strided run (entry and rect arenas
+// addressed as id*stride + offset) decomposes into additive terms, and
+// each term must be a classed handle (the window base), a constant, a
+// capacity-derived expression (dim, fanout, count reads, len results) or
+// a variable under a dominating guard against such a bound — unless the
+// function documents its caller contract with //ordlint:bounded.
+package stridebound
+
+// ref is the node-handle type (configured as a node handle).
+type ref int32
+
+// tree packs each node's entries and rectangles into strided windows of
+// the flat arenas: fanout entries per node, 2*dim coordinates per rect.
+type tree struct {
+	dim    int
+	fanout int
+	count  []int16
+	ents   []int32
+	rects  []float64
+}
+
+// eb returns a node's entry-window base; the handle arithmetic keeps the
+// node class on the result.
+func (t *tree) eb(n ref) int { return int(n) * t.fanout }
+
+// rb returns the rect-window base of one entry.
+func (t *tree) rb(n ref, i int) int { return (t.eb(n) + i) * 2 * t.dim }
+
+// scan iterates a node's entries under the count bound. Quiet: the loop
+// condition guards the induction variable with a count-derived cap.
+func (t *tree) scan(n ref) int32 {
+	var last int32
+	cnt := int(t.count[n])
+	for i := 0; i < cnt; i++ {
+		last = t.ents[t.eb(n)+i]
+	}
+	return last
+}
+
+// pickChecked establishes the bound with an early-out. Quiet: the
+// fall-through of the terminating branch is guarded.
+func (t *tree) pickChecked(n ref, j int) int32 {
+	if j >= int(t.count[n]) {
+		return -1
+	}
+	return t.ents[t.eb(n)+j]
+}
+
+// rect slices one entry's rectangle window. Quiet: the base is classed
+// and the extent is dimension-derived.
+func (t *tree) rect(n ref, i int) []float64 {
+	if i >= int(t.count[n]) {
+		return nil
+	}
+	rb := t.rb(n, i)
+	return t.rects[rb : rb+2*t.dim]
+}
+
+// spill reads the overflow entry: capacity arithmetic is a valid
+// offset. Quiet.
+func (t *tree) spill(n ref) int32 {
+	return t.ents[t.eb(n)+t.fanout-1]
+}
+
+// entryAt documents its caller contract instead of guarding.
+//
+//ordlint:bounded — caller contract: i < count[n], upheld by every traversal loop
+func (t *tree) entryAt(n ref, i int) int32 {
+	return t.ents[t.eb(n)+i]
+}
+
+// pick reads one entry without any dominating bound.
+func (t *tree) pick(n ref, j int) int32 {
+	return t.ents[t.eb(n)+j] // want "unguarded term j in a stride-window subscript"
+}
+
+// rawWindow slices with an unguarded extent.
+func (t *tree) rawWindow(n ref, w int) []float64 {
+	rb := t.rb(n, 0)
+	return t.rects[rb : rb+w] // want "unguarded term w in a stride-window subscript"
+}
+
+// drift reassigns the guarded index: the guard does not survive the
+// write.
+func (t *tree) drift(n ref, j int) int32 {
+	if j >= int(t.count[n]) {
+		return -1
+	}
+	j = j * 2
+	return t.ents[t.eb(n)+j] // want "unguarded term j in a stride-window subscript"
+}
+
+// probe keeps a caller-validated offset under an allow.
+func (t *tree) probe(n ref, off int) int32 {
+	return t.ents[t.eb(n)+off] //ordlint:allow stridebound — the probe offset is validated by the caller's binary search
+}

@@ -32,6 +32,7 @@ import (
 	"sort"
 
 	"ordu/internal/geom"
+	"ordu/internal/narrow"
 	"ordu/internal/rtree"
 )
 
@@ -103,6 +104,12 @@ func New(dim int, opts ...rtree.Option) *Collection {
 func FromPoints(points []geom.Vector, opts ...rtree.Option) (*Collection, error) {
 	if len(points) == 0 {
 		return nil, errors.New("collection: no points")
+	}
+	// The packed chunk storage indexes records with int32 slot handles;
+	// refuse datasets the flat core cannot address instead of letting the
+	// bulk load trip its capacity panic.
+	if _, err := narrow.Index32(len(points)); err != nil {
+		return nil, fmt.Errorf("collection: %d points: %w", len(points), err)
 	}
 	dim := len(points[0])
 	c := &Collection{

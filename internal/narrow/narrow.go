@@ -1,0 +1,35 @@
+// Package narrow provides guarded integer narrowing for the flat spatial
+// core. The R-tree arenas and the collection's packed chunk storage index
+// records with int32 slot handles (half the footprint of int on 64-bit,
+// and the unit the SIMD-friendly kernels sweep), so every boundary where a
+// platform int enters that storage must prove it fits. Conversions through
+// this package are the documented capacity sentinel the ordlint narrowcast
+// check accepts; a bare int32(x) on such a path is a finding.
+package narrow
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrTooLarge reports a dataset or index that exceeds the flat core's
+// int32 handle capacity. The server maps it to HTTP 400: the request is
+// well-formed but asks for more records than the storage can address.
+var ErrTooLarge = errors.New("exceeds int32 index capacity")
+
+// MaxIndex is the largest value representable as an int32 slot or node
+// handle. The flat core refuses to grow past it rather than silently
+// wrapping.
+const MaxIndex = math.MaxInt32
+
+// Index32 converts a non-negative int to an int32 handle, failing with
+// ErrTooLarge when the value cannot be represented. This is the single
+// guarded gate between platform-int sizes (len results, record counts)
+// and the flat core's int32 runs.
+func Index32(x int) (int32, error) {
+	if x < 0 || x > MaxIndex {
+		return 0, fmt.Errorf("index %d: %w", x, ErrTooLarge)
+	}
+	return int32(x), nil
+}

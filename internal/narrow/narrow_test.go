@@ -1,0 +1,46 @@
+package narrow
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestIndex32(t *testing.T) {
+	cases := []struct {
+		in   int
+		want int32
+		err  bool
+	}{
+		{0, 0, false},
+		{1, 1, false},
+		{math.MaxInt32, math.MaxInt32, false},
+		{math.MaxInt32 + 1, 0, true},
+		{math.MaxInt64, 0, true},
+		{-1, 0, true},
+	}
+	for _, c := range cases {
+		got, err := Index32(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("Index32(%d): want error, got %d", c.in, got)
+			} else if !errors.Is(err, ErrTooLarge) {
+				t.Errorf("Index32(%d): error %v is not ErrTooLarge", c.in, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Index32(%d): unexpected error %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("Index32(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestErrTooLargeMessage(t *testing.T) {
+	_, err := Index32(-5)
+	if err == nil || err.Error() != "index -5: exceeds int32 index capacity" {
+		t.Errorf("Index32(-5) error = %v, want the formatted sentinel", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"ordu/internal/geom"
+	"ordu/internal/narrow"
 )
 
 // BulkLoad builds a tree over the given points using Sort-Tile-Recursive
@@ -14,12 +15,21 @@ func BulkLoad(points []geom.Vector, opts ...Option) *Tree {
 	if len(points) == 0 {
 		return New(1, opts...)
 	}
+	// Capacity sentinel for the whole packing: record ids become int32
+	// slot handles, so a dataset past narrow.MaxIndex cannot be addressed.
+	// Callers that can see unbounded inputs (collection.FromPoints) guard
+	// and return narrow.ErrTooLarge before reaching this point.
+	n32, err := narrow.Index32(len(points))
+	if err != nil {
+		//ordlint:allow nopanic — 2^31 in-memory points exceed addressable RAM; guarded callers return ErrTooLarge first
+		panic("rtree: BulkLoad: " + err.Error())
+	}
 	t := New(len(points[0]), opts...)
 	t.size = len(points)
 	t.freeNode(t.root) // the packing rebuilds the root
 	perm := make([]int32, len(points))
-	for i := range perm {
-		perm[i] = int32(i)
+	for i := int32(0); i < n32; i++ {
+		perm[i] = i
 	}
 	t.root = t.packPoints(points, perm)
 	return t
@@ -55,7 +65,14 @@ func (t *Tree) newLeafNode(points []geom.Vector, group []int32) NodeRef {
 	t.count[n] = int16(len(group))
 	eb := t.eb(n)
 	for i, pi := range group {
-		t.ents[eb+i] = t.allocSlot(int(pi), points[pi])
+		slot, err := t.allocSlot(int(pi), points[pi])
+		if err != nil {
+			// Unreachable: BulkLoad's entry sentinel bounds the slot
+			// count by the (already int32-checked) record count.
+			//ordlint:allow nopanic — capacity invariant established at the BulkLoad gate
+			panic("rtree: newLeafNode: " + err.Error())
+		}
+		t.ents[eb+i] = slot
 	}
 	return n
 }

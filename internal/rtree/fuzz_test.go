@@ -1,0 +1,125 @@
+package rtree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ordu/internal/geom"
+	"ordu/internal/rtree/legacy"
+)
+
+// FuzzFlatTreeMutations decodes the fuzz input into a randomized
+// insert/update/delete stream and drives it through the flat tree and the
+// legacy pointer-based oracle in lockstep: structural identity after every
+// operation, plus range-query (including emission order), dominance-count
+// and point-lookup parity at the end. The seed picks the geometry (dim
+// 2–4, fanout 3–8, small enough that short byte streams force splits,
+// condensations and root collapses); each op byte picks the operation and
+// the victim for deletes and updates; coordinates are quantized so exact
+// ties — where branch-free kernels could diverge from the oracle's
+// short-circuit comparisons — occur constantly.
+func FuzzFlatTreeMutations(f *testing.F) {
+	f.Add(int64(0), []byte("aaaaaaaaaaaabcabcdabcdbbaaaacccb"))
+	f.Add(int64(5), []byte("ddddddddddddddddbbbbccccaaaabbbb"))
+	f.Add(int64(16), []byte("adadadadadadadadcbcbcbcbadadadad"))
+	f.Fuzz(func(t *testing.T, seed int64, ops []byte) {
+		if len(ops) > 256 {
+			ops = ops[:256]
+		}
+		u := uint64(seed)
+		dim := 2 + int(u%3)
+		fanout := 3 + int((u/3)%6)
+		rng := rand.New(rand.NewSource(seed))
+		randPoint := func() geom.Vector {
+			p := make(geom.Vector, dim)
+			for j := range p {
+				p[j] = float64(rng.Intn(16)) / 15
+			}
+			return p
+		}
+
+		ft := New(dim, WithFanout(fanout))
+		lt := legacy.New(dim, legacy.WithFanout(fanout))
+		var live []int
+		nextID := 0
+		for i, b := range ops {
+			step := fmt.Sprintf("op %d (byte %#x)", i, b)
+			switch {
+			case len(live) == 0 || b%4 <= 1: // insert a fresh id
+				p := randPoint()
+				if err := ft.Insert(nextID, p); err != nil {
+					t.Fatalf("%s: flat Insert(%d): %v", step, nextID, err)
+				}
+				if err := lt.Insert(nextID, p); err != nil {
+					t.Fatalf("%s: legacy Insert(%d): %v", step, nextID, err)
+				}
+				live = append(live, nextID)
+				nextID++
+			case b%4 == 2: // delete a live id
+				k := int(b/4) % len(live)
+				id := live[k]
+				live = append(live[:k], live[k+1:]...)
+				if !ft.Delete(id) {
+					t.Fatalf("%s: flat Delete(%d) reported missing", step, id)
+				}
+				if !lt.Delete(id) {
+					t.Fatalf("%s: legacy Delete(%d) reported missing", step, id)
+				}
+			default: // update: re-site a live id at a new point
+				k := int(b/4) % len(live)
+				id := live[k]
+				p := randPoint()
+				if !ft.Delete(id) || !lt.Delete(id) {
+					t.Fatalf("%s: update Delete(%d) reported missing", step, id)
+				}
+				if err := ft.Insert(id, p); err != nil {
+					t.Fatalf("%s: flat re-Insert(%d): %v", step, id, err)
+				}
+				if err := lt.Insert(id, p); err != nil {
+					t.Fatalf("%s: legacy re-Insert(%d): %v", step, id, err)
+				}
+			}
+			checkTreesIdentical(t, ft, lt, step)
+		}
+
+		// Query parity over the final state: range emission order, the
+		// dominance-count kernels, and per-id point lookups.
+		for trial := 0; trial < 4; trial++ {
+			lo := make(geom.Vector, dim)
+			hi := make(geom.Vector, dim)
+			for j := 0; j < dim; j++ {
+				a, b := rng.Float64(), rng.Float64()
+				if a > b {
+					a, b = b, a
+				}
+				lo[j], hi[j] = a, b
+			}
+			rect := geom.NewRect(lo, hi)
+			fg := ft.RangeQuery(rect)
+			lg := lt.RangeQuery(rect)
+			if len(fg) != len(lg) {
+				t.Fatalf("range trial %d: %d ids vs legacy %d", trial, len(fg), len(lg))
+			}
+			for i := range fg {
+				if fg[i] != lg[i] {
+					t.Fatalf("range trial %d: order diverges at %d: %v vs %v", trial, i, fg, lg)
+				}
+			}
+			q := randPoint()
+			if fc, lc := ft.CountDominated(q), lt.CountDominated(q); fc != lc {
+				t.Fatalf("CountDominated(%v) = %d, legacy %d", q, fc, lc)
+			}
+			if fc, lc := ft.CountDominators(q), lt.CountDominators(q); fc != lc {
+				t.Fatalf("CountDominators(%v) = %d, legacy %d", q, fc, lc)
+			}
+		}
+		for _, id := range live {
+			fp, fok := ft.Point(id)
+			lp, lok := lt.Point(id)
+			if fok != lok || (fok && !fp.Equal(lp)) {
+				t.Fatalf("Point(%d) = (%v, %v), legacy (%v, %v)", id, fp, fok, lp, lok)
+			}
+		}
+	})
+}

@@ -195,6 +195,8 @@ func (t *Tree) Point(id int) (geom.Vector, bool) {
 
 // Insert adds a point under the given id. It returns an error when the id is
 // already present or the dimensionality disagrees.
+//
+//ordlint:writer — splits relink the node graph; iterators must not straddle the call
 func (t *Tree) Insert(id int, p geom.Vector) error {
 	if len(p) != t.dim {
 		return fmt.Errorf("rtree: point dim %d, tree dim %d", len(p), t.dim)
@@ -326,6 +328,8 @@ func abs(x float64) float64 {
 // Delete removes the point stored under id. It returns false when the id is
 // unknown. Underfull nodes are condensed by reinsertion, as in Guttman's
 // original algorithm.
+//
+//ordlint:writer — condensation reinserts entries and drops nodes; iterators must not straddle the call
 func (t *Tree) Delete(id int) bool {
 	p, ok := t.points[id]
 	if !ok {

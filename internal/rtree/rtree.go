@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"ordu/internal/geom"
+	"ordu/internal/narrow"
 )
 
 // DefaultFanout is the default maximum number of entries per node. The
@@ -155,6 +156,8 @@ func (t *Tree) Level(n NodeRef) int { return int(t.level[n]) }
 func (t *Tree) Count(n NodeRef) int { return int(t.count[n]) }
 
 // Child returns the i-th child of an internal node.
+//
+//ordlint:bounded — caller contract: i < Count(n), upheld by every traversal loop
 func (t *Tree) Child(n NodeRef, i int) NodeRef {
 	return NodeRef(t.ents[int(n)*t.entCap+i])
 }
@@ -180,6 +183,8 @@ func (t *Tree) ChildHi(n NodeRef, i int) geom.Vector {
 }
 
 // LeafID returns the record id of the i-th entry of a leaf.
+//
+//ordlint:bounded — caller contract: i < Count(n), upheld by every traversal loop
 func (t *Tree) LeafID(n NodeRef, i int) int {
 	return t.idAt[t.ents[int(n)*t.entCap+i]]
 }
@@ -189,6 +194,7 @@ func (t *Tree) LeafID(n NodeRef, i int) int {
 // deleted (slot stability), but must be treated as read-only.
 //
 //ordlint:borrows — the vector aliases the packed chunk storage
+//ordlint:bounded — caller contract: i < Count(n), upheld by every traversal loop
 func (t *Tree) LeafPoint(n NodeRef, i int) geom.Vector {
 	return t.slotVec(t.ents[int(n)*t.entCap+i])
 }
@@ -237,14 +243,22 @@ func (t *Tree) slotVec(slot int32) geom.Vector {
 }
 
 // allocSlot copies p into a free (or fresh) slot and indexes it under id.
-func (t *Tree) allocSlot(id int, p geom.Vector) int32 {
+// Growing past the int32 slot capacity fails with narrow.ErrTooLarge
+// before the arena wraps.
+//
+//ordlint:handle slot — the returned index addresses the packed point runs
+func (t *Tree) allocSlot(id int, p geom.Vector) (int32, error) {
 	var slot int32
 	if k := len(t.freeSlots); k > 0 {
 		slot = t.freeSlots[k-1]
 		t.freeSlots = t.freeSlots[:k-1]
 		t.idAt[slot] = id
 	} else {
-		slot = int32(len(t.idAt))
+		var err error
+		slot, err = narrow.Index32(len(t.idAt))
+		if err != nil {
+			return 0, fmt.Errorf("rtree: slot arena: %w", err)
+		}
 		if int(slot)/pointChunk == len(t.chunks) {
 			t.chunks = append(t.chunks, make([]float64, pointChunk*t.dim))
 		}
@@ -252,7 +266,7 @@ func (t *Tree) allocSlot(id int, p geom.Vector) int32 {
 	}
 	copy(t.slotVec(slot), p)
 	t.slotOf[id] = slot
-	return slot
+	return slot, nil
 }
 
 // dropSlot unindexes id and returns its slot to the free list.
@@ -265,6 +279,8 @@ func (t *Tree) dropSlot(id int, slot int32) {
 // newNode takes a node off the free list (or extends the arenas) and
 // prepares it at the given level, allocating a rect segment for internal
 // nodes.
+//
+//ordlint:bounded — the node arena is bounded by the record count, which allocSlot gates at 2^31
 func (t *Tree) newNode(lvl int) NodeRef {
 	var n NodeRef
 	if k := len(t.freeNodes); k > 0 {
@@ -297,6 +313,8 @@ func (t *Tree) freeNode(n NodeRef) {
 }
 
 // allocSeg takes a rect segment off the free list or extends the arena.
+//
+//ordlint:bounded — one segment per internal node: the count is gated transitively by the node arena
 func (t *Tree) allocSeg() int32 {
 	if k := len(t.freeSegs); k > 0 {
 		s := t.freeSegs[k-1]
@@ -328,7 +346,10 @@ func (t *Tree) Insert(id int, p geom.Vector) error {
 	if _, dup := t.slotOf[id]; dup {
 		return fmt.Errorf("rtree: duplicate id %d", id)
 	}
-	slot := t.allocSlot(id, p)
+	slot, err := t.allocSlot(id, p)
+	if err != nil {
+		return err
+	}
 	t.size++
 	pv := t.slotVec(slot)
 	split := t.insert(t.root, insEntry{child: NilNode, slot: slot, lo: pv, hi: pv}, 0)
@@ -375,7 +396,7 @@ func (t *Tree) insert(n NodeRef, e insEntry, lvl int) NodeRef {
 			best, bestEnl, bestArea = i, enl, area
 		}
 	}
-	child := NodeRef(t.ents[t.eb(n)+best])
+	child := NodeRef(t.ents[t.eb(n)+best]) //ordlint:allow stridebound — best is an entry index scanned under i < cnt above
 	split := t.insert(child, e, lvl)
 	t.setEntryRectFromChild(n, best)
 	if split >= 0 {
@@ -391,6 +412,8 @@ func (t *Tree) insert(n NodeRef, e insEntry, lvl int) NodeRef {
 }
 
 // writeEntry stores e as entry i of node n.
+//
+//ordlint:bounded — caller contract: i < entCap, the callers write within the split/overflow window
 func (t *Tree) writeEntry(n NodeRef, i int, e insEntry) {
 	if e.child >= 0 {
 		t.ents[t.eb(n)+i] = int32(e.child)
@@ -420,6 +443,8 @@ func (t *Tree) entryEnlArea(n NodeRef, i int, lo, hi []float64) (enl, area float
 }
 
 // setEntryRectFromChild recomputes entry i's MBR from its child node.
+//
+//ordlint:bounded — caller contract: i < Count(n), the entry was just written or scanned
 func (t *Tree) setEntryRectFromChild(n NodeRef, i int) {
 	rb := t.rb(n, i)
 	child := NodeRef(t.ents[t.eb(n)+i])
@@ -679,6 +704,8 @@ func (t *Tree) remove(n NodeRef, id int, p geom.Vector, orphans *[]orphan) bool 
 
 // removeEntryAt deletes entry i of node n, shifting later entries (and
 // their rects, at internal nodes) down one position.
+//
+//ordlint:bounded — caller contract: i < Count(n), i comes from a match scan over the node
 func (t *Tree) removeEntryAt(n NodeRef, i int) {
 	cnt := int(t.count[n])
 	eb := t.eb(n)

@@ -10,7 +10,15 @@ import (
 	"testing"
 
 	"ordu/internal/collection"
+	"ordu/internal/narrow"
 )
+
+// capacityErr produces a real narrow.ErrTooLarge the way the flat core
+// does: by asking the guarded gate for an unrepresentable index.
+func capacityErr() error {
+	_, err := narrow.Index32(math.MaxInt32 + 1)
+	return fmt.Errorf("rtree: slot arena: %w", err)
+}
 
 // TestMutationErrorMessages pins the status code AND the body message of
 // every mutation error path: clients key retry logic off the codes and
@@ -80,6 +88,7 @@ func TestStatusForMutationError(t *testing.T) {
 		{"NaN coordinate", update(0, []float64{math.NaN(), 0.5, 0.5}), http.StatusBadRequest},
 		{"infinite coordinate", update(0, []float64{0.5, math.Inf(1), 0.5}), http.StatusBadRequest},
 		{"wrapped sentinel", fmt.Errorf("applying op: %w", collection.ErrBadPoint), http.StatusBadRequest},
+		{"capacity exceeded", capacityErr(), http.StatusBadRequest},
 		{"unrecognized error", errors.New("disk on fire"), http.StatusInternalServerError},
 	} {
 		if tc.err == nil {

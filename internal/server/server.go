@@ -18,6 +18,7 @@ import (
 	"ordu/internal/collection"
 	"ordu/internal/data"
 	"ordu/internal/geom"
+	"ordu/internal/narrow"
 )
 
 // Config tunes a Server; zero fields take the documented defaults.
@@ -428,6 +429,11 @@ func statusForMutationError(err error) int {
 	case errors.Is(err, collection.ErrDuplicateID):
 		return http.StatusConflict
 	case errors.Is(err, collection.ErrBadPoint):
+		return http.StatusBadRequest
+	case errors.Is(err, narrow.ErrTooLarge):
+		// Well-formed request, but the flat core's int32 slot arena
+		// cannot address another record: a client-capacity error, not a
+		// server fault.
 		return http.StatusBadRequest
 	default:
 		return http.StatusInternalServerError

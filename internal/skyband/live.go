@@ -113,6 +113,8 @@ func NewLive(tree *rtree.Tree, w geom.Vector, k int, rho float64) (*Live, error)
 // Rebuild recomputes the tracked state from the tree's current contents: one
 // early-exiting dominator probe per live record. It is the recompute-from-
 // scratch fallback the incremental paths are validated against.
+//
+//ordlint:mutates — the rebuild replaces the tracked membership wholesale; Seed views taken before it are void
 func (l *Live) Rebuild() {
 	l.entries = make(map[int]*liveEntry, l.tree.Len())
 	l.contrib = make(map[int]map[int]struct{}, l.tree.Len())
